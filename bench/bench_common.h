@@ -1,0 +1,101 @@
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "data/registry.h"
+#include "eval/backbone.h"
+#include "eval/metrics.h"
+#include "eval/runners.h"
+#include "eval/tasks.h"
+#include "util/env.h"
+#include "util/string_util.h"
+
+/// \file bench_common.h
+/// \brief Shared plumbing for the experiment benches: workload scale
+/// selection, the pretrained backbone, and small formatting helpers.
+///
+/// Scale is controlled with the GOGGLES_BENCH_SCALE environment variable:
+/// "small" (default; reduced pairs/repetitions so the full bench directory
+/// runs in minutes on a laptop) or "paper" (the paper's protocol: 10 class
+/// pairs, 10 repetitions).
+
+namespace goggles::bench {
+
+/// \brief Workload sizing knobs resolved from the environment.
+struct BenchScale {
+  int repetitions;        ///< experiment repetitions averaged per cell
+  int num_pairs;          ///< class-pair tasks for multi-class corpora
+  int binary_per_class;   ///< images/class for the 2-class corpora
+  std::string name;
+};
+
+inline BenchScale GetBenchScale() {
+  BenchScale scale;
+  const std::string mode = GetEnvOr("GOGGLES_BENCH_SCALE", "small");
+  if (mode == "paper") {
+    scale.repetitions = 10;
+    scale.num_pairs = 10;
+    scale.binary_per_class = 120;
+    scale.name = "paper";
+  } else {
+    scale.repetitions = 2;
+    scale.num_pairs = 4;
+    scale.binary_per_class = 90;
+    scale.name = "small";
+  }
+  return scale;
+}
+
+/// \brief Builds the default runner context (pretrained backbone, cached
+/// under /tmp/goggles_cache or $GOGGLES_CACHE_DIR).
+inline eval::RunnerContext MakeBenchContext() {
+  eval::BackboneOptions options;
+  auto extractor = eval::GetPretrainedExtractor(options);
+  extractor.status().Abort("bench backbone");
+  eval::RunnerContext ctx;
+  ctx.extractor = *extractor;
+  return ctx;
+}
+
+/// \brief Repetitions for one dataset: binary corpora yield a single task
+/// per repetition (vs `num_pairs` for the multi-class ones), so they get
+/// proportionally more repetitions to smooth run-to-run variance.
+inline int EffectiveReps(const std::string& dataset, const BenchScale& scale) {
+  if (dataset == "birds" || dataset == "signs") return scale.repetitions;
+  return scale.repetitions * 3;
+}
+
+/// \brief Task suites for all five evaluation datasets at the given scale,
+/// with a per-repetition seed offset.
+inline std::vector<eval::LabelingTask> MakeDatasetTasks(
+    const std::string& dataset, const BenchScale& scale, int rep,
+    int dev_per_class = 5) {
+  eval::TaskSuiteConfig config;
+  config.num_pairs = scale.num_pairs;
+  config.dev_per_class = dev_per_class;
+  config.seed = 1000 + static_cast<uint64_t>(rep) * 131;
+  if (dataset != "birds" && dataset != "signs") {
+    config.images_per_class = scale.binary_per_class;
+  }
+  auto tasks = eval::MakeTasks(dataset, config);
+  tasks.status().Abort("MakeDatasetTasks");
+  return std::move(*tasks);
+}
+
+/// \brief "97.83"-style percent formatting; "-" for negative sentinels.
+inline std::string Pct(double fraction) {
+  if (fraction < 0.0) return "-";
+  return FormatPercent(fraction);
+}
+
+/// \brief Prints the standard bench banner.
+inline void Banner(const char* title, const BenchScale& scale) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("scale=%s (GOGGLES_BENCH_SCALE=small|paper)\n", scale.name.c_str());
+  std::printf("================================================================\n\n");
+}
+
+}  // namespace goggles::bench

@@ -1,0 +1,90 @@
+/// \file bench_fig7_devset_theory.cc
+/// \brief Reproduces **Figure 7** of the paper: the theoretical lower bound
+/// (Theorem 1) on the probability of a correct cluster-to-class mapping as
+/// a function of the development set size, for K = 2 and several labeling
+/// accuracies eta. Computed with the O(K d^2) dynamic program of §4.4.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "goggles/theory.h"
+#include "util/table.h"
+
+namespace goggles::bench {
+namespace {
+
+void RunExperiment() {
+  const BenchScale scale = GetBenchScale();
+  Banner("Figure 7 — dev-set size vs P(correct cluster-class mapping), K=2",
+         scale);
+
+  const std::vector<double> etas = {0.6, 0.7, 0.8, 0.9};
+  const std::vector<int> dev_sizes = {1, 2, 3, 4, 5, 6, 8, 10, 12, 15, 20, 25, 30};
+
+  AsciiTable table(
+      "Theorem 1 lower bound on P(correct mapping); d = dev examples/class "
+      "(total dev set = 2d)");
+  std::vector<std::string> header = {"d", "total"};
+  for (double eta : etas) header.push_back(StrFormat("eta=%.1f", eta));
+  table.SetHeader(header);
+  for (int d : dev_sizes) {
+    std::vector<std::string> row = {StrFormat("%d", d), StrFormat("%d", 2 * d)};
+    for (double eta : etas) {
+      row.push_back(FormatDouble(
+          CorrectMappingProbabilityLowerBound(2, d, eta), 4));
+    }
+    table.AddRow(row);
+  }
+  table.Print();
+
+  // ASCII curves, one per eta (the paper's Figure 7 panel).
+  std::printf("\nP(correct mapping) vs d (each column = one d, height = P):\n");
+  for (double eta : etas) {
+    std::printf("\n  eta = %.1f\n", eta);
+    for (int level = 10; level >= 1; --level) {
+      std::printf("  %4.1f |", level / 10.0);
+      for (int d = 1; d <= 30; ++d) {
+        const double p = CorrectMappingProbabilityLowerBound(2, d, eta);
+        std::printf("%c", p >= level / 10.0 ? '#' : ' ');
+      }
+      std::printf("|\n");
+    }
+    std::printf("       +%s+\n        d = 1..30\n", std::string(30, '-').c_str());
+  }
+
+  AsciiTable req("Required dev examples/class for P(correct) >= 0.95");
+  req.SetHeader({"eta", "required d", "required total (2d)"});
+  for (double eta : etas) {
+    const int d = RequiredDevPerClass(2, eta, 0.95);
+    req.AddRow({StrFormat("%.1f", eta),
+                d < 0 ? "-" : StrFormat("%d", d),
+                d < 0 ? "-" : StrFormat("%d", 2 * d)});
+  }
+  req.Print();
+  std::printf(
+      "Shape check (paper Fig. 7): at eta = 0.8 roughly 20 total dev\n"
+      "examples push P(correct) close to 1; higher eta needs far fewer.\n"
+      "(The paper also notes the bound is loose: empirically 5/class is\n"
+      "enough on every dataset — see bench_fig8_devset_size.)\n");
+}
+
+void BM_TheoryDpBound(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        goggles::CorrectMappingProbabilityLowerBound(4, d, 0.8));
+  }
+}
+BENCHMARK(BM_TheoryDpBound)->Arg(10)->Arg(40)->Arg(100)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace goggles::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  goggles::bench::RunExperiment();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,199 @@
+/// \file bench_micro_kernels.cc
+/// \brief google-benchmark microbenchmarks for the computational kernels
+/// behind the paper's pipeline: GEMM/conv (backbone), prototype affinity
+/// scoring (§3.2), base-GMM and Bernoulli-ensemble EM (§4.2), the
+/// assignment solver for cluster mapping (§4.3), the theory DP (§4.4),
+/// HOG extraction and truncated SVD (baselines). Supports the §5.3
+/// running-time discussion (base models parallelize across slices).
+
+#include <benchmark/benchmark.h>
+
+#include "baselines/kmeans.h"
+#include "data/raster.h"
+#include "features/hog.h"
+#include "goggles/base_gmm.h"
+#include "goggles/ensemble.h"
+#include "goggles/theory.h"
+#include "linalg/hungarian.h"
+#include "linalg/kernels.h"
+#include "linalg/svd.h"
+#include "tensor/gemm.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace goggles {
+namespace {
+
+void BM_SGemm(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  std::vector<float> a(static_cast<size_t>(n) * n), b(a.size()), c(a.size());
+  for (auto& v : a) v = static_cast<float>(rng.Gaussian());
+  for (auto& v : b) v = static_cast<float>(rng.Gaussian());
+  for (auto _ : state) {
+    SGemm(false, false, n, n, n, 1.0f, a.data(), n, b.data(), n, 0.0f,
+          c.data(), n);
+    benchmark::DoNotOptimize(c[0]);
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * n * n * n);
+}
+BENCHMARK(BM_SGemm)->Arg(64)->Arg(128)->Arg(256)->Unit(benchmark::kMillisecond);
+
+void BM_Conv2dForward(benchmark::State& state) {
+  Rng rng(2);
+  Tensor x = Tensor::RandomNormal({8, 16, 32, 32}, 1.0f, &rng);
+  Tensor w = Tensor::RandomNormal({32, 16, 3, 3}, 0.1f, &rng);
+  Tensor b = Tensor::Zeros({32});
+  for (auto _ : state) {
+    auto y = Conv2dForward(x, w, b, {1, 1});
+    benchmark::DoNotOptimize(y.ok());
+  }
+}
+BENCHMARK(BM_Conv2dForward)->Unit(benchmark::kMillisecond);
+
+void BM_Conv2dBackward(benchmark::State& state) {
+  Rng rng(3);
+  Tensor x = Tensor::RandomNormal({8, 16, 32, 32}, 1.0f, &rng);
+  Tensor w = Tensor::RandomNormal({32, 16, 3, 3}, 0.1f, &rng);
+  Tensor b = Tensor::Zeros({32});
+  auto y = Conv2dForward(x, w, b, {1, 1});
+  y.status().Abort("fwd");
+  Tensor dy = Tensor::RandomNormal(y->shape(), 1.0f, &rng);
+  for (auto _ : state) {
+    auto grads = Conv2dBackward(x, w, dy, {1, 1});
+    benchmark::DoNotOptimize(grads.ok());
+  }
+}
+BENCHMARK(BM_Conv2dBackward)->Unit(benchmark::kMillisecond);
+
+void BM_CosineKernel(benchmark::State& state) {
+  const int64_t d = state.range(0);
+  Rng rng(4);
+  std::vector<float> a(static_cast<size_t>(d)), b(a.size());
+  for (auto& v : a) v = static_cast<float>(rng.Gaussian());
+  for (auto& v : b) v = static_cast<float>(rng.Gaussian());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CosineSimilarityF(a.data(), b.data(), d));
+  }
+}
+BENCHMARK(BM_CosineKernel)->Arg(8)->Arg(64)->Arg(512);
+
+/// Eq. 2 inner loop: one prototype against all positions of a filter map.
+void BM_PrototypeAffinityScore(benchmark::State& state) {
+  const int area = static_cast<int>(state.range(0));
+  const int channels = 32;
+  Rng rng(5);
+  std::vector<float> positions(static_cast<size_t>(area) * channels);
+  std::vector<float> proto(static_cast<size_t>(channels));
+  for (auto& v : positions) v = static_cast<float>(rng.Gaussian());
+  for (auto& v : proto) v = static_cast<float>(rng.Gaussian());
+  NormalizeF(proto.data(), channels);
+  for (int p = 0; p < area; ++p) {
+    NormalizeF(positions.data() + static_cast<size_t>(p) * channels, channels);
+  }
+  for (auto _ : state) {
+    float best = -1.0f;
+    for (int p = 0; p < area; ++p) {
+      best = std::max(best,
+                      DotF(positions.data() + static_cast<size_t>(p) * channels,
+                           proto.data(), channels));
+    }
+    benchmark::DoNotOptimize(best);
+  }
+}
+BENCHMARK(BM_PrototypeAffinityScore)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_DiagonalGmmFit(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(6);
+  Matrix x(n, n);
+  for (int64_t i = 0; i < x.size(); ++i) x.data()[i] = rng.Uniform();
+  for (auto _ : state) {
+    GmmConfig config;
+    config.num_components = 2;
+    config.num_restarts = 1;
+    DiagonalGmm gmm(config);
+    benchmark::DoNotOptimize(gmm.Fit(x).ok());
+  }
+}
+BENCHMARK(BM_DiagonalGmmFit)->Arg(50)->Arg(100)->Arg(200)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BernoulliMixtureFit(benchmark::State& state) {
+  const int alpha = static_cast<int>(state.range(0));
+  Rng rng(7);
+  Matrix b(150, 2 * alpha);
+  for (int64_t i = 0; i < b.size(); ++i) {
+    b.data()[i] = rng.Bernoulli(0.5) ? 1.0 : 0.0;
+  }
+  for (auto _ : state) {
+    BernoulliMixtureConfig config;
+    config.num_components = 2;
+    config.num_restarts = 1;
+    BernoulliMixture mix(config);
+    benchmark::DoNotOptimize(mix.Fit(b).ok());
+  }
+}
+BENCHMARK(BM_BernoulliMixtureFit)->Arg(10)->Arg(50)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_HungarianAssignment(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  Rng rng(8);
+  Matrix cost(k, k);
+  for (int64_t i = 0; i < cost.size(); ++i) cost.data()[i] = rng.Uniform();
+  for (auto _ : state) {
+    auto a = SolveAssignmentMin(cost);
+    benchmark::DoNotOptimize(a.ok());
+  }
+}
+BENCHMARK(BM_HungarianAssignment)->Arg(2)->Arg(43)->Arg(128)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_TheoryDp(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CorrectMappingProbabilityLowerBound(4, 40, 0.8));
+  }
+}
+BENCHMARK(BM_TheoryDp)->Unit(benchmark::kMicrosecond);
+
+void BM_HogDescriptor(benchmark::State& state) {
+  data::Image img(3, 32, 32, 0.3f);
+  data::DrawFilledCircle(&img, 16, 16, 9, {0.9f, 0.4f, 0.4f});
+  for (auto _ : state) {
+    auto hog = features::ComputeHog(img);
+    benchmark::DoNotOptimize(hog.ok());
+  }
+}
+BENCHMARK(BM_HogDescriptor)->Unit(benchmark::kMicrosecond);
+
+void BM_TruncatedSvd(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(9);
+  Matrix a(n, 8 * n);
+  for (int64_t i = 0; i < a.size(); ++i) a.data()[i] = rng.Uniform();
+  for (auto _ : state) {
+    auto svd = TruncatedSvd(a, 2, 30);
+    benchmark::DoNotOptimize(svd.ok());
+  }
+}
+BENCHMARK(BM_TruncatedSvd)->Arg(64)->Arg(128)->Unit(benchmark::kMillisecond);
+
+void BM_KMeansFit(benchmark::State& state) {
+  Rng rng(10);
+  Matrix x(200, 400);
+  for (int64_t i = 0; i < x.size(); ++i) x.data()[i] = rng.Gaussian();
+  for (auto _ : state) {
+    baselines::KMeansConfig config;
+    config.num_clusters = 2;
+    config.num_restarts = 1;
+    baselines::KMeans km(config);
+    benchmark::DoNotOptimize(km.Fit(x).ok());
+  }
+}
+BENCHMARK(BM_KMeansFit)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace goggles
+
+BENCHMARK_MAIN();

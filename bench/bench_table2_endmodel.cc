@@ -1,0 +1,173 @@
+/// \file bench_table2_endmodel.cc
+/// \brief Reproduces **Table 2** of the paper: end-model accuracy on the
+/// held-out test set. Probabilistic labels from Snorkel/Snuba/GOGGLES
+/// train the downstream discriminative model (frozen backbone + FC head,
+/// soft cross-entropy); FSL trains the head on the development set only;
+/// the supervised upper bound uses ground-truth training labels.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "baselines/end_model.h"
+#include "bench_common.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace goggles::bench {
+namespace {
+
+struct Cell {
+  std::vector<double> values;
+  void Add(double v) { values.push_back(v); }
+  double MeanOrNeg() const { return values.empty() ? -1.0 : eval::Mean(values); }
+};
+
+void RunTask(const eval::LabelingTask& task, const eval::RunnerContext& ctx,
+             std::map<std::string, Cell>* row) {
+  // FSL.
+  Result<double> fsl = eval::RunFslEndToEnd(task, ctx);
+  fsl.status().Abort("fsl");
+  (*row)["FSL"].Add(*fsl);
+
+  // Snorkel -> end model (attribute tasks only).
+  if (task.train.has_attributes()) {
+    Matrix snorkel_proba;
+    Result<double> snorkel = eval::RunSnorkelLabeling(task, &snorkel_proba);
+    if (snorkel.ok()) {
+      Result<double> end =
+          eval::RunEndModelFromSoftLabels(task, ctx, snorkel_proba);
+      if (end.ok()) (*row)["Snorkel"].Add(*end);
+    }
+  }
+
+  // Snuba -> end model.
+  Matrix snuba_proba;
+  Result<double> snuba = eval::RunSnubaLabeling(task, ctx, &snuba_proba);
+  snuba.status().Abort("snuba");
+  Result<double> snuba_end =
+      eval::RunEndModelFromSoftLabels(task, ctx, snuba_proba);
+  snuba_end.status().Abort("snuba end");
+  (*row)["Snuba"].Add(*snuba_end);
+
+  // GOGGLES -> end model.
+  LabelingResult goggles;
+  Result<double> label_acc = eval::RunGogglesLabeling(task, ctx, &goggles);
+  label_acc.status().Abort("goggles");
+  Result<double> goggles_end =
+      eval::RunEndModelFromSoftLabels(task, ctx, goggles.soft_labels);
+  goggles_end.status().Abort("goggles end");
+  (*row)["GOGGLES"].Add(*goggles_end);
+
+  // Supervised upper bound.
+  Result<double> upper = eval::RunSupervisedUpperBound(task, ctx);
+  upper.status().Abort("upper");
+  (*row)["UpperBound"].Add(*upper);
+}
+
+const std::vector<std::string> kSystems = {"FSL", "Snorkel", "Snuba",
+                                           "GOGGLES", "UpperBound"};
+
+const std::map<std::string, std::vector<std::string>> kPaperTable2 = {
+    {"birds",   {"84.74", "87.85", "56.32", "95.30", "98.44"}},
+    {"signs",   {"90.72", "-", "70.11", "91.54", "98.94"}},
+    {"surface", {"76.00", "-", "51.67", "83.33", "92.00"}},
+    {"tbxray",  {"66.42", "-", "62.71", "70.90", "82.09"}},
+    {"pnxray",  {"68.28", "-", "62.19", "69.06", "74.22"}}};
+
+const std::map<std::string, std::string> kPaperName = {
+    {"birds", "CUB"},      {"signs", "GTSRB"},   {"surface", "Surface"},
+    {"tbxray", "TB-Xray"}, {"pnxray", "PN-Xray"}};
+
+void RunExperiment() {
+  const BenchScale scale = GetBenchScale();
+  Banner("Table 2 — end model accuracy on the held-out test set (percent)",
+         scale);
+  eval::RunnerContext ctx = MakeBenchContext();
+
+  std::map<std::string, std::map<std::string, Cell>> rows;
+  WallTimer timer;
+  for (const std::string& dataset : data::EvaluationDatasetNames()) {
+    for (int rep = 0; rep < EffectiveReps(dataset, scale); ++rep) {
+      for (const eval::LabelingTask& task :
+           MakeDatasetTasks(dataset, scale, rep)) {
+        RunTask(task, ctx, &rows[dataset]);
+      }
+    }
+    std::printf("  [%s done in %.1fs total]\n", dataset.c_str(),
+                timer.ElapsedSeconds());
+  }
+
+  AsciiTable table(
+      "Table 2 (ours): end model accuracy on test, % — dev = 5/class");
+  std::vector<std::string> header = {"Dataset"};
+  for (const auto& s : kSystems) header.push_back(s);
+  table.SetHeader(header);
+  std::map<std::string, Cell> averages;
+  for (const std::string& dataset : data::EvaluationDatasetNames()) {
+    std::vector<std::string> cells = {kPaperName.at(dataset)};
+    for (const auto& system : kSystems) {
+      const double mean = rows[dataset][system].MeanOrNeg();
+      cells.push_back(Pct(mean));
+      if (mean >= 0.0) averages[system].Add(mean);
+    }
+    table.AddRow(cells);
+  }
+  table.AddSeparator();
+  std::vector<std::string> avg_row = {"Average"};
+  for (const auto& system : kSystems) {
+    avg_row.push_back(system == "Snorkel" ? "-"
+                                          : Pct(averages[system].MeanOrNeg()));
+  }
+  table.AddRow(avg_row);
+  table.Print();
+
+  AsciiTable paper("Paper Table 2 (reference): end model accuracy, %");
+  paper.SetHeader(header);
+  for (const std::string& dataset : data::EvaluationDatasetNames()) {
+    std::vector<std::string> cells = {kPaperName.at(dataset)};
+    for (const std::string& v : kPaperTable2.at(dataset)) cells.push_back(v);
+    paper.AddRow(cells);
+  }
+  paper.Print();
+  std::printf(
+      "Shape checks: GOGGLES > FSL and >> Snuba on average; GOGGLES within\n"
+      "several points of the supervised upper bound.\n");
+}
+
+// ---- google-benchmark timer: end-model training ----
+
+eval::RunnerContext* g_ctx = nullptr;
+eval::LabelingTask* g_task = nullptr;
+
+void BM_EndModelTraining(benchmark::State& state) {
+  auto features = g_ctx->extractor->PenultimateFeatures(g_task->train.images);
+  features.status().Abort("features");
+  Matrix one_hot(features->rows(), 2, 0.0);
+  for (int64_t i = 0; i < features->rows(); ++i) {
+    one_hot(i, g_task->train.labels[static_cast<size_t>(i)]) = 1.0;
+  }
+  for (auto _ : state) {
+    baselines::EndModel model(features->cols(), 2,
+                              baselines::EndModelConfig{});
+    benchmark::DoNotOptimize(model.FitSoft(*features, one_hot).ok());
+  }
+}
+BENCHMARK(BM_EndModelTraining)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace goggles::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  goggles::bench::RunExperiment();
+
+  auto ctx = goggles::bench::MakeBenchContext();
+  auto scale = goggles::bench::GetBenchScale();
+  auto tasks = goggles::bench::MakeDatasetTasks("surface", scale, 0);
+  goggles::bench::g_ctx = &ctx;
+  goggles::bench::g_task = &tasks[0];
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

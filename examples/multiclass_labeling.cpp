@@ -1,0 +1,59 @@
+/// \file multiclass_labeling.cpp
+/// \brief Beyond class pairs: GOGGLES with K > 2. The hierarchical model,
+/// the one-hot LP encoding and the Hungarian cluster-to-class mapping are
+/// all K-ary (paper §4: the assignment problem is solved in O(K^3)); this
+/// example labels a 4-class SynthBirds task with 5 dev labels per class.
+
+#include <cstdio>
+
+#include "data/dataset.h"
+#include "data/registry.h"
+#include "eval/backbone.h"
+#include "eval/metrics.h"
+#include "goggles/pipeline.h"
+#include "goggles/theory.h"
+#include "util/rng.h"
+
+int main() {
+  using namespace goggles;
+
+  std::printf("== Multi-class affinity coding (K = 4) ==\n\n");
+  auto extractor = eval::GetPretrainedExtractor();
+  extractor.status().Abort("backbone");
+
+  // A 4-class task from the SynthBirds corpus.
+  auto corpus = data::GenerateDataset("birds", /*images_per_class=*/40);
+  corpus.status().Abort("corpus");
+  data::LabeledDataset task = data::SelectClasses(*corpus, {1, 5, 9, 14});
+  Rng rng(11);
+  std::vector<int> dev_indices = data::SampleDevIndices(task, 5, &rng);
+  std::vector<int> dev_labels;
+  for (int idx : dev_indices) {
+    dev_labels.push_back(task.labels[static_cast<size_t>(idx)]);
+  }
+  std::printf("task: %lld images, 4 classes, %zu dev labels\n",
+              static_cast<long long>(task.size()), dev_indices.size());
+
+  GogglesPipeline pipeline(*extractor, GogglesConfig{});
+  auto result = pipeline.Label(task.images, dev_indices, dev_labels, 4);
+  result.status().Abort("label");
+
+  const double accuracy = eval::AccuracyExcluding(
+      result->hard_labels, task.labels, dev_indices);
+  std::printf("labeling accuracy (non-dev rows): %.2f%%\n", accuracy * 100);
+
+  std::printf("cluster -> class mapping chosen by the dev set:");
+  for (size_t k = 0; k < result->cluster_to_class.size(); ++k) {
+    std::printf(" %zu->%d", k, result->cluster_to_class[k]);
+  }
+  std::printf("\n");
+
+  // How many dev labels does the theory ask for at this accuracy?
+  const int required =
+      RequiredDevPerClass(4, accuracy, /*target_probability=*/0.95);
+  std::printf(
+      "\nTheorem 1: at eta=%.2f, K=4, a %d/class dev set guarantees the\n"
+      "correct mapping with p>=0.95 — the bound is loose; 5/class worked.\n",
+      accuracy, required);
+  return 0;
+}

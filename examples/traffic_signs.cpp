@@ -1,0 +1,48 @@
+/// \file traffic_signs.cpp
+/// \brief Multi-task scenario: one pretrained backbone + one affinity
+/// library reused across several GTSRB-style class-pair labeling tasks —
+/// the paper's "populated once and can be reused for any new dataset"
+/// property of affinity functions (§1).
+
+#include <cstdio>
+
+#include "eval/backbone.h"
+#include "eval/metrics.h"
+#include "eval/runners.h"
+#include "eval/tasks.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace goggles;
+
+  std::printf("== Reusing one affinity library across traffic-sign tasks ==\n\n");
+  auto extractor = eval::GetPretrainedExtractor();
+  extractor.status().Abort("backbone");
+  eval::RunnerContext ctx;
+  ctx.extractor = *extractor;
+
+  eval::TaskSuiteConfig config;
+  config.num_pairs = 5;
+  auto tasks = eval::MakeTasks("signs", config);
+  tasks.status().Abort("tasks");
+
+  double total = 0.0;
+  WallTimer timer;
+  for (const eval::LabelingTask& task : *tasks) {
+    WallTimer task_timer;
+    auto acc = eval::RunGogglesLabeling(task, ctx);
+    acc.status().Abort("labeling");
+    std::printf("  %-16s labeling accuracy %6.2f%%  (%.1fs, %lld images, "
+                "10 dev labels)\n",
+                task.task_name.c_str(), *acc * 100,
+                task_timer.ElapsedSeconds(),
+                static_cast<long long>(task.train.size()));
+    total += *acc;
+  }
+  std::printf("\nmean over %zu sign pairs: %.2f%% in %.1fs total\n",
+              tasks->size(), total / static_cast<double>(tasks->size()) * 100,
+              timer.ElapsedSeconds());
+  std::printf("No labeling functions, primitives or retraining were needed\n"
+              "for any new pair — only 10 development labels each.\n");
+  return 0;
+}

@@ -1,0 +1,45 @@
+#include "baselines/attribute_lfs.h"
+
+#include "baselines/label_model.h"
+
+namespace goggles::baselines {
+
+Result<Matrix> BuildAttributeVotes(const data::LabeledDataset& task) {
+  if (!task.has_attributes()) {
+    return Status::InvalidArgument(
+        "BuildAttributeVotes: dataset has no attribute metadata");
+  }
+  if (task.num_classes != 2) {
+    return Status::InvalidArgument(
+        "BuildAttributeVotes: expected a binary class-pair task");
+  }
+  const int64_t num_attrs = task.class_attributes.cols();
+
+  // Attributes owned by exactly one class become LFs.
+  std::vector<int> lf_attr;    // attribute index
+  std::vector<int> lf_class;   // class the attribute implies
+  for (int64_t a = 0; a < num_attrs; ++a) {
+    const bool in0 = task.class_attributes(0, a) > 0.5;
+    const bool in1 = task.class_attributes(1, a) > 0.5;
+    if (in0 == in1) continue;  // both or neither: abstains always, skip
+    lf_attr.push_back(static_cast<int>(a));
+    lf_class.push_back(in1 ? 1 : 0);
+  }
+  if (lf_attr.empty()) {
+    return Status::InvalidArgument(
+        "BuildAttributeVotes: classes share all attributes (no usable LFs)");
+  }
+
+  Matrix votes(task.size(), static_cast<int64_t>(lf_attr.size()),
+               static_cast<double>(kAbstainVote));
+  for (int64_t i = 0; i < task.size(); ++i) {
+    for (size_t l = 0; l < lf_attr.size(); ++l) {
+      if (task.image_attributes(i, lf_attr[l]) > 0.5) {
+        votes(i, static_cast<int64_t>(l)) = lf_class[l];
+      }
+    }
+  }
+  return votes;
+}
+
+}  // namespace goggles::baselines

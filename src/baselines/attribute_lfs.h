@@ -1,0 +1,25 @@
+#pragma once
+
+#include "data/dataset.h"
+#include "linalg/matrix.h"
+#include "util/status.h"
+
+/// \file attribute_lfs.h
+/// \brief CUB-style attribute labeling functions for the Snorkel baseline.
+///
+/// Paper §5.1.2: "each attribute annotation in the union of the
+/// class-specific attributes acts as a labeling function which outputs a
+/// binary label corresponding to the class that the attribute belongs to.
+/// If an attribute belongs to both classes from the class-pair, the
+/// labeling function abstains." Attributes in neither class are skipped.
+
+namespace goggles::baselines {
+
+/// \brief Builds the Snorkel votes matrix (n x num_lfs) for a binary task
+/// carrying attribute metadata (e.g. a SynthBirds class-pair task).
+///
+/// Vote semantics: LF for attribute a votes class c when the image is
+/// annotated with a and a belongs only to class c; otherwise it abstains.
+Result<Matrix> BuildAttributeVotes(const data::LabeledDataset& task);
+
+}  // namespace goggles::baselines

@@ -1,0 +1,90 @@
+#include "baselines/end_model.h"
+
+#include <memory>
+
+#include "nn/layers.h"
+#include "nn/trainer.h"
+#include "util/rng.h"
+
+namespace goggles::baselines {
+
+Tensor MatrixToTensor(const Matrix& m) {
+  Tensor t({m.rows(), m.cols()});
+  for (int64_t i = 0; i < m.rows(); ++i) {
+    for (int64_t j = 0; j < m.cols(); ++j) {
+      t.At2(i, j) = static_cast<float>(m(i, j));
+    }
+  }
+  return t;
+}
+
+EndModel::EndModel(int64_t feature_dim, int num_classes, EndModelConfig config)
+    : config_(config), num_classes_(num_classes) {
+  Rng rng(config_.seed);
+  net_.Add(std::make_unique<nn::Linear>(feature_dim, config_.hidden_dim, &rng));
+  net_.Add(std::make_unique<nn::ReLU>());
+  net_.Add(std::make_unique<nn::Linear>(config_.hidden_dim, num_classes, &rng));
+}
+
+Status EndModel::FitSoft(const Matrix& features, const Matrix& soft_labels) {
+  if (features.rows() != soft_labels.rows()) {
+    return Status::InvalidArgument("EndModel::FitSoft: row count mismatch");
+  }
+  if (soft_labels.cols() != num_classes_) {
+    return Status::InvalidArgument("EndModel::FitSoft: class count mismatch");
+  }
+  nn::TrainerConfig tc;
+  tc.epochs = config_.epochs;
+  tc.batch_size = config_.batch_size;
+  tc.learning_rate = config_.learning_rate;
+  tc.seed = config_.seed;
+  nn::Trainer trainer(&net_, tc);
+  GOGGLES_ASSIGN_OR_RETURN(
+      double loss,
+      trainer.FitSoft(MatrixToTensor(features), MatrixToTensor(soft_labels)));
+  (void)loss;
+  return Status::OK();
+}
+
+Status EndModel::FitHard(const Matrix& features,
+                         const std::vector<int>& labels) {
+  Matrix one_hot(features.rows(), num_classes_, 0.0);
+  if (static_cast<size_t>(features.rows()) != labels.size()) {
+    return Status::InvalidArgument("EndModel::FitHard: label count mismatch");
+  }
+  for (size_t i = 0; i < labels.size(); ++i) {
+    one_hot(static_cast<int64_t>(i), labels[i]) = 1.0;
+  }
+  return FitSoft(features, one_hot);
+}
+
+Result<std::vector<int>> EndModel::Predict(const Matrix& features) const {
+  GOGGLES_ASSIGN_OR_RETURN(Tensor logits,
+                           net_.Forward(MatrixToTensor(features)));
+  std::vector<int> preds(static_cast<size_t>(logits.dim(0)), 0);
+  for (int64_t i = 0; i < logits.dim(0); ++i) {
+    int best = 0;
+    for (int64_t c = 1; c < logits.dim(1); ++c) {
+      if (logits.At2(i, c) > logits.At2(i, best)) best = static_cast<int>(c);
+    }
+    preds[static_cast<size_t>(i)] = best;
+  }
+  return preds;
+}
+
+Result<double> EndModel::Evaluate(const Matrix& features,
+                                  const std::vector<int>& labels) const {
+  GOGGLES_ASSIGN_OR_RETURN(std::vector<int> preds, Predict(features));
+  if (preds.size() != labels.size()) {
+    return Status::InvalidArgument("EndModel::Evaluate: label count mismatch");
+  }
+  int64_t correct = 0;
+  for (size_t i = 0; i < preds.size(); ++i) {
+    if (preds[i] == labels[i]) ++correct;
+  }
+  return preds.empty() ? 0.0
+                       : static_cast<double>(correct) /
+                             static_cast<double>(preds.size());
+}
+
+}  // namespace goggles::baselines

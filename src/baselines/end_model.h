@@ -1,0 +1,58 @@
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "nn/sequential.h"
+#include "util/status.h"
+
+/// \file end_model.h
+/// \brief Downstream discriminative "end model" (paper §2.1 / §5.5).
+///
+/// Mirrors the paper's transfer-learning recipe: the convolutional backbone
+/// is frozen; only the fully-connected head is (re)trained — either on
+/// GOGGLES/Snorkel/Snuba probabilistic labels (soft cross-entropy, the
+/// expected-loss objective of §2.1), or on ground-truth labels for the
+/// supervised upper bound. Trained with Adam at lr 1e-3 as in §5.1.3.
+
+namespace goggles::baselines {
+
+/// \brief End-model hyper-parameters.
+struct EndModelConfig {
+  int hidden_dim = 32;   ///< width of the single hidden FC layer
+  int epochs = 60;
+  int batch_size = 32;
+  float learning_rate = 1e-3f;
+  uint64_t seed = 43;
+};
+
+/// \brief Two-layer MLP head over frozen backbone features.
+class EndModel {
+ public:
+  /// \param feature_dim dimensionality of the frozen features
+  EndModel(int64_t feature_dim, int num_classes, EndModelConfig config);
+
+  /// \brief Trains on probabilistic labels (rows of `soft_labels` sum to 1).
+  Status FitSoft(const Matrix& features, const Matrix& soft_labels);
+
+  /// \brief Trains on hard labels (supervised upper bound).
+  Status FitHard(const Matrix& features, const std::vector<int>& labels);
+
+  /// \brief Argmax predictions.
+  Result<std::vector<int>> Predict(const Matrix& features) const;
+
+  /// \brief Accuracy against ground truth.
+  Result<double> Evaluate(const Matrix& features,
+                          const std::vector<int>& labels) const;
+
+ private:
+  EndModelConfig config_;
+  int num_classes_;
+  // Mutable because Layer::Forward caches; prediction is logically const.
+  mutable nn::Sequential net_;
+};
+
+/// \brief Converts a double Matrix to a 2-D float Tensor.
+Tensor MatrixToTensor(const Matrix& m);
+
+}  // namespace goggles::baselines

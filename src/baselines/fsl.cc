@@ -1,0 +1,143 @@
+#include "baselines/fsl.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace goggles::baselines {
+namespace {
+
+/// Row softmax in place.
+void SoftmaxRow(std::vector<double>* v) {
+  double max_v = (*v)[0];
+  for (double x : *v) max_v = std::max(max_v, x);
+  double total = 0.0;
+  for (double& x : *v) {
+    x = std::exp(x - max_v);
+    total += x;
+  }
+  for (double& x : *v) x /= total;
+}
+
+}  // namespace
+
+Status FewShotBaseline::Fit(const Matrix& support_features,
+                            const std::vector<int>& support_labels,
+                            int num_classes) {
+  const int64_t n = support_features.rows();
+  const int64_t d = support_features.cols();
+  if (n == 0) return Status::InvalidArgument("FewShotBaseline: empty support");
+  if (static_cast<size_t>(n) != support_labels.size()) {
+    return Status::InvalidArgument("FewShotBaseline: label count mismatch");
+  }
+  num_classes_ = num_classes;
+  weight_ = Matrix(num_classes, d, 0.0);
+  bias_.assign(static_cast<size_t>(num_classes), 0.0);
+
+  // Adam state.
+  Matrix m_w(num_classes, d, 0.0), v_w(num_classes, d, 0.0);
+  std::vector<double> m_b(static_cast<size_t>(num_classes), 0.0);
+  std::vector<double> v_b(static_cast<size_t>(num_classes), 0.0);
+  const double beta1 = 0.9, beta2 = 0.999, eps = 1e-8;
+  const double lr = static_cast<double>(config_.learning_rate);
+  int64_t t = 0;
+
+  Rng rng(config_.seed);
+  std::vector<int> order(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) order[static_cast<size_t>(i)] = static_cast<int>(i);
+
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    for (int64_t start = 0; start < n; start += config_.batch_size) {
+      const int64_t end = std::min<int64_t>(n, start + config_.batch_size);
+      Matrix grad_w(num_classes, d, 0.0);
+      std::vector<double> grad_b(static_cast<size_t>(num_classes), 0.0);
+      const double inv_batch = 1.0 / static_cast<double>(end - start);
+
+      for (int64_t bi = start; bi < end; ++bi) {
+        const int idx = order[static_cast<size_t>(bi)];
+        const double* x = support_features.RowPtr(idx);
+        std::vector<double> logits(static_cast<size_t>(num_classes));
+        for (int c = 0; c < num_classes; ++c) {
+          double acc = bias_[static_cast<size_t>(c)];
+          const double* w = weight_.RowPtr(c);
+          for (int64_t j = 0; j < d; ++j) acc += w[j] * x[j];
+          logits[static_cast<size_t>(c)] = acc;
+        }
+        SoftmaxRow(&logits);
+        for (int c = 0; c < num_classes; ++c) {
+          const double g =
+              (logits[static_cast<size_t>(c)] -
+               (support_labels[static_cast<size_t>(idx)] == c ? 1.0 : 0.0)) *
+              inv_batch;
+          grad_b[static_cast<size_t>(c)] += g;
+          double* gw = grad_w.RowPtr(c);
+          for (int64_t j = 0; j < d; ++j) gw[j] += g * x[j];
+        }
+      }
+
+      ++t;
+      const double bc1 = 1.0 - std::pow(beta1, static_cast<double>(t));
+      const double bc2 = 1.0 - std::pow(beta2, static_cast<double>(t));
+      for (int c = 0; c < num_classes; ++c) {
+        double* w = weight_.RowPtr(c);
+        double* mw = m_w.RowPtr(c);
+        double* vw = v_w.RowPtr(c);
+        const double* gw = grad_w.RowPtr(c);
+        for (int64_t j = 0; j < d; ++j) {
+          mw[j] = beta1 * mw[j] + (1 - beta1) * gw[j];
+          vw[j] = beta2 * vw[j] + (1 - beta2) * gw[j] * gw[j];
+          w[j] -= lr * (mw[j] / bc1) / (std::sqrt(vw[j] / bc2) + eps);
+        }
+        auto& mb = m_b[static_cast<size_t>(c)];
+        auto& vb = v_b[static_cast<size_t>(c)];
+        const double gb = grad_b[static_cast<size_t>(c)];
+        mb = beta1 * mb + (1 - beta1) * gb;
+        vb = beta2 * vb + (1 - beta2) * gb * gb;
+        bias_[static_cast<size_t>(c)] -= lr * (mb / bc1) / (std::sqrt(vb / bc2) + eps);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<int>> FewShotBaseline::Predict(
+    const Matrix& query_features) const {
+  if (num_classes_ == 0) return Status::Internal("FewShotBaseline: not fitted");
+  if (query_features.cols() != weight_.cols()) {
+    return Status::InvalidArgument("FewShotBaseline: dimension mismatch");
+  }
+  std::vector<int> preds(static_cast<size_t>(query_features.rows()), 0);
+  for (int64_t i = 0; i < query_features.rows(); ++i) {
+    const double* x = query_features.RowPtr(i);
+    double best = -1e300;
+    for (int c = 0; c < num_classes_; ++c) {
+      double acc = bias_[static_cast<size_t>(c)];
+      const double* w = weight_.RowPtr(c);
+      for (int64_t j = 0; j < weight_.cols(); ++j) acc += w[j] * x[j];
+      if (acc > best) {
+        best = acc;
+        preds[static_cast<size_t>(i)] = c;
+      }
+    }
+  }
+  return preds;
+}
+
+Result<double> FewShotBaseline::Evaluate(
+    const Matrix& query_features, const std::vector<int>& query_labels) const {
+  GOGGLES_ASSIGN_OR_RETURN(std::vector<int> preds, Predict(query_features));
+  if (preds.size() != query_labels.size()) {
+    return Status::InvalidArgument("FewShotBaseline: label count mismatch");
+  }
+  int64_t correct = 0;
+  for (size_t i = 0; i < preds.size(); ++i) {
+    if (preds[i] == query_labels[i]) ++correct;
+  }
+  return preds.empty() ? 0.0
+                       : static_cast<double>(correct) /
+                             static_cast<double>(preds.size());
+}
+
+}  // namespace goggles::baselines

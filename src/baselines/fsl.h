@@ -1,0 +1,50 @@
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "util/status.h"
+
+/// \file fsl.h
+/// \brief Few-shot learning baseline (Chen et al., ICLR 2019 "Baseline"):
+/// a frozen pretrained backbone plus a linear classifier head trained on
+/// the few labeled (development) examples — the paper's FSL comparator
+/// (§5.1.3), trained with Adam at lr 1e-3 as in the paper.
+
+namespace goggles::baselines {
+
+/// \brief FSL training hyper-parameters.
+struct FslConfig {
+  int epochs = 100;
+  float learning_rate = 1e-3f;
+  int batch_size = 16;
+  uint64_t seed = 41;
+};
+
+/// \brief Linear softmax head over frozen features.
+class FewShotBaseline {
+ public:
+  explicit FewShotBaseline(FslConfig config) : config_(config) {}
+
+  /// \brief Trains the head on the support (development) examples.
+  ///
+  /// \param support_features rows = support examples (frozen features).
+  /// \param support_labels   their classes.
+  Status Fit(const Matrix& support_features,
+             const std::vector<int>& support_labels, int num_classes);
+
+  /// \brief Argmax class predictions for query features.
+  Result<std::vector<int>> Predict(const Matrix& query_features) const;
+
+  /// \brief Accuracy on a labeled query set.
+  Result<double> Evaluate(const Matrix& query_features,
+                          const std::vector<int>& query_labels) const;
+
+ private:
+  FslConfig config_;
+  int num_classes_ = 0;
+  Matrix weight_;              // K x D
+  std::vector<double> bias_;   // K
+};
+
+}  // namespace goggles::baselines

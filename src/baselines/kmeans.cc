@@ -1,0 +1,131 @@
+#include "baselines/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/rng.h"
+
+namespace goggles::baselines {
+namespace {
+
+double RowDistanceSquared(const double* a, const double* b, int64_t d) {
+  double acc = 0.0;
+  for (int64_t j = 0; j < d; ++j) {
+    const double diff = a[j] - b[j];
+    acc += diff * diff;
+  }
+  return acc;
+}
+
+/// k-means++ seeding: first center uniform, later centers proportional to
+/// squared distance from the nearest existing center.
+Matrix KMeansPlusPlusInit(const Matrix& x, int k, Rng* rng) {
+  const int64_t n = x.rows(), d = x.cols();
+  Matrix centers(k, d);
+  const int64_t first = rng->UniformInt(0, n - 1);
+  for (int64_t j = 0; j < d; ++j) centers(0, j) = x(first, j);
+
+  std::vector<double> dist2(static_cast<size_t>(n),
+                            std::numeric_limits<double>::infinity());
+  for (int c = 1; c < k; ++c) {
+    for (int64_t i = 0; i < n; ++i) {
+      const double dd =
+          RowDistanceSquared(x.RowPtr(i), centers.RowPtr(c - 1), d);
+      dist2[static_cast<size_t>(i)] =
+          std::min(dist2[static_cast<size_t>(i)], dd);
+    }
+    const int64_t pick = rng->Categorical(dist2);
+    for (int64_t j = 0; j < d; ++j) centers(c, j) = x(pick, j);
+  }
+  return centers;
+}
+
+}  // namespace
+
+Status KMeans::Fit(const Matrix& x) {
+  const int64_t n = x.rows(), d = x.cols();
+  const int k = config_.num_clusters;
+  if (n < k) return Status::InvalidArgument("KMeans: fewer rows than clusters");
+
+  Rng rng(config_.seed);
+  double best_inertia = std::numeric_limits<double>::infinity();
+
+  for (int restart = 0; restart < std::max(1, config_.num_restarts);
+       ++restart) {
+    Rng restart_rng = rng.Fork(static_cast<uint64_t>(restart));
+    Matrix centers = KMeansPlusPlusInit(x, k, &restart_rng);
+    std::vector<int> assign(static_cast<size_t>(n), 0);
+    double inertia = 0.0;
+
+    for (int iter = 0; iter < config_.max_iters; ++iter) {
+      // Assignment step.
+      inertia = 0.0;
+      for (int64_t i = 0; i < n; ++i) {
+        double best = std::numeric_limits<double>::infinity();
+        int best_c = 0;
+        for (int c = 0; c < k; ++c) {
+          const double dd = RowDistanceSquared(x.RowPtr(i), centers.RowPtr(c), d);
+          if (dd < best) {
+            best = dd;
+            best_c = c;
+          }
+        }
+        assign[static_cast<size_t>(i)] = best_c;
+        inertia += best;
+      }
+      // Update step; empty clusters are re-seeded from a random row.
+      Matrix new_centers(k, d, 0.0);
+      std::vector<int64_t> counts(static_cast<size_t>(k), 0);
+      for (int64_t i = 0; i < n; ++i) {
+        const int c = assign[static_cast<size_t>(i)];
+        ++counts[static_cast<size_t>(c)];
+        const double* row = x.RowPtr(i);
+        for (int64_t j = 0; j < d; ++j) new_centers(c, j) += row[j];
+      }
+      double shift = 0.0;
+      for (int c = 0; c < k; ++c) {
+        if (counts[static_cast<size_t>(c)] == 0) {
+          const int64_t pick = restart_rng.UniformInt(0, n - 1);
+          for (int64_t j = 0; j < d; ++j) new_centers(c, j) = x(pick, j);
+        } else {
+          const double inv = 1.0 / static_cast<double>(counts[static_cast<size_t>(c)]);
+          for (int64_t j = 0; j < d; ++j) new_centers(c, j) *= inv;
+        }
+        shift += RowDistanceSquared(new_centers.RowPtr(c), centers.RowPtr(c), d);
+      }
+      centers = std::move(new_centers);
+      if (shift < config_.tol) break;
+    }
+
+    if (inertia < best_inertia) {
+      best_inertia = inertia;
+      centers_ = centers;
+      labels_ = assign;
+    }
+  }
+  inertia_ = best_inertia;
+  return Status::OK();
+}
+
+Result<std::vector<int>> KMeans::Predict(const Matrix& x) const {
+  if (centers_.rows() == 0) return Status::Internal("KMeans: not fitted");
+  if (x.cols() != centers_.cols()) {
+    return Status::InvalidArgument("KMeans::Predict: dimension mismatch");
+  }
+  std::vector<int> out(static_cast<size_t>(x.rows()), 0);
+  for (int64_t i = 0; i < x.rows(); ++i) {
+    double best = std::numeric_limits<double>::infinity();
+    for (int64_t c = 0; c < centers_.rows(); ++c) {
+      const double dd =
+          RowDistanceSquared(x.RowPtr(i), centers_.RowPtr(c), x.cols());
+      if (dd < best) {
+        best = dd;
+        out[static_cast<size_t>(i)] = static_cast<int>(c);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace goggles::baselines

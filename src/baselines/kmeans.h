@@ -1,0 +1,50 @@
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "util/status.h"
+
+/// \file kmeans.h
+/// \brief K-Means clustering (k-means++ seeding), a class-inference
+/// baseline of Table 1 and the final step of spectral co-clustering.
+
+namespace goggles::baselines {
+
+/// \brief K-Means hyper-parameters.
+struct KMeansConfig {
+  int num_clusters = 2;
+  int max_iters = 100;
+  int num_restarts = 3;
+  double tol = 1e-8;  ///< stop when inertia improves less than this
+  uint64_t seed = 23;
+};
+
+/// \brief Lloyd's algorithm with k-means++ initialization.
+class KMeans {
+ public:
+  explicit KMeans(KMeansConfig config) : config_(config) {}
+
+  /// \brief Clusters rows of `x`; keeps the best of `num_restarts` runs.
+  Status Fit(const Matrix& x);
+
+  /// \brief Cluster id per training row.
+  const std::vector<int>& labels() const { return labels_; }
+
+  /// \brief Cluster centers (num_clusters x D).
+  const Matrix& centers() const { return centers_; }
+
+  /// \brief Final within-cluster sum of squared distances.
+  double inertia() const { return inertia_; }
+
+  /// \brief Assigns new rows to the nearest center.
+  Result<std::vector<int>> Predict(const Matrix& x) const;
+
+ private:
+  KMeansConfig config_;
+  std::vector<int> labels_;
+  Matrix centers_;
+  double inertia_ = 0.0;
+};
+
+}  // namespace goggles::baselines

@@ -1,0 +1,119 @@
+#include "baselines/label_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace goggles::baselines {
+
+Result<Matrix> LabelModel::EStep(const Matrix& votes) const {
+  const int64_t n = votes.rows(), num_lfs = votes.cols();
+  const int k = config_.num_classes;
+  Matrix gamma(n, k);
+  for (int64_t i = 0; i < n; ++i) {
+    std::vector<double> log_p(static_cast<size_t>(k));
+    for (int c = 0; c < k; ++c) {
+      log_p[static_cast<size_t>(c)] =
+          std::log(std::max(priors_[static_cast<size_t>(c)], 1e-12));
+    }
+    for (int64_t l = 0; l < num_lfs; ++l) {
+      const int vote = static_cast<int>(votes(i, l));
+      if (vote == kAbstainVote) continue;
+      const double acc = accuracies_[static_cast<size_t>(l)];
+      const double wrong = (1.0 - acc) / std::max(1, k - 1);
+      for (int c = 0; c < k; ++c) {
+        log_p[static_cast<size_t>(c)] += std::log(vote == c ? acc : wrong);
+      }
+    }
+    double max_lp = log_p[0];
+    for (int c = 1; c < k; ++c) max_lp = std::max(max_lp, log_p[static_cast<size_t>(c)]);
+    double total = 0.0;
+    for (int c = 0; c < k; ++c) {
+      gamma(i, c) = std::exp(log_p[static_cast<size_t>(c)] - max_lp);
+      total += gamma(i, c);
+    }
+    for (int c = 0; c < k; ++c) gamma(i, c) /= total;
+  }
+  return gamma;
+}
+
+Status LabelModel::Fit(const Matrix& votes) {
+  const int64_t n = votes.rows(), num_lfs = votes.cols();
+  if (n == 0 || num_lfs == 0) {
+    return Status::InvalidArgument("LabelModel::Fit: empty votes matrix");
+  }
+  const int k = config_.num_classes;
+  accuracies_.assign(static_cast<size_t>(num_lfs), config_.init_accuracy);
+  priors_.assign(static_cast<size_t>(k), 1.0 / k);
+
+  double prev_change = 1e30;
+  for (int iter = 0; iter < config_.max_iters; ++iter) {
+    GOGGLES_ASSIGN_OR_RETURN(Matrix gamma, EStep(votes));
+
+    // M-step: accuracy = expected fraction of correct non-abstain votes.
+    std::vector<double> new_acc(static_cast<size_t>(num_lfs));
+    for (int64_t l = 0; l < num_lfs; ++l) {
+      double correct = 0.0, voted = 0.0;
+      for (int64_t i = 0; i < n; ++i) {
+        const int vote = static_cast<int>(votes(i, l));
+        if (vote == kAbstainVote) continue;
+        voted += 1.0;
+        correct += gamma(i, vote);
+      }
+      double acc = voted > 0 ? correct / voted : config_.init_accuracy;
+      new_acc[static_cast<size_t>(l)] =
+          std::clamp(acc, config_.min_accuracy, config_.max_accuracy);
+    }
+    double change = 0.0;
+    for (int64_t l = 0; l < num_lfs; ++l) {
+      change += std::fabs(new_acc[static_cast<size_t>(l)] -
+                          accuracies_[static_cast<size_t>(l)]);
+    }
+    accuracies_ = std::move(new_acc);
+    if (config_.learn_priors) {
+      std::vector<double> new_priors(static_cast<size_t>(k), 0.0);
+      for (int64_t i = 0; i < n; ++i) {
+        for (int c = 0; c < k; ++c) {
+          new_priors[static_cast<size_t>(c)] += gamma(i, c);
+        }
+      }
+      for (auto& p : new_priors) p /= static_cast<double>(n);
+      priors_ = std::move(new_priors);
+    }
+    if (change < config_.tol && prev_change < config_.tol) break;
+    prev_change = change;
+  }
+  return Status::OK();
+}
+
+Result<Matrix> LabelModel::PredictProba(const Matrix& votes) const {
+  if (accuracies_.empty()) {
+    return Status::Internal("LabelModel::PredictProba: not fitted");
+  }
+  if (static_cast<size_t>(votes.cols()) != accuracies_.size()) {
+    return Status::InvalidArgument("LabelModel::PredictProba: LF count mismatch");
+  }
+  return EStep(votes);
+}
+
+Matrix MajorityVoteProba(const Matrix& votes, int num_classes) {
+  const int64_t n = votes.rows();
+  Matrix proba(n, num_classes, 0.0);
+  for (int64_t i = 0; i < n; ++i) {
+    std::vector<double> counts(static_cast<size_t>(num_classes), 0.0);
+    double total = 0.0;
+    for (int64_t l = 0; l < votes.cols(); ++l) {
+      const int vote = static_cast<int>(votes(i, l));
+      if (vote == kAbstainVote) continue;
+      counts[static_cast<size_t>(vote)] += 1.0;
+      total += 1.0;
+    }
+    if (total == 0.0) {
+      for (int c = 0; c < num_classes; ++c) proba(i, c) = 1.0 / num_classes;
+    } else {
+      for (int c = 0; c < num_classes; ++c) proba(i, c) = counts[static_cast<size_t>(c)] / total;
+    }
+  }
+  return proba;
+}
+
+}  // namespace goggles::baselines

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "util/status.h"
+
+/// \file label_model.h
+/// \brief Generative label model over labeling functions — the aggregation
+/// core shared by the Snorkel and Snuba baselines (Ratner et al. 2016/2017).
+///
+/// Each labeling function (LF) votes a class in {0..K-1} or abstains (-1).
+/// Assuming LFs are conditionally independent given the true label, EM
+/// (Dawid-Skene style) jointly estimates per-LF accuracies and per-instance
+/// posterior labels.
+
+namespace goggles::baselines {
+
+/// \brief Vote value meaning "labeling function abstains on this instance".
+constexpr int kAbstainVote = -1;
+
+/// \brief Label-model hyper-parameters.
+struct LabelModelConfig {
+  int num_classes = 2;
+  int max_iters = 100;
+  double tol = 1e-8;
+  /// Initial LF accuracy (Snorkel's better-than-random prior).
+  double init_accuracy = 0.7;
+  /// LF accuracies are clamped to [min_accuracy, max_accuracy]. The lower
+  /// bound of 0.5 encodes the data-programming premise that every LF is
+  /// better than random (paper §1); without it, one-sided LF sets admit a
+  /// degenerate "one class explains everything" EM fixed point.
+  double min_accuracy = 0.5;
+  double max_accuracy = 0.99;
+  /// Learn class priors from the posteriors. Off (Snorkel's default
+  /// uniform class balance) avoids prior collapse on skewed LF sets.
+  bool learn_priors = false;
+};
+
+/// \brief Dawid-Skene style generative model over LF votes.
+class LabelModel {
+ public:
+  explicit LabelModel(LabelModelConfig config) : config_(config) {}
+
+  /// \brief Fits LF accuracies and class priors on the votes matrix
+  /// (n x num_lfs, entries kAbstainVote or class id).
+  Status Fit(const Matrix& votes);
+
+  /// \brief Posterior P(y | votes) per instance (n x K). Instances on which
+  /// every LF abstained get the class-prior row.
+  Result<Matrix> PredictProba(const Matrix& votes) const;
+
+  /// \brief Estimated accuracy of each labeling function.
+  const std::vector<double>& lf_accuracies() const { return accuracies_; }
+
+  /// \brief Estimated class priors.
+  const std::vector<double>& class_priors() const { return priors_; }
+
+ private:
+  Result<Matrix> EStep(const Matrix& votes) const;
+
+  LabelModelConfig config_;
+  std::vector<double> accuracies_;
+  std::vector<double> priors_;
+};
+
+/// \brief Simple (unweighted) majority-vote probabilistic labels; used as a
+/// comparison point in tests.
+Matrix MajorityVoteProba(const Matrix& votes, int num_classes);
+
+}  // namespace goggles::baselines

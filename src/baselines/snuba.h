@@ -1,0 +1,66 @@
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "util/status.h"
+
+/// \file snuba.h
+/// \brief Snuba-style automatic heuristic synthesis (Varma & Ré, VLDB'19),
+/// the paper's main data-programming comparator.
+///
+/// Following the paper's setup (§5.1.2), primitives are the top-10 PCA
+/// projections of the backbone logits. Snuba iteratively: (1) generates
+/// candidate heuristics (decision stumps over single primitives with an
+/// abstain margin), (2) scores them by weighted F1 on the development set,
+/// down-weighting already-covered dev points, (3) commits the best
+/// heuristic, and finally (4) aggregates committed heuristics with the
+/// generative label model.
+
+namespace goggles::baselines {
+
+/// \brief Snuba hyper-parameters.
+struct SnubaConfig {
+  int num_classes = 2;
+  int max_heuristics = 10;
+  /// Candidate thresholds per feature (quantile grid over dev values).
+  int thresholds_per_feature = 12;
+  /// Abstain margins as fractions of the feature's dev std, from 0 upward.
+  int margin_grid = 7;
+  double max_margin_fraction = 1.5;
+  /// Stop committing when the best weighted F1 drops below this.
+  double min_f1 = 0.52;
+  /// Weight of an already-covered dev point in the F1 computation.
+  double covered_weight = 0.1;
+};
+
+/// \brief One synthesized heuristic (decision stump with abstain band).
+struct SnubaHeuristic {
+  int feature = 0;          ///< primitive dimension
+  double threshold = 0.0;
+  double margin = 0.0;      ///< |x - threshold| <= margin -> abstain
+  int high_class = 1;       ///< class voted when x > threshold
+  double dev_f1 = 0.0;      ///< weighted F1 at commit time
+
+  /// \brief Vote for one primitive row (kAbstainVote on the margin band).
+  int Vote(const double* primitives) const;
+};
+
+/// \brief Result of a Snuba run.
+struct SnubaResult {
+  std::vector<SnubaHeuristic> heuristics;
+  Matrix votes;  ///< n x H vote matrix over all instances
+  Matrix proba;  ///< n x K probabilistic labels from the label model
+};
+
+/// \brief Runs heuristic synthesis + aggregation.
+///
+/// \param primitives  n x d primitive matrix (all instances).
+/// \param dev_indices rows with known labels.
+/// \param dev_labels  their classes.
+Result<SnubaResult> RunSnuba(const Matrix& primitives,
+                             const std::vector<int>& dev_indices,
+                             const std::vector<int>& dev_labels,
+                             const SnubaConfig& config);
+
+}  // namespace goggles::baselines

@@ -1,0 +1,73 @@
+#include "baselines/spectral.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "baselines/kmeans.h"
+#include "linalg/svd.h"
+
+namespace goggles::baselines {
+
+Result<std::vector<int>> SpectralCoclusterRows(const Matrix& a,
+                                               const SpectralConfig& config) {
+  const int64_t n = a.rows(), m = a.cols();
+  if (n == 0 || m == 0) {
+    return Status::InvalidArgument("SpectralCoclusterRows: empty matrix");
+  }
+
+  // Shift to non-negative.
+  double min_v = a(0, 0);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < m; ++j) min_v = std::min(min_v, a(i, j));
+  }
+  Matrix shifted = a;
+  if (min_v < 0.0) {
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t j = 0; j < m; ++j) shifted(i, j) -= min_v;
+    }
+  }
+
+  // Bipartite normalization: An = D1^{-1/2} A D2^{-1/2}.
+  std::vector<double> row_sum(static_cast<size_t>(n), 0.0);
+  std::vector<double> col_sum(static_cast<size_t>(m), 0.0);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < m; ++j) {
+      row_sum[static_cast<size_t>(i)] += shifted(i, j);
+      col_sum[static_cast<size_t>(j)] += shifted(i, j);
+    }
+  }
+  for (auto& v : row_sum) v = v > 1e-12 ? 1.0 / std::sqrt(v) : 0.0;
+  for (auto& v : col_sum) v = v > 1e-12 ? 1.0 / std::sqrt(v) : 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < m; ++j) {
+      shifted(i, j) *= row_sum[static_cast<size_t>(i)] *
+                       col_sum[static_cast<size_t>(j)];
+    }
+  }
+
+  // l = 1 + ceil(log2 k) leading singular vectors; the first is trivial.
+  const int k = config.num_clusters;
+  const int l = 1 + static_cast<int>(std::ceil(std::log2(std::max(2, k))));
+  GOGGLES_ASSIGN_OR_RETURN(SvdResult svd,
+                           TruncatedSvd(shifted, l, config.svd_iters,
+                                        config.seed));
+
+  // Row embedding: D1^{-1/2} * U[:, 1..l-1].
+  const int embed_dim = std::max(1, l - 1);
+  Matrix embedding(n, embed_dim);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int e = 0; e < embed_dim; ++e) {
+      const int col = std::min<int>(e + 1, static_cast<int>(svd.u.cols()) - 1);
+      embedding(i, e) = row_sum[static_cast<size_t>(i)] * svd.u(i, col);
+    }
+  }
+
+  KMeansConfig km_config;
+  km_config.num_clusters = k;
+  km_config.seed = config.seed + 1;
+  KMeans km(km_config);
+  GOGGLES_RETURN_NOT_OK(km.Fit(embedding));
+  return km.labels();
+}
+
+}  // namespace goggles::baselines

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "util/status.h"
+
+/// \file spectral.h
+/// \brief Spectral co-clustering (Dhillon, KDD 2001), the "Spectral"
+/// class-inference baseline of Table 1.
+///
+/// Treats the (non-negative, shifted) affinity matrix as a bipartite graph
+/// between rows and columns, normalizes it, takes the leading singular
+/// vectors, and k-means the row embedding.
+
+namespace goggles::baselines {
+
+/// \brief Spectral co-clustering parameters.
+struct SpectralConfig {
+  int num_clusters = 2;
+  int svd_iters = 60;
+  uint64_t seed = 29;
+};
+
+/// \brief Clusters the rows of `a` via bipartite spectral co-clustering.
+///
+/// Negative entries are shifted so the matrix is non-negative before
+/// normalization (our affinity scores are cosines in [-1, 1]).
+Result<std::vector<int>> SpectralCoclusterRows(const Matrix& a,
+                                               const SpectralConfig& config);
+
+}  // namespace goggles::baselines

@@ -1,0 +1,177 @@
+#include "data/birds.h"
+
+#include <string>
+
+#include "data/raster.h"
+#include "util/string_util.h"
+
+namespace goggles::data {
+namespace {
+
+const char* kAttributeNames[kBirdNumAttributes] = {
+    "has_crest",     "dark_head",    "striped_wing", "spotted_belly",
+    "long_tail",     "bright_body",  "eye_ring",     "barred_tail",
+    "large_beak",    "wing_patch",   "checker_back", "dark_outline"};
+
+/// Hamming distance between two attribute rows.
+int AttrDistance(const Matrix& attrs, int64_t a, int64_t b) {
+  int dist = 0;
+  for (int64_t c = 0; c < attrs.cols(); ++c) {
+    if (attrs(a, c) != attrs(b, c)) ++dist;
+  }
+  return dist;
+}
+
+/// Builds a class-attribute table where every class pair differs in at
+/// least 3 attributes (so sampled binary tasks are well posed), mirroring
+/// how CUB species differ in several visual attributes.
+Matrix BuildClassAttributeTable(int num_classes, Rng* rng) {
+  Matrix attrs(num_classes, kBirdNumAttributes);
+  for (int k = 0; k < num_classes; ++k) {
+    for (int guard = 0; guard < 10000; ++guard) {
+      for (int a = 0; a < kBirdNumAttributes; ++a) {
+        attrs(k, a) = rng->Bernoulli(0.45) ? 1.0 : 0.0;
+      }
+      bool distinct = true;
+      for (int prev = 0; prev < k; ++prev) {
+        if (AttrDistance(attrs, prev, k) < 3) {
+          distinct = false;
+          break;
+        }
+      }
+      if (distinct) break;
+    }
+  }
+  return attrs;
+}
+
+// Every attribute must render as a cue large enough to survive the
+// backbone's receptive fields at 32x32 (CUB species pairs are visually
+// distinct at VGG feature-map scale; sub-pixel decorations would make the
+// task impossible for any affinity function, not just ours).
+void RenderBird(Image* img, const std::vector<int>& attrs, Rng* rng) {
+  const float jx = static_cast<float>(rng->UniformInt(-2, 2));
+  const float jy = static_cast<float>(rng->UniformInt(-2, 2));
+  const float cx = 15.0f + jx;
+  const float cy = 17.0f + jy;
+  // bright_body: warm yellow vs dull slate — a strong hue cue.
+  const Color body_color = attrs[5] ? Color{0.95f, 0.85f, 0.25f}
+                                    : Color{0.3f, 0.4f, 0.55f};
+  const Color head_color = attrs[1] ? Color{0.1f, 0.08f, 0.12f}  // dark_head
+                                    : Color{0.85f, 0.75f, 0.5f};
+  const Color accent = {0.12f, 0.1f, 0.15f};
+
+  // Branch the bird perches on.
+  DrawLine(img, 0, 28 + jy, 31, 26 + jy, 1, {0.35f, 0.25f, 0.15f});
+
+  // Tail first (behind the body). long_tail: 12px vs 4px stub.
+  const float tail_len = attrs[4] ? 12.0f : 4.0f;
+  DrawLine(img, cx + 5, cy + 1, cx + 5 + tail_len, cy + 4, 3, body_color);
+  if (attrs[7]) {  // barred_tail: strong dark bars across the tail
+    for (int b = 0; b <= 3; ++b) {
+      const float t = static_cast<float>(b) / 3.0f;
+      DrawLine(img, cx + 6 + t * (tail_len - 1), cy - 1,
+               cx + 6 + t * (tail_len - 1), cy + 6, 2, accent);
+    }
+  }
+
+  // Body and head.
+  DrawFilledEllipse(img, cx, cy, 7.5f, 5.5f, body_color);
+  const float hx = cx - 6.0f, hy = cy - 7.0f;
+  DrawFilledCircle(img, hx, hy, 4.0f, head_color);
+
+  if (attrs[11]) {  // dark_outline: thick ring around the body
+    DrawRing(img, cx, cy, 8.5f, 2.0f, accent);
+  }
+  if (attrs[0]) {  // has_crest: tall triangle on the head
+    DrawFilledTriangle(img, hx, hy - 6.0f, 8.0f, /*up=*/true,
+                       {0.85f, 0.2f, 0.2f});
+  }
+  if (attrs[6]) {  // eye_ring: big bright ring
+    DrawRing(img, hx + 1.0f, hy - 0.5f, 2.6f, 1.2f, {0.98f, 0.98f, 0.95f});
+  } else {
+    DrawFilledCircle(img, hx + 1.0f, hy - 0.5f, 1.0f, accent);
+  }
+  // Beak. large_beak: long orange wedge vs small one.
+  const float beak = attrs[8] ? 7.0f : 2.5f;
+  DrawFilledTriangle(img, hx - 5.0f, hy + 1.0f, beak, /*up=*/false,
+                     {0.95f, 0.6f, 0.1f});
+
+  // Wing.
+  const Color wing_color = attrs[5] ? Color{0.7f, 0.55f, 0.2f}
+                                    : Color{0.2f, 0.28f, 0.4f};
+  DrawFilledEllipse(img, cx + 1.0f, cy - 1.0f, 5.0f, 3.5f, wing_color);
+  if (attrs[2]) {  // striped_wing: high-contrast stripes over the wing
+    DrawStripedRect(img, static_cast<int>(cx - 4), static_cast<int>(cy - 4),
+                    static_cast<int>(cx + 6), static_cast<int>(cy + 2), 3.0f,
+                    /*horizontal=*/true, {0.95f, 0.95f, 0.95f});
+  }
+  if (attrs[9]) {  // wing_patch: large white patch
+    DrawFilledCircle(img, cx + 2.0f, cy - 1.0f, 2.8f, {0.97f, 0.97f, 0.97f});
+  }
+  if (attrs[10]) {  // checker_back: checkerboard saddle
+    DrawCheckerRect(img, static_cast<int>(cx - 4), static_cast<int>(cy - 5),
+                    static_cast<int>(cx + 5), static_cast<int>(cy - 2), 2,
+                    accent, {0.9f, 0.9f, 0.85f});
+  }
+  if (attrs[3]) {  // spotted_belly: bold dark spots on the lower body
+    for (int s = 0; s < 4; ++s) {
+      const float sx = cx - 4.5f + 3.0f * static_cast<float>(s) +
+                       static_cast<float>(rng->UniformInt(-1, 1));
+      const float sy = cy + 3.0f + static_cast<float>(rng->UniformInt(0, 1));
+      DrawFilledCircle(img, sx, sy, 1.3f, accent);
+    }
+  }
+}
+
+}  // namespace
+
+LabeledDataset GenerateSynthBirds(const SynthBirdsConfig& config) {
+  LabeledDataset dataset;
+  dataset.name = "birds";
+  dataset.num_classes = config.num_classes;
+  for (int a = 0; a < kBirdNumAttributes; ++a) {
+    dataset.attribute_names.push_back(kAttributeNames[a]);
+  }
+
+  Rng rng(config.seed);
+  dataset.class_attributes = BuildClassAttributeTable(config.num_classes, &rng);
+
+  const int64_t total =
+      static_cast<int64_t>(config.num_classes) * config.images_per_class;
+  dataset.image_attributes = Matrix(total, kBirdNumAttributes);
+
+  int64_t row = 0;
+  for (int k = 0; k < config.num_classes; ++k) {
+    dataset.class_names.push_back(StrFormat("species_%02d", k));
+    Rng class_rng = rng.Fork(static_cast<uint64_t>(1000 + k));
+    std::vector<int> attrs(kBirdNumAttributes);
+    for (int a = 0; a < kBirdNumAttributes; ++a) {
+      attrs[static_cast<size_t>(a)] =
+          dataset.class_attributes(k, a) > 0.5 ? 1 : 0;
+    }
+    for (int i = 0; i < config.images_per_class; ++i, ++row) {
+      Image img(3, config.image_size, config.image_size);
+      // Sky background with slight vertical gradient.
+      const float sky = static_cast<float>(class_rng.Uniform(0.55, 0.75));
+      FillVerticalGradient(&img, {sky * 0.9f, sky, 1.0f},
+                           {sky, sky, 0.9f});
+      RenderBird(&img, attrs, &class_rng);
+      ApplyPhotometricJitter(&img, &class_rng, 0.6f, 1.25f, 0.12f);
+      AddGaussianNoise(&img, config.pixel_noise_sigma, &class_rng);
+      ClampImage(&img);
+      dataset.images.push_back(std::move(img));
+      dataset.labels.push_back(k);
+
+      // Noisy image-level annotations (CUB-style).
+      for (int a = 0; a < kBirdNumAttributes; ++a) {
+        double truth = dataset.class_attributes(k, a);
+        if (class_rng.Bernoulli(config.annotation_noise)) truth = 1.0 - truth;
+        dataset.image_attributes(row, a) = truth;
+      }
+    }
+  }
+  return dataset;
+}
+
+}  // namespace goggles::data

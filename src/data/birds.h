@@ -1,0 +1,35 @@
+#pragma once
+
+#include "data/dataset.h"
+
+/// \file birds.h
+/// \brief SynthBirds: CUB-200-2011 stand-in (see DESIGN.md).
+///
+/// Fine-grained classes defined compositionally by binary visual attributes
+/// (crest, wing stripes, belly spots, ...), rendered as stylized bird
+/// figures. Like CUB, the dataset carries (a) a class-level attribute table
+/// and (b) noisy image-level attribute annotations, which the Snorkel
+/// baseline turns into labeling functions exactly as the paper describes
+/// (§5.1.2).
+
+namespace goggles::data {
+
+/// \brief Generation parameters for SynthBirds.
+struct SynthBirdsConfig {
+  int num_classes = 20;
+  int images_per_class = 30;
+  int image_size = 32;
+  uint64_t seed = 202;
+  /// Probability an image-level attribute annotation is flipped relative to
+  /// the class truth (models imperfect human annotation in CUB).
+  double annotation_noise = 0.05;
+  float pixel_noise_sigma = 0.04f;
+};
+
+/// \brief Number of binary attributes per class.
+constexpr int kBirdNumAttributes = 12;
+
+/// \brief Generates the SynthBirds corpus with attribute metadata.
+LabeledDataset GenerateSynthBirds(const SynthBirdsConfig& config);
+
+}  // namespace goggles::data

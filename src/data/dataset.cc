@@ -1,0 +1,162 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <set>
+
+namespace goggles::data {
+
+LabeledDataset SelectClasses(const LabeledDataset& dataset,
+                             const std::vector<int>& classes) {
+  LabeledDataset out;
+  out.name = dataset.name;
+  out.num_classes = static_cast<int>(classes.size());
+  out.attribute_names = dataset.attribute_names;
+
+  std::vector<int> new_label(static_cast<size_t>(dataset.num_classes), -1);
+  for (size_t i = 0; i < classes.size(); ++i) {
+    new_label[static_cast<size_t>(classes[i])] = static_cast<int>(i);
+    out.class_names.push_back(
+        dataset.class_names.empty()
+            ? ""
+            : dataset.class_names[static_cast<size_t>(classes[i])]);
+  }
+
+  std::vector<int> kept;
+  for (int64_t i = 0; i < dataset.size(); ++i) {
+    const int mapped = new_label[static_cast<size_t>(dataset.labels[static_cast<size_t>(i)])];
+    if (mapped >= 0) {
+      out.images.push_back(dataset.images[static_cast<size_t>(i)]);
+      out.labels.push_back(mapped);
+      kept.push_back(static_cast<int>(i));
+    }
+  }
+
+  if (dataset.has_attributes()) {
+    const int64_t num_attrs = dataset.class_attributes.cols();
+    out.class_attributes = Matrix(out.num_classes, num_attrs);
+    for (size_t i = 0; i < classes.size(); ++i) {
+      for (int64_t a = 0; a < num_attrs; ++a) {
+        out.class_attributes(static_cast<int64_t>(i), a) =
+            dataset.class_attributes(classes[i], a);
+      }
+    }
+    out.image_attributes = Matrix(static_cast<int64_t>(kept.size()), num_attrs);
+    for (size_t i = 0; i < kept.size(); ++i) {
+      for (int64_t a = 0; a < num_attrs; ++a) {
+        out.image_attributes(static_cast<int64_t>(i), a) =
+            dataset.image_attributes(kept[i], a);
+      }
+    }
+  }
+  return out;
+}
+
+TrainTestSplit StratifiedSplit(const LabeledDataset& dataset,
+                               double train_fraction, Rng* rng) {
+  TrainTestSplit split;
+  split.train.name = dataset.name;
+  split.test.name = dataset.name;
+  split.train.num_classes = dataset.num_classes;
+  split.test.num_classes = dataset.num_classes;
+  split.train.class_names = dataset.class_names;
+  split.test.class_names = dataset.class_names;
+  split.train.attribute_names = dataset.attribute_names;
+  split.test.attribute_names = dataset.attribute_names;
+  split.train.class_attributes = dataset.class_attributes;
+  split.test.class_attributes = dataset.class_attributes;
+
+  std::vector<int> train_idx;
+  std::vector<int> test_idx;
+  for (int k = 0; k < dataset.num_classes; ++k) {
+    std::vector<int> members;
+    for (int64_t i = 0; i < dataset.size(); ++i) {
+      if (dataset.labels[static_cast<size_t>(i)] == k) {
+        members.push_back(static_cast<int>(i));
+      }
+    }
+    rng->Shuffle(&members);
+    int n_train = static_cast<int>(train_fraction * static_cast<double>(members.size()));
+    if (members.size() >= 2) {
+      n_train = std::clamp(n_train, 1, static_cast<int>(members.size()) - 1);
+    } else {
+      n_train = static_cast<int>(members.size());
+    }
+    for (size_t i = 0; i < members.size(); ++i) {
+      if (static_cast<int>(i) < n_train) {
+        train_idx.push_back(members[i]);
+      } else {
+        test_idx.push_back(members[i]);
+      }
+    }
+  }
+  std::sort(train_idx.begin(), train_idx.end());
+  std::sort(test_idx.begin(), test_idx.end());
+
+  auto fill = [&dataset](const std::vector<int>& indices, LabeledDataset* out) {
+    const bool attrs = dataset.has_attributes();
+    if (attrs) {
+      out->image_attributes =
+          Matrix(static_cast<int64_t>(indices.size()),
+                 dataset.image_attributes.cols());
+    }
+    for (size_t i = 0; i < indices.size(); ++i) {
+      out->images.push_back(dataset.images[static_cast<size_t>(indices[i])]);
+      out->labels.push_back(dataset.labels[static_cast<size_t>(indices[i])]);
+      if (attrs) {
+        for (int64_t a = 0; a < dataset.image_attributes.cols(); ++a) {
+          out->image_attributes(static_cast<int64_t>(i), a) =
+              dataset.image_attributes(indices[i], a);
+        }
+      }
+    }
+  };
+  fill(train_idx, &split.train);
+  fill(test_idx, &split.test);
+  return split;
+}
+
+std::vector<int> SampleDevIndices(const LabeledDataset& dataset, int per_class,
+                                  Rng* rng) {
+  std::vector<int> dev;
+  for (int k = 0; k < dataset.num_classes; ++k) {
+    std::vector<int> members;
+    for (int64_t i = 0; i < dataset.size(); ++i) {
+      if (dataset.labels[static_cast<size_t>(i)] == k) {
+        members.push_back(static_cast<int>(i));
+      }
+    }
+    rng->Shuffle(&members);
+    const int take = std::min<int>(per_class, static_cast<int>(members.size()));
+    for (int i = 0; i < take; ++i) dev.push_back(members[static_cast<size_t>(i)]);
+  }
+  std::sort(dev.begin(), dev.end());
+  return dev;
+}
+
+std::vector<std::pair<int, int>> SampleClassPairs(int num_classes,
+                                                  int num_pairs, Rng* rng) {
+  std::set<std::pair<int, int>> seen;
+  std::vector<std::pair<int, int>> pairs;
+  const int64_t max_pairs =
+      static_cast<int64_t>(num_classes) * (num_classes - 1) / 2;
+  int guard = 0;
+  while (static_cast<int64_t>(pairs.size()) <
+             std::min<int64_t>(num_pairs, max_pairs) &&
+         guard < 100000) {
+    ++guard;
+    int a = static_cast<int>(rng->UniformInt(0, num_classes - 1));
+    int b = static_cast<int>(rng->UniformInt(0, num_classes - 1));
+    if (a == b) continue;
+    if (a > b) std::swap(a, b);
+    if (seen.insert({a, b}).second) pairs.push_back({a, b});
+  }
+  return pairs;
+}
+
+std::vector<int> ClassCounts(const LabeledDataset& dataset) {
+  std::vector<int> counts(static_cast<size_t>(dataset.num_classes), 0);
+  for (int label : dataset.labels) ++counts[static_cast<size_t>(label)];
+  return counts;
+}
+
+}  // namespace goggles::data

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "data/image.h"
+#include "linalg/matrix.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+/// \file dataset.h
+/// \brief Labeled image dataset container and task-construction helpers.
+///
+/// Mirrors the paper's experimental setup (§5.1): multi-class corpora from
+/// which binary labeling tasks are sampled as class pairs, stratified
+/// train/test splits, and a small labeled development set (default 5 per
+/// class) drawn from the training split.
+
+namespace goggles::data {
+
+/// \brief A labeled dataset, optionally with CUB-style attribute metadata.
+struct LabeledDataset {
+  std::string name;
+  int num_classes = 0;
+  std::vector<Image> images;
+  std::vector<int> labels;
+  std::vector<std::string> class_names;
+
+  /// CUB-style metadata (empty for datasets without attributes):
+  /// `class_attributes(k, a)` = 1 if class k exhibits attribute a;
+  /// `image_attributes(i, a)` = noisy per-image annotation of attribute a.
+  Matrix class_attributes;
+  Matrix image_attributes;
+  std::vector<std::string> attribute_names;
+
+  int64_t size() const { return static_cast<int64_t>(images.size()); }
+  bool has_attributes() const { return class_attributes.rows() > 0; }
+};
+
+/// \brief Restriction of a dataset to `classes`, relabeled 0..k-1 in the
+/// given order. Attribute metadata rows are carried over.
+LabeledDataset SelectClasses(const LabeledDataset& dataset,
+                             const std::vector<int>& classes);
+
+/// \brief Stratified train/test split.
+struct TrainTestSplit {
+  LabeledDataset train;
+  LabeledDataset test;
+};
+
+/// \brief Splits per class with the given train fraction (deterministic
+/// given `rng` state). Each class contributes at least one test example
+/// when it has two or more instances.
+TrainTestSplit StratifiedSplit(const LabeledDataset& dataset,
+                               double train_fraction, Rng* rng);
+
+/// \brief Samples `per_class` development indices per class (indices into
+/// `dataset`). This is the paper's 5-per-class development set.
+std::vector<int> SampleDevIndices(const LabeledDataset& dataset, int per_class,
+                                  Rng* rng);
+
+/// \brief Samples `num_pairs` distinct unordered class pairs.
+std::vector<std::pair<int, int>> SampleClassPairs(int num_classes,
+                                                  int num_pairs, Rng* rng);
+
+/// \brief Counts instances per class.
+std::vector<int> ClassCounts(const LabeledDataset& dataset);
+
+}  // namespace goggles::data

@@ -1,0 +1,39 @@
+#include "data/image.h"
+
+#include <algorithm>
+
+namespace goggles::data {
+
+Tensor StackImages(const std::vector<Image>& images) {
+  if (images.empty()) return Tensor();
+  const Image& first = images[0];
+  Tensor out({static_cast<int64_t>(images.size()), first.channels,
+              first.height, first.width});
+  const int64_t stride = first.NumElements();
+  for (size_t i = 0; i < images.size(); ++i) {
+    std::copy(images[i].pixels.begin(), images[i].pixels.end(),
+              out.data() + static_cast<int64_t>(i) * stride);
+  }
+  return out;
+}
+
+Tensor StackImageSubset(const std::vector<Image>& images,
+                        const std::vector<int>& indices) {
+  std::vector<Image> subset;
+  subset.reserve(indices.size());
+  for (int idx : indices) subset.push_back(images[static_cast<size_t>(idx)]);
+  return StackImages(subset);
+}
+
+void ClampImage(Image* img) {
+  for (float& v : img->pixels) v = std::clamp(v, 0.0f, 1.0f);
+}
+
+float ImageMean(const Image& img) {
+  if (img.pixels.empty()) return 0.0f;
+  double acc = 0.0;
+  for (float v : img.pixels) acc += v;
+  return static_cast<float>(acc / static_cast<double>(img.pixels.size()));
+}
+
+}  // namespace goggles::data

@@ -1,0 +1,51 @@
+#include "data/registry.h"
+
+#include "data/birds.h"
+#include "data/signs.h"
+#include "data/surface.h"
+#include "data/synthnet.h"
+#include "data/xray.h"
+
+namespace goggles::data {
+
+std::vector<std::string> EvaluationDatasetNames() {
+  return {"birds", "signs", "surface", "tbxray", "pnxray"};
+}
+
+Result<LabeledDataset> GenerateDataset(const std::string& name,
+                                       int images_per_class, uint64_t seed) {
+  if (name == "synthnet") {
+    SynthNetConfig config;
+    if (images_per_class > 0) config.images_per_class = images_per_class;
+    if (seed != 0) config.seed = seed;
+    return GenerateSynthNet(config);
+  }
+  if (name == "birds") {
+    SynthBirdsConfig config;
+    if (images_per_class > 0) config.images_per_class = images_per_class;
+    if (seed != 0) config.seed = seed;
+    return GenerateSynthBirds(config);
+  }
+  if (name == "signs") {
+    SynthSignsConfig config;
+    if (images_per_class > 0) config.images_per_class = images_per_class;
+    if (seed != 0) config.seed = seed;
+    return GenerateSynthSigns(config);
+  }
+  if (name == "surface") {
+    SynthSurfaceConfig config;
+    if (images_per_class > 0) config.images_per_class = images_per_class;
+    if (seed != 0) config.seed = seed;
+    return GenerateSynthSurface(config);
+  }
+  if (name == "tbxray" || name == "pnxray") {
+    SynthXrayConfig config;
+    if (images_per_class > 0) config.images_per_class = images_per_class;
+    if (seed != 0) config.seed = seed;
+    return name == "tbxray" ? GenerateSynthTBXray(config)
+                            : GenerateSynthPNXray(config);
+  }
+  return Status::NotFound("unknown dataset: " + name);
+}
+
+}  // namespace goggles::data

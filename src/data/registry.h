@@ -1,0 +1,26 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/status.h"
+
+/// \file registry.h
+/// \brief Name-based access to the five evaluation corpora + SynthNet.
+
+namespace goggles::data {
+
+/// \brief The evaluation datasets in the paper's Table 1 order.
+std::vector<std::string> EvaluationDatasetNames();
+
+/// \brief Generates a dataset by name.
+///
+/// Known names: "synthnet", "birds" (CUB stand-in), "signs" (GTSRB),
+/// "surface", "tbxray", "pnxray". `images_per_class` <= 0 keeps each
+/// generator's default.
+Result<LabeledDataset> GenerateDataset(const std::string& name,
+                                       int images_per_class = 0,
+                                       uint64_t seed = 0);
+
+}  // namespace goggles::data

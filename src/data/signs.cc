@@ -1,0 +1,136 @@
+#include "data/signs.h"
+
+#include "data/raster.h"
+#include "util/string_util.h"
+
+namespace goggles::data {
+namespace {
+
+enum class BorderShape { kRing, kTriangle, kSquare, kDiamond };
+
+struct SignRecipe {
+  BorderShape shape;
+  Color border;
+  int glyph;  // 0 none, 1 vbar, 2 hbar, 3 cross, 4 dot, 5 two dots, 6 wedge
+};
+
+/// Deterministically enumerates the 43 class recipes from the cross
+/// product of 4 shapes x 3 colors x 7 glyphs (truncated to 43, GTSRB's
+/// class count).
+SignRecipe RecipeForClass(int label) {
+  static const Color kBorderColors[3] = {
+      {0.85f, 0.15f, 0.15f},  // red
+      {0.15f, 0.25f, 0.85f},  // blue
+      {0.9f, 0.8f, 0.15f}};   // yellow
+  SignRecipe recipe;
+  recipe.shape = static_cast<BorderShape>(label % 4);
+  recipe.border = kBorderColors[(label / 4) % 3];
+  recipe.glyph = (label / 12) % 7;
+  return recipe;
+}
+
+void RenderSign(Image* img, const SignRecipe& recipe, Rng* rng) {
+  const float cx = 16.0f + static_cast<float>(rng->UniformInt(-5, 5));
+  const float cy = 16.0f + static_cast<float>(rng->UniformInt(-5, 5));
+  const float scale = static_cast<float>(rng->Uniform(0.55, 1.05));
+  const float radius = 11.0f * scale;
+  const Color face = {0.92f, 0.92f, 0.9f};
+  const Color glyph_color = {0.1f, 0.1f, 0.12f};
+
+  switch (recipe.shape) {
+    case BorderShape::kRing:
+      DrawFilledCircle(img, cx, cy, radius, face);
+      DrawRing(img, cx, cy, radius, 2.5f * scale, recipe.border);
+      break;
+    case BorderShape::kTriangle:
+      DrawFilledTriangle(img, cx, cy, 2.0f * radius, /*up=*/true, face);
+      DrawTriangleOutline(img, cx, cy, 2.0f * radius, /*up=*/true, 2,
+                          recipe.border);
+      break;
+    case BorderShape::kSquare:
+      DrawFilledRect(img, static_cast<int>(cx - radius * 0.8f),
+                     static_cast<int>(cy - radius * 0.8f),
+                     static_cast<int>(cx + radius * 0.8f),
+                     static_cast<int>(cy + radius * 0.8f), face);
+      DrawRectOutline(img, static_cast<int>(cx - radius * 0.8f),
+                      static_cast<int>(cy - radius * 0.8f),
+                      static_cast<int>(cx + radius * 0.8f),
+                      static_cast<int>(cy + radius * 0.8f), 2, recipe.border);
+      break;
+    case BorderShape::kDiamond:
+      DrawFilledDiamond(img, cx, cy, radius, face);
+      DrawDiamondOutline(img, cx, cy, radius, 2, recipe.border);
+      break;
+  }
+
+  const float g = 5.0f * scale;
+  switch (recipe.glyph) {
+    case 0:
+      break;
+    case 1:
+      DrawFilledRect(img, static_cast<int>(cx - 1), static_cast<int>(cy - g),
+                     static_cast<int>(cx + 1), static_cast<int>(cy + g),
+                     glyph_color);
+      break;
+    case 2:
+      DrawFilledRect(img, static_cast<int>(cx - g), static_cast<int>(cy - 1),
+                     static_cast<int>(cx + g), static_cast<int>(cy + 1),
+                     glyph_color);
+      break;
+    case 3:
+      DrawCross(img, cx, cy, 2.0f * g, 2, glyph_color);
+      break;
+    case 4:
+      DrawFilledCircle(img, cx, cy, 2.5f * scale, glyph_color);
+      break;
+    case 5:
+      DrawFilledCircle(img, cx - 3.0f * scale, cy, 1.8f * scale, glyph_color);
+      DrawFilledCircle(img, cx + 3.0f * scale, cy, 1.8f * scale, glyph_color);
+      break;
+    case 6:
+      DrawFilledTriangle(img, cx, cy, 1.6f * g, /*up=*/false, glyph_color);
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace
+
+LabeledDataset GenerateSynthSigns(const SynthSignsConfig& config) {
+  LabeledDataset dataset;
+  dataset.name = "signs";
+  dataset.num_classes = kSignsNumClasses;
+
+  Rng rng(config.seed);
+  for (int label = 0; label < kSignsNumClasses; ++label) {
+    dataset.class_names.push_back(StrFormat("sign_%02d", label));
+    Rng class_rng = rng.Fork(static_cast<uint64_t>(label));
+    const SignRecipe recipe = RecipeForClass(label);
+    for (int i = 0; i < config.images_per_class; ++i) {
+      Image img(3, config.image_size, config.image_size);
+      // Street scene background: gray road-ish gradient.
+      const float bg = static_cast<float>(class_rng.Uniform(0.3, 0.6));
+      FillVerticalGradient(&img, Color::Gray(bg + 0.15f), Color::Gray(bg));
+      RenderSign(&img, recipe, &class_rng);
+
+      // Heavy nuisance augmentation (GTSRB-like difficulty).
+      if (class_rng.Bernoulli(config.occlusion_probability)) {
+        const int ox = static_cast<int>(class_rng.UniformInt(0, 20));
+        const int oy = static_cast<int>(class_rng.UniformInt(0, 20));
+        const int size = static_cast<int>(class_rng.UniformInt(8, 14));
+        DrawFilledRect(&img, ox, oy, ox + size, oy + size,
+                       Color::Gray(static_cast<float>(class_rng.Uniform(0.2, 0.7))));
+      }
+      ScaleBrightness(&img, static_cast<float>(class_rng.Uniform(0.45, 1.35)));
+      GaussianBlur3x3(&img, config.blur_passes);
+      AddGaussianNoise(&img, config.noise_sigma, &class_rng);
+      ClampImage(&img);
+      dataset.images.push_back(std::move(img));
+      dataset.labels.push_back(label);
+    }
+  }
+  return dataset;
+}
+
+}  // namespace goggles::data

@@ -1,0 +1,31 @@
+#pragma once
+
+#include "data/dataset.h"
+
+/// \file signs.h
+/// \brief SynthSigns: GTSRB stand-in (see DESIGN.md).
+///
+/// 43 traffic-sign-like classes formed by border shape x border color x
+/// inner glyph, rendered with heavy nuisance variation (blur, occlusion,
+/// brightness jitter, position jitter) to reproduce GTSRB's difficulty —
+/// the paper's hardest dataset for GOGGLES (70.5%).
+
+namespace goggles::data {
+
+/// \brief Generation parameters for SynthSigns.
+struct SynthSignsConfig {
+  int images_per_class = 30;
+  int image_size = 32;
+  uint64_t seed = 303;
+  float noise_sigma = 0.14f;
+  int blur_passes = 2;
+  double occlusion_probability = 0.6;
+};
+
+/// \brief Number of sign classes, as in GTSRB.
+constexpr int kSignsNumClasses = 43;
+
+/// \brief Generates the SynthSigns corpus.
+LabeledDataset GenerateSynthSigns(const SynthSignsConfig& config);
+
+}  // namespace goggles::data

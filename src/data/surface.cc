@@ -1,0 +1,63 @@
+#include "data/surface.h"
+
+#include "data/raster.h"
+
+namespace goggles::data {
+
+LabeledDataset GenerateSynthSurface(const SynthSurfaceConfig& config) {
+  LabeledDataset dataset;
+  dataset.name = "surface";
+  dataset.num_classes = 2;
+  dataset.class_names = {"good_finish", "bad_finish"};
+
+  Rng rng(config.seed);
+  for (int label = 0; label < 2; ++label) {
+    Rng class_rng = rng.Fork(static_cast<uint64_t>(label));
+    for (int i = 0; i < config.images_per_class; ++i) {
+      Image img(3, config.image_size, config.image_size);
+      // Machined metal base: gray with a soft vertical sheen.
+      const float base = static_cast<float>(class_rng.Uniform(0.45, 0.6));
+      FillVerticalGradient(&img, Color::Gray(base + 0.08f),
+                           Color::Gray(base - 0.05f));
+      // Horizontal machining marks present on both classes.
+      DrawStripedRect(&img, 0, 0, img.width - 1, img.height - 1,
+                      static_cast<float>(class_rng.Uniform(6.0, 10.0)),
+                      /*horizontal=*/true, Color::Gray(base + 0.12f));
+
+      if (label == 0) {
+        // Smooth finish: faint noise, occasionally a light benign mark so
+        // the classes overlap (the original dataset is hard for untrained
+        // eyes, ~89% for GOGGLES).
+        AddGaussianNoise(&img, config.smooth_sigma, &class_rng);
+        if (class_rng.Bernoulli(0.3)) {
+          const float x0 = static_cast<float>(class_rng.UniformInt(4, 27));
+          const float y0 = static_cast<float>(class_rng.UniformInt(4, 27));
+          DrawLine(&img, x0, y0, x0 + 4, y0 + 1, 1, Color::Gray(0.75f));
+        }
+      } else {
+        // Rough finish: grain + scratches. Amplitude varies per image so
+        // the easiest "bad" overlaps the hardest "good".
+        const float sigma = config.rough_sigma *
+                            static_cast<float>(class_rng.Uniform(0.5, 1.2));
+        AddGaussianNoise(&img, sigma, &class_rng);
+        const int num_scratches = static_cast<int>(class_rng.UniformInt(1, 4));
+        for (int s = 0; s < num_scratches; ++s) {
+          const float x0 = static_cast<float>(class_rng.UniformInt(0, 31));
+          const float y0 = static_cast<float>(class_rng.UniformInt(0, 31));
+          const float dx = static_cast<float>(class_rng.UniformInt(-7, 7));
+          const float dy = static_cast<float>(class_rng.UniformInt(-3, 3));
+          DrawLine(&img, x0, y0, x0 + dx, y0 + dy, 1,
+                   Color::Gray(class_rng.Bernoulli(0.5) ? 0.85f : 0.3f));
+        }
+      }
+      // Shop-floor lighting variation.
+      ApplyPhotometricJitter(&img, &class_rng, 0.7f, 1.3f, 0.05f);
+      ClampImage(&img);
+      dataset.images.push_back(std::move(img));
+      dataset.labels.push_back(label);
+    }
+  }
+  return dataset;
+}
+
+}  // namespace goggles::data

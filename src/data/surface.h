@@ -1,0 +1,28 @@
+#pragma once
+
+#include "data/dataset.h"
+
+/// \file surface.h
+/// \brief SynthSurface: surface-finish dataset stand-in (see DESIGN.md).
+///
+/// Binary texture discrimination between "good" (smooth) and "bad" (rough)
+/// metallic surfaces — no shape cue at all, only texture statistics, which
+/// is what made the original dataset challenging for untrained eyes.
+
+namespace goggles::data {
+
+/// \brief Generation parameters for SynthSurface.
+struct SynthSurfaceConfig {
+  int images_per_class = 120;
+  int image_size = 32;
+  uint64_t seed = 404;
+  /// Roughness noise amplitude for the "bad" class; the "good" class uses
+  /// a fraction of it, and both vary per image, creating class overlap.
+  float rough_sigma = 0.12f;
+  float smooth_sigma = 0.05f;
+};
+
+/// \brief Generates the SynthSurface corpus (class 0 = good, 1 = bad).
+LabeledDataset GenerateSynthSurface(const SynthSurfaceConfig& config);
+
+}  // namespace goggles::data

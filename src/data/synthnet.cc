@@ -1,0 +1,134 @@
+#include "data/synthnet.h"
+
+#include "data/raster.h"
+
+namespace goggles::data {
+namespace {
+
+const char* kClassNames[kSynthNetNumClasses] = {
+    "filled_circle", "ring",          "filled_square", "square_outline",
+    "triangle_up",   "triangle_down", "cross",         "h_stripes",
+    "v_stripes",     "checkerboard",  "twin_blobs",    "diagonal_line",
+    "bullseye",      "square_grid",   "soft_blob",     "x_shape"};
+
+Color RandomPaletteColor(Rng* rng) {
+  static const Color kPalette[] = {
+      {0.9f, 0.2f, 0.2f}, {0.2f, 0.8f, 0.3f}, {0.2f, 0.3f, 0.9f},
+      {0.9f, 0.8f, 0.2f}, {0.8f, 0.3f, 0.8f}, {0.2f, 0.8f, 0.8f},
+      {0.95f, 0.6f, 0.2f}, {0.85f, 0.85f, 0.85f}};
+  return kPalette[rng->UniformInt(0, 7)];
+}
+
+void RenderClass(Image* img, int label, Rng* rng) {
+  const float size = static_cast<float>(img->width);
+  const float cx = size / 2 + static_cast<float>(rng->UniformInt(-4, 4));
+  const float cy = size / 2 + static_cast<float>(rng->UniformInt(-4, 4));
+  const float scale = static_cast<float>(rng->Uniform(0.65, 1.1));
+  const Color color = RandomPaletteColor(rng);
+  const Color color2 = RandomPaletteColor(rng);
+
+  switch (label) {
+    case 0:
+      DrawFilledCircle(img, cx, cy, 7.0f * scale, color);
+      break;
+    case 1:
+      DrawRing(img, cx, cy, 8.0f * scale, 2.5f, color);
+      break;
+    case 2:
+      DrawFilledRect(img, static_cast<int>(cx - 6 * scale),
+                     static_cast<int>(cy - 6 * scale),
+                     static_cast<int>(cx + 6 * scale),
+                     static_cast<int>(cy + 6 * scale), color);
+      break;
+    case 3:
+      DrawRectOutline(img, static_cast<int>(cx - 7 * scale),
+                      static_cast<int>(cy - 7 * scale),
+                      static_cast<int>(cx + 7 * scale),
+                      static_cast<int>(cy + 7 * scale), 2, color);
+      break;
+    case 4:
+      DrawFilledTriangle(img, cx, cy, 14.0f * scale, /*up=*/true, color);
+      break;
+    case 5:
+      DrawFilledTriangle(img, cx, cy, 14.0f * scale, /*up=*/false, color);
+      break;
+    case 6:
+      DrawCross(img, cx, cy, 14.0f * scale, 3, color);
+      break;
+    case 7:
+      DrawStripedRect(img, 2, 2, img->width - 3, img->height - 3,
+                      5.0f * scale + 2.0f, /*horizontal=*/true, color);
+      break;
+    case 8:
+      DrawStripedRect(img, 2, 2, img->width - 3, img->height - 3,
+                      5.0f * scale + 2.0f, /*horizontal=*/false, color);
+      break;
+    case 9:
+      DrawCheckerRect(img, 3, 3, img->width - 4, img->height - 4,
+                      3 + static_cast<int>(2 * scale), color, color2);
+      break;
+    case 10:
+      DrawSoftBlob(img, cx - 6 * scale, cy, 3.0f * scale, 0.9f, color);
+      DrawSoftBlob(img, cx + 6 * scale, cy, 3.0f * scale, 0.9f, color);
+      break;
+    case 11:
+      DrawLine(img, cx - 9 * scale, cy - 9 * scale, cx + 9 * scale,
+               cy + 9 * scale, 2, color);
+      break;
+    case 12:
+      DrawRing(img, cx, cy, 9.0f * scale, 2.0f, color);
+      DrawFilledCircle(img, cx, cy, 3.5f * scale, color2);
+      break;
+    case 13:
+      for (int gy = 0; gy < 2; ++gy) {
+        for (int gx = 0; gx < 2; ++gx) {
+          const float ox = cx + (gx == 0 ? -5.0f : 5.0f) * scale;
+          const float oy = cy + (gy == 0 ? -5.0f : 5.0f) * scale;
+          DrawFilledRect(img, static_cast<int>(ox - 2.5f * scale),
+                         static_cast<int>(oy - 2.5f * scale),
+                         static_cast<int>(ox + 2.5f * scale),
+                         static_cast<int>(oy + 2.5f * scale), color);
+        }
+      }
+      break;
+    case 14:
+      DrawSoftBlob(img, cx, cy, 5.5f * scale, 0.9f, color);
+      break;
+    case 15:
+      DrawLine(img, cx - 8 * scale, cy - 8 * scale, cx + 8 * scale,
+               cy + 8 * scale, 2, color);
+      DrawLine(img, cx - 8 * scale, cy + 8 * scale, cx + 8 * scale,
+               cy - 8 * scale, 2, color);
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace
+
+LabeledDataset GenerateSynthNet(const SynthNetConfig& config) {
+  LabeledDataset dataset;
+  dataset.name = "synthnet";
+  dataset.num_classes = kSynthNetNumClasses;
+  for (const char* name : kClassNames) dataset.class_names.push_back(name);
+
+  Rng rng(config.seed);
+  for (int label = 0; label < kSynthNetNumClasses; ++label) {
+    Rng class_rng = rng.Fork(static_cast<uint64_t>(label));
+    for (int i = 0; i < config.images_per_class; ++i) {
+      Image img(3, config.image_size, config.image_size);
+      const float bg = static_cast<float>(class_rng.Uniform(0.1, 0.45));
+      FillVerticalGradient(&img, Color::Gray(bg),
+                           Color::Gray(bg + 0.1f));
+      RenderClass(&img, label, &class_rng);
+      AddGaussianNoise(&img, config.noise_sigma, &class_rng);
+      ClampImage(&img);
+      dataset.images.push_back(std::move(img));
+      dataset.labels.push_back(label);
+    }
+  }
+  return dataset;
+}
+
+}  // namespace goggles::data

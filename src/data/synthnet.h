@@ -1,0 +1,31 @@
+#pragma once
+
+#include "data/dataset.h"
+
+/// \file synthnet.h
+/// \brief SynthNet: the pretraining corpus for the VggMini backbone.
+///
+/// Plays the role of ImageNet in the paper: a source-domain, multi-class
+/// corpus the backbone is trained on *once*; the resulting intermediate
+/// filter maps are then reused as affinity functions on every (disjoint)
+/// target task. Its 16 classes exercise a range of low/mid-level visual
+/// concepts (edges, curves, corners, textures, blobs) so the learned
+/// channels transfer.
+
+namespace goggles::data {
+
+/// \brief Generation parameters for SynthNet.
+struct SynthNetConfig {
+  int images_per_class = 80;
+  int image_size = 32;
+  uint64_t seed = 101;
+  float noise_sigma = 0.05f;
+};
+
+/// \brief Number of SynthNet classes (fixed recipe list).
+constexpr int kSynthNetNumClasses = 16;
+
+/// \brief Generates the SynthNet corpus.
+LabeledDataset GenerateSynthNet(const SynthNetConfig& config);
+
+}  // namespace goggles::data

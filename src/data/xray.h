@@ -1,0 +1,35 @@
+#pragma once
+
+#include "data/dataset.h"
+
+/// \file xray.h
+/// \brief SynthTBXray / SynthPNXray: medical imaging stand-ins (DESIGN.md).
+///
+/// Both render a stylized chest radiograph (bright thorax, two dark lung
+/// fields, rib arcs) in grayscale. The abnormal class differs:
+///  - TB: a few small, bright, *localized* nodules inside the lung fields;
+///  - Pneumonia: *diffuse* low-amplitude haze patches — deliberately the
+///    hardest signal for prototype-based affinities, matching the paper
+///    (PN-Xray is GOGGLES' second-lowest accuracy).
+
+namespace goggles::data {
+
+/// \brief Generation parameters for the two X-ray corpora.
+struct SynthXrayConfig {
+  int images_per_class = 120;
+  int image_size = 32;
+  uint64_t seed = 505;
+  /// Nodule brightness for TB abnormal images.
+  float nodule_amplitude = 0.75f;
+  /// Haze brightness for pneumonia images.
+  float haze_amplitude = 0.28f;
+  float noise_sigma = 0.05f;
+};
+
+/// \brief TB screening corpus (class 0 = normal, 1 = tuberculosis).
+LabeledDataset GenerateSynthTBXray(const SynthXrayConfig& config);
+
+/// \brief Pneumonia corpus (class 0 = normal, 1 = pneumonia).
+LabeledDataset GenerateSynthPNXray(const SynthXrayConfig& config);
+
+}  // namespace goggles::data

@@ -1,0 +1,126 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "linalg/hungarian.h"
+
+namespace goggles::eval {
+
+double Accuracy(const std::vector<int>& pred, const std::vector<int>& truth) {
+  if (pred.empty() || pred.size() != truth.size()) return 0.0;
+  int64_t correct = 0;
+  for (size_t i = 0; i < pred.size(); ++i) {
+    if (pred[i] == truth[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(pred.size());
+}
+
+double AccuracyExcluding(const std::vector<int>& pred,
+                         const std::vector<int>& truth,
+                         const std::vector<int>& exclude) {
+  std::set<int> skip(exclude.begin(), exclude.end());
+  int64_t correct = 0, total = 0;
+  for (size_t i = 0; i < pred.size() && i < truth.size(); ++i) {
+    if (skip.count(static_cast<int>(i)) > 0) continue;
+    ++total;
+    if (pred[i] == truth[i]) ++correct;
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(correct) / static_cast<double>(total);
+}
+
+Matrix ConfusionMatrix(const std::vector<int>& clusters,
+                       const std::vector<int>& truth, int num_classes) {
+  Matrix confusion(num_classes, num_classes, 0.0);
+  for (size_t i = 0; i < clusters.size() && i < truth.size(); ++i) {
+    confusion(clusters[i], truth[i]) += 1.0;
+  }
+  return confusion;
+}
+
+namespace {
+
+double MappedAccuracy(const std::vector<int>& clusters,
+                      const std::vector<int>& truth, int num_classes,
+                      const std::set<int>& skip) {
+  Matrix confusion(num_classes, num_classes, 0.0);
+  int64_t total = 0;
+  for (size_t i = 0; i < clusters.size() && i < truth.size(); ++i) {
+    if (skip.count(static_cast<int>(i)) > 0) continue;
+    confusion(clusters[i], truth[i]) += 1.0;
+    ++total;
+  }
+  if (total == 0) return 0.0;
+  Result<std::vector<int>> assignment = SolveAssignmentMax(confusion);
+  if (!assignment.ok()) return 0.0;
+  double correct = AssignmentObjective(confusion, *assignment);
+  return correct / static_cast<double>(total);
+}
+
+}  // namespace
+
+double AccuracyWithOptimalMapping(const std::vector<int>& clusters,
+                                  const std::vector<int>& truth,
+                                  int num_classes) {
+  return MappedAccuracy(clusters, truth, num_classes, {});
+}
+
+double AccuracyWithOptimalMappingExcluding(const std::vector<int>& clusters,
+                                           const std::vector<int>& truth,
+                                           int num_classes,
+                                           const std::vector<int>& exclude) {
+  return MappedAccuracy(clusters, truth, num_classes,
+                        std::set<int>(exclude.begin(), exclude.end()));
+}
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double acc = 0.0;
+  for (double v : values) acc += v;
+  return acc / static_cast<double>(values.size());
+}
+
+double StdDev(const std::vector<double>& values) {
+  if (values.size() < 2) return 0.0;
+  const double mean = Mean(values);
+  double acc = 0.0;
+  for (double v : values) acc += (v - mean) * (v - mean);
+  return std::sqrt(acc / static_cast<double>(values.size() - 1));
+}
+
+double AucRoc(const std::vector<double>& scores,
+              const std::vector<int>& labels) {
+  // Rank-sum formulation with midrank tie handling.
+  const size_t n = scores.size();
+  if (n == 0 || labels.size() != n) return 0.5;
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&scores](size_t a, size_t b) { return scores[a] < scores[b]; });
+
+  double rank_sum_pos = 0.0;
+  int64_t num_pos = 0, num_neg = 0;
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && scores[order[j + 1]] == scores[order[i]]) ++j;
+    const double midrank = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (size_t t = i; t <= j; ++t) {
+      if (labels[order[t]] == 1) {
+        rank_sum_pos += midrank;
+        ++num_pos;
+      } else {
+        ++num_neg;
+      }
+    }
+    i = j + 1;
+  }
+  if (num_pos == 0 || num_neg == 0) return 0.5;
+  const double u = rank_sum_pos -
+                   static_cast<double>(num_pos) * (num_pos + 1) / 2.0;
+  return u / (static_cast<double>(num_pos) * static_cast<double>(num_neg));
+}
+
+}  // namespace goggles::eval

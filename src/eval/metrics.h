@@ -1,0 +1,51 @@
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "util/status.h"
+
+/// \file metrics.h
+/// \brief Evaluation metrics for labeling and end-model experiments.
+
+namespace goggles::eval {
+
+/// \brief Fraction of positions where pred == truth.
+double Accuracy(const std::vector<int>& pred, const std::vector<int>& truth);
+
+/// \brief Accuracy restricted to positions NOT in `exclude` (used to score
+/// labeling accuracy on the non-development rows, as in the paper).
+double AccuracyExcluding(const std::vector<int>& pred,
+                         const std::vector<int>& truth,
+                         const std::vector<int>& exclude);
+
+/// \brief K x K confusion matrix: entry (c, k) counts cluster c / truth k.
+Matrix ConfusionMatrix(const std::vector<int>& clusters,
+                       const std::vector<int>& truth, int num_classes);
+
+/// \brief Accuracy under the *optimal* cluster-to-class mapping (Hungarian
+/// on the confusion matrix). The paper grants this to all clustering
+/// baselines (§5.1.6): "we use the optimal cluster-class mapping for all
+/// baselines".
+double AccuracyWithOptimalMapping(const std::vector<int>& clusters,
+                                  const std::vector<int>& truth,
+                                  int num_classes);
+
+/// \brief Same, excluding the given positions.
+double AccuracyWithOptimalMappingExcluding(const std::vector<int>& clusters,
+                                           const std::vector<int>& truth,
+                                           int num_classes,
+                                           const std::vector<int>& exclude);
+
+/// \brief Mean of a sample.
+double Mean(const std::vector<double>& values);
+
+/// \brief Unbiased standard deviation (0 for < 2 samples).
+double StdDev(const std::vector<double>& values);
+
+/// \brief Area under the ROC curve of `scores` against binary `labels`
+/// (probability a random positive scores above a random negative). Used to
+/// quantify per-affinity-function separation in the Figure 2 bench.
+double AucRoc(const std::vector<double>& scores, const std::vector<int>& labels);
+
+}  // namespace goggles::eval

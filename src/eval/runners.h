@@ -1,0 +1,74 @@
+#pragma once
+
+#include <memory>
+
+#include "eval/tasks.h"
+#include "features/extractor.h"
+#include "goggles/pipeline.h"
+#include "linalg/matrix.h"
+#include "util/status.h"
+
+/// \file runners.h
+/// \brief Shared experiment runners used by the benches and examples: one
+/// function per system/column of the paper's Tables 1 and 2.
+///
+/// All labeling accuracies are measured on the training split excluding the
+/// development rows (the paper "reports the performance of GOGGLES on the
+/// remaining images from each dataset"); end-to-end accuracies are measured
+/// on the held-out test split.
+
+namespace goggles::eval {
+
+/// \brief Shared state across runners (pretrained backbone + config).
+struct RunnerContext {
+  std::shared_ptr<features::FeatureExtractor> extractor;
+  GogglesConfig goggles;
+};
+
+/// \brief GOGGLES labeling accuracy; optionally returns the full result
+/// (probabilistic labels) for downstream end-model training.
+Result<double> RunGogglesLabeling(const LabelingTask& task,
+                                  const RunnerContext& ctx,
+                                  LabelingResult* result_out = nullptr);
+
+/// \brief Representation ablations of Table 1: a single cosine affinity
+/// function over HOG or Logits embeddings, fed to GOGGLES' class inference.
+enum class RepresentationKind { kHog, kLogits };
+Result<double> RunRepresentationAffinity(const LabelingTask& task,
+                                         const RunnerContext& ctx,
+                                         RepresentationKind kind);
+
+/// \brief Class-inference baselines of Table 1, all consuming the GOGGLES
+/// affinity matrix and granted the optimal cluster-to-class mapping.
+enum class ClusteringKind { kKMeans, kGmm, kSpectral };
+Result<double> RunClusteringBaseline(const LabelingTask& task,
+                                     const RunnerContext& ctx,
+                                     ClusteringKind kind);
+
+/// \brief Snorkel over CUB-style attribute labeling functions (only valid
+/// for tasks whose dataset carries attributes, i.e. SynthBirds).
+/// Optionally returns probabilistic labels for end-model training.
+Result<double> RunSnorkelLabeling(const LabelingTask& task,
+                                  Matrix* proba_out = nullptr);
+
+/// \brief Snuba over PCA-projected logits primitives (§5.1.2).
+Result<double> RunSnubaLabeling(const LabelingTask& task,
+                                const RunnerContext& ctx,
+                                Matrix* proba_out = nullptr);
+
+/// \brief FSL baseline: linear head on frozen features, trained on the
+/// development set; returns accuracy on the held-out test split.
+Result<double> RunFslEndToEnd(const LabelingTask& task,
+                              const RunnerContext& ctx);
+
+/// \brief Trains the end model on probabilistic labels for the training
+/// split and returns held-out test accuracy (Table 2 pipeline).
+Result<double> RunEndModelFromSoftLabels(const LabelingTask& task,
+                                         const RunnerContext& ctx,
+                                         const Matrix& soft_labels);
+
+/// \brief Supervised upper bound: end model trained on ground-truth labels.
+Result<double> RunSupervisedUpperBound(const LabelingTask& task,
+                                       const RunnerContext& ctx);
+
+}  // namespace goggles::eval

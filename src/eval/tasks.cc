@@ -1,0 +1,69 @@
+#include "eval/tasks.h"
+
+#include "data/registry.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace goggles::eval {
+namespace {
+
+int DefaultImagesPerClass(const std::string& dataset_name) {
+  if (dataset_name == "birds") return 60;
+  if (dataset_name == "signs") return 40;
+  return 120;  // binary corpora
+}
+
+LabelingTask MakeTaskFromBinaryDataset(const std::string& dataset_name,
+                                       const std::string& task_name,
+                                       const data::LabeledDataset& binary,
+                                       const TaskSuiteConfig& config,
+                                       Rng* rng) {
+  LabelingTask task;
+  task.dataset_name = dataset_name;
+  task.task_name = task_name;
+  task.num_classes = binary.num_classes;
+  data::TrainTestSplit split =
+      data::StratifiedSplit(binary, config.train_fraction, rng);
+  task.train = std::move(split.train);
+  task.test = std::move(split.test);
+  task.dev_indices =
+      data::SampleDevIndices(task.train, config.dev_per_class, rng);
+  for (int idx : task.dev_indices) {
+    task.dev_labels.push_back(task.train.labels[static_cast<size_t>(idx)]);
+  }
+  return task;
+}
+
+}  // namespace
+
+Result<std::vector<LabelingTask>> MakeTasks(const std::string& dataset_name,
+                                            const TaskSuiteConfig& config) {
+  const int per_class = config.images_per_class > 0
+                            ? config.images_per_class
+                            : DefaultImagesPerClass(dataset_name);
+  GOGGLES_ASSIGN_OR_RETURN(
+      data::LabeledDataset corpus,
+      data::GenerateDataset(dataset_name, per_class, /*seed=*/0));
+
+  Rng rng(config.seed ^ 0xC0FFEE);
+  std::vector<LabelingTask> tasks;
+  if (corpus.num_classes == 2) {
+    tasks.push_back(MakeTaskFromBinaryDataset(dataset_name, dataset_name,
+                                              corpus, config, &rng));
+    return tasks;
+  }
+
+  // Multi-class corpus: sample binary class-pair tasks (paper §5.1.1).
+  const std::vector<std::pair<int, int>> pairs =
+      data::SampleClassPairs(corpus.num_classes, config.num_pairs, &rng);
+  for (const auto& [a, b] : pairs) {
+    data::LabeledDataset binary = data::SelectClasses(corpus, {a, b});
+    const std::string task_name =
+        StrFormat("%s[%02dv%02d]", dataset_name.c_str(), a, b);
+    tasks.push_back(MakeTaskFromBinaryDataset(dataset_name, task_name, binary,
+                                              config, &rng));
+  }
+  return tasks;
+}
+
+}  // namespace goggles::eval

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/status.h"
+
+/// \file tasks.h
+/// \brief Labeling-task construction matching the paper's protocol (§5.1):
+/// binary class-pair tasks for the multi-class corpora (10 random pairs for
+/// CUB/GTSRB stand-ins), the native binary task for the 2-class corpora,
+/// a stratified train/test split, and a 5-per-class development set drawn
+/// from the training split.
+
+namespace goggles::eval {
+
+/// \brief One binary labeling task instance.
+struct LabelingTask {
+  std::string dataset_name;  ///< e.g. "birds"
+  std::string task_name;     ///< e.g. "birds[03v17]"
+  data::LabeledDataset train;  ///< labeling pool (ground truth kept for eval)
+  data::LabeledDataset test;   ///< held-out split for end models
+  std::vector<int> dev_indices;  ///< development rows within `train`
+  std::vector<int> dev_labels;   ///< their labels
+  int num_classes = 2;
+};
+
+/// \brief Task-suite construction parameters.
+struct TaskSuiteConfig {
+  int dev_per_class = 5;      ///< the paper's default development set
+  int num_pairs = 10;         ///< class pairs for multi-class datasets
+  double train_fraction = 0.6;
+  /// Images per class when generating the corpus; <= 0 uses per-dataset
+  /// defaults (birds 60, signs 40, binary corpora 120).
+  int images_per_class = 0;
+  uint64_t seed = 7;
+};
+
+/// \brief Builds the task list for one dataset ("birds", "signs",
+/// "surface", "tbxray", "pnxray").
+Result<std::vector<LabelingTask>> MakeTasks(const std::string& dataset_name,
+                                            const TaskSuiteConfig& config);
+
+}  // namespace goggles::eval

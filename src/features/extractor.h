@@ -1,0 +1,56 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "data/image.h"
+#include "linalg/matrix.h"
+#include "nn/vgg.h"
+#include "util/status.h"
+
+/// \file extractor.h
+/// \brief Batched feature extraction from the VggMini backbone.
+///
+/// GOGGLES needs three views of the backbone per image (paper §3, §5.1):
+///  1. the filter map at each of the 5 max-pool layers (prototype source),
+///  2. the logits vector (Snuba primitives, Logits representation ablation),
+///  3. the penultimate (flattened) features (FSL baseline and end models).
+
+namespace goggles::features {
+
+/// \brief Wraps a (pre-trained) VggMini and extracts intermediate features.
+class FeatureExtractor {
+ public:
+  /// Takes ownership of the backbone.
+  explicit FeatureExtractor(nn::VggMini backbone)
+      : backbone_(std::move(backbone)) {}
+
+  /// \brief Number of max-pool tap layers (the paper's 5).
+  int num_pool_layers() const {
+    return static_cast<int>(backbone_.pool_layer_indices.size());
+  }
+
+  /// \brief Filter maps at every pool layer for every image.
+  ///
+  /// \returns maps[layer][image] = Tensor of shape [C_layer, H, W].
+  Result<std::vector<std::vector<Tensor>>> PoolFeatureMaps(
+      const std::vector<data::Image>& images, int batch_size = 16) const;
+
+  /// \brief Logits matrix, one row per image.
+  Result<Matrix> Logits(const std::vector<data::Image>& images,
+                        int batch_size = 16) const;
+
+  /// \brief Penultimate (post-Flatten) features, one row per image.
+  Result<Matrix> PenultimateFeatures(const std::vector<data::Image>& images,
+                                     int batch_size = 16) const;
+
+  const nn::VggMini& backbone() const { return backbone_; }
+  nn::VggMini* mutable_backbone() { return &backbone_; }
+
+ private:
+  // Mutable because Layer::Forward caches activations; extraction is
+  // logically const.
+  mutable nn::VggMini backbone_;
+};
+
+}  // namespace goggles::features

@@ -1,0 +1,107 @@
+#include "features/hog.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace goggles::features {
+
+Result<std::vector<float>> ComputeHog(const data::Image& image,
+                                      const HogConfig& config) {
+  const int h = image.height, w = image.width;
+  if (h < config.cell_size || w < config.cell_size) {
+    return Status::InvalidArgument("ComputeHog: image smaller than one cell");
+  }
+
+  // Grayscale conversion: channel mean.
+  std::vector<float> gray(static_cast<size_t>(h) * w, 0.0f);
+  for (int c = 0; c < image.channels; ++c) {
+    for (int y = 0; y < h; ++y) {
+      for (int x = 0; x < w; ++x) {
+        gray[static_cast<size_t>(y) * w + x] += image.at(c, y, x);
+      }
+    }
+  }
+  const float inv_c = 1.0f / static_cast<float>(image.channels);
+  for (float& v : gray) v *= inv_c;
+
+  // Centered gradients with clamped borders.
+  const int cells_y = h / config.cell_size;
+  const int cells_x = w / config.cell_size;
+  std::vector<float> hist(
+      static_cast<size_t>(cells_y) * cells_x * config.num_bins, 0.0f);
+  auto gray_at = [&](int y, int x) {
+    y = std::clamp(y, 0, h - 1);
+    x = std::clamp(x, 0, w - 1);
+    return gray[static_cast<size_t>(y) * w + x];
+  };
+  for (int y = 0; y < cells_y * config.cell_size; ++y) {
+    for (int x = 0; x < cells_x * config.cell_size; ++x) {
+      const float gx = gray_at(y, x + 1) - gray_at(y, x - 1);
+      const float gy = gray_at(y + 1, x) - gray_at(y - 1, x);
+      const float mag = std::sqrt(gx * gx + gy * gy);
+      float angle = std::atan2(gy, gx);  // [-pi, pi]
+      if (angle < 0) angle += static_cast<float>(M_PI);  // unsigned [0, pi)
+      int bin = static_cast<int>(angle / static_cast<float>(M_PI) *
+                                 static_cast<float>(config.num_bins));
+      if (bin >= config.num_bins) bin = config.num_bins - 1;
+      const int cy = y / config.cell_size;
+      const int cx = x / config.cell_size;
+      hist[(static_cast<size_t>(cy) * cells_x + cx) * config.num_bins + bin] +=
+          mag;
+    }
+  }
+
+  // Block normalization (L2) over block_size x block_size cell groups.
+  const int blocks_y = cells_y - config.block_size + 1;
+  const int blocks_x = cells_x - config.block_size + 1;
+  if (blocks_y <= 0 || blocks_x <= 0) {
+    // Image too small for blocks: return the raw cell histograms.
+    return hist;
+  }
+  std::vector<float> descriptor;
+  descriptor.reserve(static_cast<size_t>(blocks_y) * blocks_x *
+                     config.block_size * config.block_size * config.num_bins);
+  for (int by = 0; by < blocks_y; ++by) {
+    for (int bx = 0; bx < blocks_x; ++bx) {
+      const size_t begin = descriptor.size();
+      double norm_sq = 0.0;
+      for (int cy = by; cy < by + config.block_size; ++cy) {
+        for (int cx = bx; cx < bx + config.block_size; ++cx) {
+          for (int b = 0; b < config.num_bins; ++b) {
+            const float v =
+                hist[(static_cast<size_t>(cy) * cells_x + cx) *
+                         config.num_bins + b];
+            descriptor.push_back(v);
+            norm_sq += static_cast<double>(v) * v;
+          }
+        }
+      }
+      const float inv_norm =
+          1.0f / static_cast<float>(std::sqrt(norm_sq + 1e-6));
+      for (size_t i = begin; i < descriptor.size(); ++i) {
+        descriptor[i] *= inv_norm;
+      }
+    }
+  }
+  return descriptor;
+}
+
+Result<Matrix> ComputeHogMatrix(const std::vector<data::Image>& images,
+                                const HogConfig& config) {
+  Matrix out;
+  for (size_t i = 0; i < images.size(); ++i) {
+    GOGGLES_ASSIGN_OR_RETURN(std::vector<float> hog,
+                             ComputeHog(images[i], config));
+    if (out.rows() == 0) {
+      out = Matrix(static_cast<int64_t>(images.size()),
+                   static_cast<int64_t>(hog.size()));
+    }
+    for (size_t j = 0; j < hog.size(); ++j) {
+      out(static_cast<int64_t>(i), static_cast<int64_t>(j)) =
+          static_cast<double>(hog[j]);
+    }
+  }
+  return out;
+}
+
+}  // namespace goggles::features

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <vector>
+
+#include "data/image.h"
+#include "linalg/matrix.h"
+#include "util/status.h"
+
+/// \file hog.h
+/// \brief Histogram-of-oriented-gradients descriptor (Dalal & Triggs 2005).
+///
+/// Serves as the classical-CV representation ablation of Table 1: an
+/// affinity matrix built from pairwise cosine similarity of HOG vectors,
+/// fed to GOGGLES' class inference.
+
+namespace goggles::features {
+
+/// \brief HOG extraction parameters.
+struct HogConfig {
+  int cell_size = 8;     ///< pixels per cell side
+  int num_bins = 9;      ///< unsigned orientation bins over [0, pi)
+  int block_size = 2;    ///< cells per block side (L2-normalized)
+};
+
+/// \brief Computes the HOG descriptor of an image (converted to grayscale
+/// as the channel mean first).
+Result<std::vector<float>> ComputeHog(const data::Image& image,
+                                      const HogConfig& config = {});
+
+/// \brief Stacks HOG descriptors for a set of images into a matrix.
+Result<Matrix> ComputeHogMatrix(const std::vector<data::Image>& images,
+                                const HogConfig& config = {});
+
+}  // namespace goggles::features

@@ -1,0 +1,162 @@
+#include "goggles/affinity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/kernels.h"
+#include "util/parallel.h"
+#include "util/string_util.h"
+
+namespace goggles {
+
+Status PrototypeAffinitySource::Prepare(const std::vector<data::Image>& images) {
+  const int n = static_cast<int>(images.size());
+  if (n == num_images_) return Status::OK();  // already prepared
+
+  GOGGLES_ASSIGN_OR_RETURN(std::vector<std::vector<Tensor>> maps,
+                           extractor_->PoolFeatureMaps(images));
+
+  layers_.assign(static_cast<size_t>(num_layers()), LayerData());
+  for (int layer = 0; layer < num_layers(); ++layer) {
+    LayerData& data = layers_[static_cast<size_t>(layer)];
+    const auto& layer_maps = maps[static_cast<size_t>(layer)];
+    const Tensor& first = layer_maps[0];
+    data.channels = static_cast<int>(first.dim(0));
+    data.area = static_cast<int>(first.dim(1) * first.dim(2));
+    data.positions.resize(static_cast<size_t>(n));
+    data.prototypes.resize(static_cast<size_t>(n));
+    data.num_prototypes.resize(static_cast<size_t>(n));
+
+    ParallelFor(0, n, [&](int64_t i) {
+      const Tensor& fmap = layer_maps[static_cast<size_t>(i)];
+      const int c = data.channels;
+      const int area = data.area;
+
+      // Position vectors, transposed to position-major and L2-normalized.
+      auto& pos = data.positions[static_cast<size_t>(i)];
+      pos.resize(static_cast<size_t>(area) * c);
+      for (int p = 0; p < area; ++p) {
+        float* row = pos.data() + static_cast<size_t>(p) * c;
+        for (int ch = 0; ch < c; ++ch) {
+          row[ch] = fmap[static_cast<int64_t>(ch) * area + p];
+        }
+        NormalizeF(row, c);
+      }
+
+      // Top-Z prototypes, L2-normalized.
+      std::vector<features::Prototype> protos =
+          features::ExtractTopZPrototypes(fmap, top_z_);
+      auto& pvec = data.prototypes[static_cast<size_t>(i)];
+      data.num_prototypes[static_cast<size_t>(i)] =
+          static_cast<int>(protos.size());
+      pvec.resize(protos.size() * static_cast<size_t>(c));
+      for (size_t z = 0; z < protos.size(); ++z) {
+        float* row = pvec.data() + z * static_cast<size_t>(c);
+        std::copy(protos[z].vector.begin(), protos[z].vector.end(), row);
+        NormalizeF(row, c);
+      }
+    });
+  }
+  num_images_ = n;
+  return Status::OK();
+}
+
+float PrototypeAffinitySource::Score(int layer, int z, int i, int j) const {
+  const LayerData& data = layers_[static_cast<size_t>(layer)];
+  const int c = data.channels;
+  const int num_protos = data.num_prototypes[static_cast<size_t>(j)];
+  if (num_protos == 0) return 0.0f;
+  // Wrap when image j has fewer than Z unique prototypes (see header).
+  const int zz = z % num_protos;
+  const float* proto =
+      data.prototypes[static_cast<size_t>(j)].data() +
+      static_cast<size_t>(zz) * c;
+  const auto& pos = data.positions[static_cast<size_t>(i)];
+  float best = -1.0f;
+  for (int p = 0; p < data.area; ++p) {
+    const float dot = DotF(pos.data() + static_cast<size_t>(p) * c, proto, c);
+    if (dot > best) best = dot;
+  }
+  return best;
+}
+
+PrototypeAffinityFunction::PrototypeAffinityFunction(
+    std::shared_ptr<PrototypeAffinitySource> source, int layer, int z)
+    : source_(std::move(source)), layer_(layer), z_(z) {}
+
+std::string PrototypeAffinityFunction::name() const {
+  return StrFormat("proto[L%d,z%d]", layer_ + 1, z_);
+}
+
+Status PrototypeAffinityFunction::Prepare(
+    const std::vector<data::Image>& images) {
+  return source_->Prepare(images);
+}
+
+float PrototypeAffinityFunction::Score(int i, int j) const {
+  return source_->Score(layer_, z_, i, j);
+}
+
+VectorCosineAffinity::VectorCosineAffinity(std::string name, Matrix embeddings)
+    : name_(std::move(name)), embeddings_(std::move(embeddings)) {}
+
+Status VectorCosineAffinity::Prepare(const std::vector<data::Image>& images) {
+  if (static_cast<int64_t>(images.size()) != embeddings_.rows()) {
+    return Status::InvalidArgument(
+        "VectorCosineAffinity: embedding rows must match image count");
+  }
+  return Status::OK();
+}
+
+float VectorCosineAffinity::Score(int i, int j) const {
+  const int64_t d = embeddings_.cols();
+  const double* a = embeddings_.RowPtr(i);
+  const double* b = embeddings_.RowPtr(j);
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (int64_t k = 0; k < d; ++k) {
+    dot += a[k] * b[k];
+    na += a[k] * a[k];
+    nb += b[k] * b[k];
+  }
+  if (na < 1e-24 || nb < 1e-24) return 0.0f;
+  return static_cast<float>(dot / std::sqrt(na * nb));
+}
+
+AffinityLibrary BuildPrototypeAffinityLibrary(
+    std::shared_ptr<features::FeatureExtractor> extractor, int top_z) {
+  AffinityLibrary library;
+  library.source =
+      std::make_shared<PrototypeAffinitySource>(extractor, top_z);
+  const int num_layers = extractor->num_pool_layers();
+  // Round-robin across layers so prefixes span all scales (Figure 9).
+  for (int z = 0; z < top_z; ++z) {
+    for (int layer = 0; layer < num_layers; ++layer) {
+      library.functions.push_back(
+          std::make_unique<PrototypeAffinityFunction>(library.source, layer, z));
+    }
+  }
+  return library;
+}
+
+Result<Matrix> BuildAffinityMatrix(
+    const std::vector<AffinityFunction*>& functions, int num_images) {
+  if (functions.empty()) {
+    return Status::InvalidArgument("BuildAffinityMatrix: no functions");
+  }
+  const int64_t n = num_images;
+  const int64_t alpha = static_cast<int64_t>(functions.size());
+  Matrix a(n, alpha * n);
+  ParallelFor(0, n, [&](int64_t i) {
+    double* row = a.RowPtr(i);
+    for (int64_t f = 0; f < alpha; ++f) {
+      const AffinityFunction* fn = functions[static_cast<size_t>(f)];
+      for (int64_t j = 0; j < n; ++j) {
+        row[f * n + j] = static_cast<double>(
+            fn->Score(static_cast<int>(i), static_cast<int>(j)));
+      }
+    }
+  });
+  return a;
+}
+
+}  // namespace goggles

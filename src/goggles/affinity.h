@@ -1,0 +1,147 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/image.h"
+#include "features/extractor.h"
+#include "features/prototypes.h"
+#include "linalg/matrix.h"
+#include "util/status.h"
+
+/// \file affinity.h
+/// \brief Affinity functions and affinity matrix construction (paper §2-3).
+///
+/// An affinity function maps an instance pair to a similarity score. The
+/// GOGGLES library contains alpha = 5 layers x Z prototypes functions built
+/// on the VggMini backbone (Eq. 2: max over spatial positions of cosine
+/// similarity to a prototype), but the interface is open: any pairwise
+/// score can participate (see `VectorCosineAffinity` and the
+/// `custom_affinity` example).
+
+namespace goggles {
+
+/// \brief Interface every affinity function implements.
+class AffinityFunction {
+ public:
+  virtual ~AffinityFunction() = default;
+
+  /// \brief Human-readable identifier (e.g. "proto[L2,z3]").
+  virtual std::string name() const = 0;
+
+  /// \brief Caches per-image state for the dataset; called once before any
+  /// Score() call. Must be idempotent.
+  virtual Status Prepare(const std::vector<data::Image>& images) = 0;
+
+  /// \brief Affinity of the ordered pair (x_i, x_j). Note Eq. 2 is
+  /// asymmetric: the prototype comes from x_j, the search is over x_i.
+  virtual float Score(int i, int j) const = 0;
+};
+
+/// \brief Shared state for the 5 x Z prototype affinity functions:
+/// normalized filter-map position vectors and top-Z prototypes per image
+/// per layer. One instance is shared by all functions of one library.
+class PrototypeAffinitySource {
+ public:
+  PrototypeAffinitySource(std::shared_ptr<features::FeatureExtractor> extractor,
+                          int top_z)
+      : extractor_(std::move(extractor)), top_z_(top_z) {}
+
+  /// \brief Extracts and normalizes features for `images` (idempotent per
+  /// dataset: re-preparing with a different image count re-runs).
+  Status Prepare(const std::vector<data::Image>& images);
+
+  int num_layers() const { return extractor_->num_pool_layers(); }
+  int top_z() const { return top_z_; }
+  int num_images() const { return num_images_; }
+
+  /// \brief Eq. 2: max_{h,w} cos(v^z_j, v^{(h,w)}_i) at `layer`.
+  ///
+  /// When image j has fewer than Z unique prototypes at this layer, the
+  /// prototype index wraps around (documented deviation: the paper drops
+  /// duplicates, leaving some functions undefined for that image; wrapping
+  /// keeps the affinity matrix rectangular).
+  float Score(int layer, int z, int i, int j) const;
+
+ private:
+  struct LayerData {
+    int channels = 0;
+    int area = 0;  // H * W
+    // positions[i]: area x channels row-major, rows L2-normalized.
+    std::vector<std::vector<float>> positions;
+    // prototypes[i]: (#unique<=Z) x channels row-major, rows L2-normalized.
+    std::vector<std::vector<float>> prototypes;
+    std::vector<int> num_prototypes;
+  };
+
+  std::shared_ptr<features::FeatureExtractor> extractor_;
+  int top_z_;
+  int num_images_ = -1;
+  std::vector<LayerData> layers_;
+};
+
+/// \brief One (layer, z) prototype affinity function (Eq. 2).
+class PrototypeAffinityFunction : public AffinityFunction {
+ public:
+  PrototypeAffinityFunction(std::shared_ptr<PrototypeAffinitySource> source,
+                            int layer, int z);
+
+  std::string name() const override;
+  Status Prepare(const std::vector<data::Image>& images) override;
+  float Score(int i, int j) const override;
+
+ private:
+  std::shared_ptr<PrototypeAffinitySource> source_;
+  int layer_;
+  int z_;
+};
+
+/// \brief Affinity = cosine similarity between fixed per-image embedding
+/// vectors (used by the HOG and Logits representation ablations, and by
+/// user-defined affinity functions over any embedding).
+class VectorCosineAffinity : public AffinityFunction {
+ public:
+  /// \param name       display name
+  /// \param embeddings one row per image
+  VectorCosineAffinity(std::string name, Matrix embeddings);
+
+  std::string name() const override { return name_; }
+  Status Prepare(const std::vector<data::Image>& images) override;
+  float Score(int i, int j) const override;
+
+ private:
+  std::string name_;
+  Matrix embeddings_;
+};
+
+/// \brief The GOGGLES affinity function library: 5 layers x Z functions
+/// sharing one `PrototypeAffinitySource`.
+struct AffinityLibrary {
+  std::shared_ptr<PrototypeAffinitySource> source;
+  std::vector<std::unique_ptr<AffinityFunction>> functions;
+
+  std::vector<AffinityFunction*> Pointers() const {
+    std::vector<AffinityFunction*> out;
+    out.reserve(functions.size());
+    for (const auto& f : functions) out.push_back(f.get());
+    return out;
+  }
+};
+
+/// \brief Builds the prototype affinity library.
+///
+/// Functions are ordered round-robin across layers (z=0 of every layer
+/// first), so that truncated prefixes — used by the Figure 9 sweep — still
+/// span all five scales.
+AffinityLibrary BuildPrototypeAffinityLibrary(
+    std::shared_ptr<features::FeatureExtractor> extractor, int top_z = 10);
+
+/// \brief Constructs the affinity matrix A in the paper's layout (§2.2):
+/// A[i, f*N + j] = f(x_i, x_j) for each function f and instance pair (i,j).
+///
+/// All functions must already be Prepare()d for `num_images` images.
+Result<Matrix> BuildAffinityMatrix(
+    const std::vector<AffinityFunction*>& functions, int num_images);
+
+}  // namespace goggles

@@ -1,0 +1,191 @@
+#include "goggles/base_gmm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/rng.h"
+
+namespace goggles {
+
+double LogSumExp(const double* v, int64_t n) {
+  double max_v = -std::numeric_limits<double>::infinity();
+  for (int64_t i = 0; i < n; ++i) max_v = std::max(max_v, v[i]);
+  if (!std::isfinite(max_v)) return max_v;
+  double acc = 0.0;
+  for (int64_t i = 0; i < n; ++i) acc += std::exp(v[i] - max_v);
+  return max_v + std::log(acc);
+}
+
+namespace {
+
+constexpr double kLog2Pi = 1.8378770664093453;
+
+struct GmmState {
+  Matrix means;      // K x D
+  Matrix variances;  // K x D
+  std::vector<double> weights;
+};
+
+/// Log density of row `x` under component k (diagonal Gaussian, Eq. 6 with
+/// diagonal covariance).
+double LogGaussianDiag(const double* x, const double* mean, const double* var,
+                       int64_t d) {
+  double acc = 0.0;
+  for (int64_t j = 0; j < d; ++j) {
+    const double diff = x[j] - mean[j];
+    acc += std::log(var[j]) + diff * diff / var[j];
+  }
+  return -0.5 * (static_cast<double>(d) * kLog2Pi + acc);
+}
+
+/// E-step: fills `log_resp` (N x K) and returns the data log-likelihood.
+double EStep(const Matrix& x, const GmmState& state, Matrix* log_resp) {
+  const int64_t n = x.rows(), d = x.cols();
+  const int64_t k = state.means.rows();
+  double total_ll = 0.0;
+  std::vector<double> scratch(static_cast<size_t>(k));
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t c = 0; c < k; ++c) {
+      scratch[static_cast<size_t>(c)] =
+          std::log(std::max(state.weights[static_cast<size_t>(c)], 1e-300)) +
+          LogGaussianDiag(x.RowPtr(i), state.means.RowPtr(c),
+                          state.variances.RowPtr(c), d);
+    }
+    const double lse = LogSumExp(scratch.data(), k);
+    total_ll += lse;
+    for (int64_t c = 0; c < k; ++c) {
+      (*log_resp)(i, c) = scratch[static_cast<size_t>(c)] - lse;
+    }
+  }
+  return total_ll;
+}
+
+/// M-step (Eq. 10), with a variance floor for numerical stability.
+void MStep(const Matrix& x, const Matrix& log_resp, double var_floor,
+           GmmState* state) {
+  const int64_t n = x.rows(), d = x.cols();
+  const int64_t k = state->means.rows();
+  for (int64_t c = 0; c < k; ++c) {
+    double nk = 0.0;
+    std::vector<double> mean(static_cast<size_t>(d), 0.0);
+    for (int64_t i = 0; i < n; ++i) {
+      const double r = std::exp(log_resp(i, c));
+      nk += r;
+      const double* row = x.RowPtr(i);
+      for (int64_t j = 0; j < d; ++j) mean[static_cast<size_t>(j)] += r * row[j];
+    }
+    nk = std::max(nk, 1e-12);
+    for (int64_t j = 0; j < d; ++j) {
+      state->means(c, j) = mean[static_cast<size_t>(j)] / nk;
+    }
+    std::vector<double> var(static_cast<size_t>(d), 0.0);
+    for (int64_t i = 0; i < n; ++i) {
+      const double r = std::exp(log_resp(i, c));
+      const double* row = x.RowPtr(i);
+      for (int64_t j = 0; j < d; ++j) {
+        const double diff = row[j] - state->means(c, j);
+        var[static_cast<size_t>(j)] += r * diff * diff;
+      }
+    }
+    for (int64_t j = 0; j < d; ++j) {
+      state->variances(c, j) =
+          std::max(var[static_cast<size_t>(j)] / nk, var_floor);
+    }
+    state->weights[static_cast<size_t>(c)] = nk / static_cast<double>(n);
+  }
+}
+
+/// Random-point initialization: distinct data rows as means, global column
+/// variance as the shared initial variance.
+GmmState InitState(const Matrix& x, int k, Rng* rng, double var_floor) {
+  const int64_t n = x.rows(), d = x.cols();
+  GmmState state;
+  state.means = Matrix(k, d);
+  state.variances = Matrix(k, d);
+  state.weights.assign(static_cast<size_t>(k), 1.0 / k);
+
+  std::vector<int> picks = rng->SampleWithoutReplacement(
+      static_cast<int>(n), k);
+  for (int c = 0; c < k; ++c) {
+    const double* row = x.RowPtr(picks[static_cast<size_t>(c)]);
+    for (int64_t j = 0; j < d; ++j) state.means(c, j) = row[j];
+  }
+
+  std::vector<double> col_mean = ColumnMeans(x);
+  for (int64_t j = 0; j < d; ++j) {
+    double acc = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      const double diff = x(i, j) - col_mean[static_cast<size_t>(j)];
+      acc += diff * diff;
+    }
+    const double var = std::max(acc / static_cast<double>(n), var_floor);
+    for (int c = 0; c < k; ++c) state.variances(c, j) = var;
+  }
+  return state;
+}
+
+}  // namespace
+
+Status DiagonalGmm::Fit(const Matrix& x) {
+  if (x.rows() < config_.num_components) {
+    return Status::InvalidArgument(
+        "DiagonalGmm::Fit: fewer samples than components");
+  }
+  if (config_.num_components < 1) {
+    return Status::InvalidArgument("DiagonalGmm::Fit: need >= 1 component");
+  }
+
+  Rng rng(config_.seed);
+  double best_ll = -std::numeric_limits<double>::infinity();
+
+  for (int restart = 0; restart < std::max(1, config_.num_restarts);
+       ++restart) {
+    Rng restart_rng = rng.Fork(static_cast<uint64_t>(restart));
+    GmmState state =
+        InitState(x, config_.num_components, &restart_rng, config_.var_floor);
+    Matrix log_resp(x.rows(), config_.num_components);
+
+    std::vector<double> history;
+    double prev_ll = -std::numeric_limits<double>::infinity();
+    for (int iter = 0; iter < config_.max_iters; ++iter) {
+      const double ll = EStep(x, state, &log_resp);
+      history.push_back(ll);
+      MStep(x, log_resp, config_.var_floor, &state);
+      if (iter > 0 && ll - prev_ll < config_.tol) break;
+      prev_ll = ll;
+    }
+    const double final_ll = history.empty() ? 0.0 : history.back();
+    if (final_ll > best_ll) {
+      best_ll = final_ll;
+      means_ = state.means;
+      variances_ = state.variances;
+      weights_ = state.weights;
+      ll_history_ = std::move(history);
+    }
+  }
+  final_ll_ = best_ll;
+  return Status::OK();
+}
+
+Result<Matrix> DiagonalGmm::PredictProba(const Matrix& x) const {
+  if (means_.rows() == 0) {
+    return Status::Internal("DiagonalGmm::PredictProba: model not fitted");
+  }
+  if (x.cols() != means_.cols()) {
+    return Status::InvalidArgument(
+        "DiagonalGmm::PredictProba: dimension mismatch");
+  }
+  GmmState state{means_, variances_, weights_};
+  Matrix log_resp(x.rows(), means_.rows());
+  EStep(x, state, &log_resp);
+  Matrix proba(x.rows(), means_.rows());
+  for (int64_t i = 0; i < x.rows(); ++i) {
+    for (int64_t c = 0; c < means_.rows(); ++c) {
+      proba(i, c) = std::exp(log_resp(i, c));
+    }
+  }
+  return proba;
+}
+
+}  // namespace goggles

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "util/status.h"
+
+/// \file base_gmm.h
+/// \brief Diagonal-covariance Gaussian mixture, the base model of the
+/// hierarchical generative model (paper §4.1).
+///
+/// One GMM is fit per affinity function on that function's N-column slice
+/// A_f of the affinity matrix. The paper's key design choice — a *diagonal*
+/// covariance matrix — cuts the parameter count from K*(N choose 2) to K*N
+/// and is preserved here. EM updates follow Eq. 8-10.
+
+namespace goggles {
+
+/// \brief GMM hyper-parameters.
+struct GmmConfig {
+  int num_components = 2;
+  int max_iters = 100;
+  double tol = 1e-6;        ///< stop when LL improves less than this
+  int num_restarts = 3;     ///< keep the best of this many EM runs
+  double var_floor = 1e-6;  ///< lower bound on per-dimension variance
+  uint64_t seed = 17;
+};
+
+/// \brief Diagonal-covariance Gaussian mixture fit with EM.
+class DiagonalGmm {
+ public:
+  explicit DiagonalGmm(GmmConfig config) : config_(config) {}
+
+  /// \brief Fits the mixture to `x` (rows = samples).
+  Status Fit(const Matrix& x);
+
+  /// \brief Posterior responsibilities P(y = k | s) for each row (Eq. 8).
+  Result<Matrix> PredictProba(const Matrix& x) const;
+
+  /// \brief Final training log-likelihood of the best restart.
+  double final_log_likelihood() const { return final_ll_; }
+
+  /// \brief Per-iteration LL of the best restart (monotone by EM theory;
+  /// asserted in the property tests).
+  const std::vector<double>& log_likelihood_history() const {
+    return ll_history_;
+  }
+
+  const Matrix& means() const { return means_; }
+  const Matrix& variances() const { return variances_; }
+  const std::vector<double>& weights() const { return weights_; }
+
+ private:
+  GmmConfig config_;
+  Matrix means_;       // K x D
+  Matrix variances_;   // K x D
+  std::vector<double> weights_;  // K
+  double final_ll_ = 0.0;
+  std::vector<double> ll_history_;
+};
+
+/// \brief Numerically-stable log(sum(exp(v))).
+double LogSumExp(const double* v, int64_t n);
+
+}  // namespace goggles

@@ -1,0 +1,182 @@
+#include "goggles/ensemble.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "goggles/base_gmm.h"  // LogSumExp
+#include "util/rng.h"
+
+namespace goggles {
+namespace {
+
+struct BernoulliState {
+  Matrix params;  // K x L
+  std::vector<double> weights;
+};
+
+/// E-step; returns total data log-likelihood. Uses precomputed logs of the
+/// parameters for speed.
+double EStep(const Matrix& b, const BernoulliState& state, Matrix* log_resp) {
+  const int64_t n = b.rows(), l = b.cols();
+  const int64_t k = state.params.rows();
+  Matrix log_p(k, l), log_q(k, l);
+  for (int64_t c = 0; c < k; ++c) {
+    for (int64_t j = 0; j < l; ++j) {
+      log_p(c, j) = std::log(state.params(c, j));
+      log_q(c, j) = std::log(1.0 - state.params(c, j));
+    }
+  }
+  double total_ll = 0.0;
+  std::vector<double> scratch(static_cast<size_t>(k));
+  for (int64_t i = 0; i < n; ++i) {
+    const double* row = b.RowPtr(i);
+    for (int64_t c = 0; c < k; ++c) {
+      double acc =
+          std::log(std::max(state.weights[static_cast<size_t>(c)], 1e-300));
+      const double* lp = log_p.RowPtr(c);
+      const double* lq = log_q.RowPtr(c);
+      for (int64_t j = 0; j < l; ++j) {
+        acc += row[j] * lp[j] + (1.0 - row[j]) * lq[j];
+      }
+      scratch[static_cast<size_t>(c)] = acc;
+    }
+    const double lse = LogSumExp(scratch.data(), k);
+    total_ll += lse;
+    for (int64_t c = 0; c < k; ++c) {
+      (*log_resp)(i, c) = scratch[static_cast<size_t>(c)] - lse;
+    }
+  }
+  return total_ll;
+}
+
+/// M-step (Eq. 11) with Laplace smoothing.
+void MStep(const Matrix& b, const Matrix& log_resp, double smoothing,
+           BernoulliState* state) {
+  const int64_t n = b.rows(), l = b.cols();
+  const int64_t k = state->params.rows();
+  for (int64_t c = 0; c < k; ++c) {
+    double nk = 0.0;
+    std::vector<double> acc(static_cast<size_t>(l), 0.0);
+    for (int64_t i = 0; i < n; ++i) {
+      const double r = std::exp(log_resp(i, c));
+      nk += r;
+      const double* row = b.RowPtr(i);
+      for (int64_t j = 0; j < l; ++j) acc[static_cast<size_t>(j)] += r * row[j];
+    }
+    for (int64_t j = 0; j < l; ++j) {
+      state->params(c, j) =
+          (acc[static_cast<size_t>(j)] + smoothing) / (nk + 2.0 * smoothing);
+    }
+    state->weights[static_cast<size_t>(c)] =
+        std::max(nk, 1e-12) / static_cast<double>(n);
+  }
+}
+
+}  // namespace
+
+Status BernoulliMixture::Fit(const Matrix& b) {
+  const int64_t n = b.rows();
+  if (n < config_.num_components) {
+    return Status::InvalidArgument(
+        "BernoulliMixture::Fit: fewer samples than components");
+  }
+  Rng rng(config_.seed);
+  double best_ll = -std::numeric_limits<double>::infinity();
+
+  for (int restart = 0; restart < std::max(1, config_.num_restarts);
+       ++restart) {
+    Rng restart_rng = rng.Fork(static_cast<uint64_t>(restart));
+    // Init: random soft responsibilities -> M-step.
+    Matrix log_resp(n, config_.num_components);
+    for (int64_t i = 0; i < n; ++i) {
+      std::vector<double> weights(static_cast<size_t>(config_.num_components));
+      double total = 0.0;
+      for (auto& w : weights) {
+        w = restart_rng.Uniform(0.05, 1.0);
+        total += w;
+      }
+      for (int64_t c = 0; c < config_.num_components; ++c) {
+        log_resp(i, c) = std::log(weights[static_cast<size_t>(c)] / total);
+      }
+    }
+    BernoulliState state;
+    state.params = Matrix(config_.num_components, b.cols());
+    state.weights.assign(static_cast<size_t>(config_.num_components), 0.0);
+    MStep(b, log_resp, config_.smoothing, &state);
+
+    std::vector<double> history;
+    double prev_ll = -std::numeric_limits<double>::infinity();
+    for (int iter = 0; iter < config_.max_iters; ++iter) {
+      const double ll = EStep(b, state, &log_resp);
+      history.push_back(ll);
+      MStep(b, log_resp, config_.smoothing, &state);
+      if (iter > 0 && ll - prev_ll < config_.tol) break;
+      prev_ll = ll;
+    }
+    const double final_ll = history.empty() ? 0.0 : history.back();
+    if (final_ll > best_ll) {
+      best_ll = final_ll;
+      params_ = state.params;
+      weights_ = state.weights;
+      ll_history_ = std::move(history);
+    }
+  }
+  final_ll_ = best_ll;
+  return Status::OK();
+}
+
+Result<Matrix> BernoulliMixture::PredictProba(const Matrix& b) const {
+  if (params_.rows() == 0) {
+    return Status::Internal("BernoulliMixture::PredictProba: not fitted");
+  }
+  if (b.cols() != params_.cols()) {
+    return Status::InvalidArgument(
+        "BernoulliMixture::PredictProba: dimension mismatch");
+  }
+  BernoulliState state{params_, weights_};
+  Matrix log_resp(b.rows(), params_.rows());
+  EStep(b, state, &log_resp);
+  Matrix proba(b.rows(), params_.rows());
+  for (int64_t i = 0; i < b.rows(); ++i) {
+    for (int64_t c = 0; c < params_.rows(); ++c) {
+      proba(i, c) = std::exp(log_resp(i, c));
+    }
+  }
+  return proba;
+}
+
+Matrix OneHotConcatLabelPredictions(const std::vector<Matrix>& lps) {
+  if (lps.empty()) return Matrix();
+  const int64_t n = lps[0].rows();
+  const int64_t k = lps[0].cols();
+  Matrix out(n, static_cast<int64_t>(lps.size()) * k, 0.0);
+  for (size_t f = 0; f < lps.size(); ++f) {
+    const Matrix& lp = lps[f];
+    for (int64_t i = 0; i < n; ++i) {
+      int64_t best = 0;
+      for (int64_t c = 1; c < k; ++c) {
+        if (lp(i, c) > lp(i, best)) best = c;
+      }
+      out(i, static_cast<int64_t>(f) * k + best) = 1.0;
+    }
+  }
+  return out;
+}
+
+Matrix ConcatLabelPredictions(const std::vector<Matrix>& lps) {
+  if (lps.empty()) return Matrix();
+  const int64_t n = lps[0].rows();
+  const int64_t k = lps[0].cols();
+  Matrix out(n, static_cast<int64_t>(lps.size()) * k, 0.0);
+  for (size_t f = 0; f < lps.size(); ++f) {
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t c = 0; c < k; ++c) {
+        out(i, static_cast<int64_t>(f) * k + c) = lps[f](i, c);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace goggles

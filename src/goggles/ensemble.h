@@ -1,0 +1,62 @@
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "util/status.h"
+
+/// \file ensemble.h
+/// \brief The ensemble layer of the hierarchical generative model (§4.1):
+/// a multivariate-Bernoulli mixture over the one-hot-encoded concatenated
+/// label prediction matrix LP.
+
+namespace goggles {
+
+/// \brief Bernoulli mixture hyper-parameters.
+struct BernoulliMixtureConfig {
+  int num_components = 2;
+  int max_iters = 100;
+  double tol = 1e-6;
+  int num_restarts = 4;
+  /// Laplace smoothing added in the M-step so no b_{k,l} hits exactly 0/1
+  /// (the paper's "singularity problem" guard).
+  double smoothing = 1e-2;
+  uint64_t seed = 19;
+};
+
+/// \brief Multivariate Bernoulli mixture (Eq. 7) fit with EM (Eq. 11).
+class BernoulliMixture {
+ public:
+  explicit BernoulliMixture(BernoulliMixtureConfig config) : config_(config) {}
+
+  /// \brief Fits to binary matrix `b` (values in [0, 1]; fractional values
+  /// are treated as soft memberships, used by the no-one-hot ablation).
+  Status Fit(const Matrix& b);
+
+  /// \brief Posterior responsibilities per row.
+  Result<Matrix> PredictProba(const Matrix& b) const;
+
+  double final_log_likelihood() const { return final_ll_; }
+  const std::vector<double>& log_likelihood_history() const {
+    return ll_history_;
+  }
+  const Matrix& bernoulli_params() const { return params_; }
+  const std::vector<double>& weights() const { return weights_; }
+
+ private:
+  BernoulliMixtureConfig config_;
+  Matrix params_;  // K x L, P(s_l = 1 | component k)
+  std::vector<double> weights_;
+  double final_ll_ = 0.0;
+  std::vector<double> ll_history_;
+};
+
+/// \brief One-hot encodes a stack of label prediction matrices (§4.1):
+/// for each instance and each LP_f, the argmax class becomes 1, the rest 0;
+/// the result is the N x (alpha*K) concatenated binary LP matrix.
+Matrix OneHotConcatLabelPredictions(const std::vector<Matrix>& lps);
+
+/// \brief Concatenates LPs without one-hot conversion (ablation).
+Matrix ConcatLabelPredictions(const std::vector<Matrix>& lps);
+
+}  // namespace goggles

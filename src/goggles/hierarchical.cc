@@ -1,0 +1,105 @@
+#include "goggles/hierarchical.h"
+
+#include <algorithm>
+
+#include "goggles/mapping.h"
+#include "util/logging.h"
+#include "util/parallel.h"
+
+namespace goggles {
+
+Result<LabelingResult> HierarchicalLabeler::Fit(
+    const Matrix& affinity, const std::vector<int>& dev_indices,
+    const std::vector<int>& dev_labels, int num_classes) const {
+  const int64_t n = affinity.rows();
+  if (n == 0) return Status::InvalidArgument("HierarchicalLabeler: empty data");
+  if (affinity.cols() % n != 0) {
+    return Status::InvalidArgument(
+        "HierarchicalLabeler: affinity width must be a multiple of N (one "
+        "N-column block per affinity function)");
+  }
+  const int64_t alpha = affinity.cols() / n;
+
+  // ---- Base layer: one diagonal GMM per affinity function (§4.1). ----
+  // Fitting the alpha base models is embarrassingly parallel (the paper
+  // notes base models "can be parallelized using different slices of the
+  // affinity matrix").
+  std::vector<Matrix> lps(static_cast<size_t>(alpha));
+  std::vector<Status> statuses(static_cast<size_t>(alpha), Status::OK());
+  GmmConfig base_config = config_.base;
+  base_config.num_components = num_classes;
+  ParallelFor(0, alpha, [&](int64_t f) {
+    Matrix block = affinity.Block(0, f * n, n, n);
+    GmmConfig cfg = base_config;
+    cfg.seed = base_config.seed + static_cast<uint64_t>(f) * 7919;
+    DiagonalGmm gmm(cfg);
+    Status st = gmm.Fit(block);
+    if (!st.ok()) {
+      statuses[static_cast<size_t>(f)] = st;
+      return;
+    }
+    Result<Matrix> proba = gmm.PredictProba(block);
+    if (!proba.ok()) {
+      statuses[static_cast<size_t>(f)] = proba.status();
+      return;
+    }
+    lps[static_cast<size_t>(f)] = std::move(*proba);
+  });
+  for (const Status& st : statuses) GOGGLES_RETURN_NOT_OK(st);
+
+  // Map every base model's clusters to classes using the development set
+  // (§4.3: the mapping is applied to each LP_f and to the final L).
+  for (int64_t f = 0; f < alpha; ++f) {
+    GOGGLES_ASSIGN_OR_RETURN(
+        std::vector<int> mapping,
+        ClusterToClassMapping(lps[static_cast<size_t>(f)], dev_indices,
+                              dev_labels, num_classes));
+    lps[static_cast<size_t>(f)] =
+        ApplyMapping(lps[static_cast<size_t>(f)], mapping);
+  }
+
+  LabelingResult result;
+  result.base_label_predictions = lps;
+
+  if (!config_.use_ensemble) {
+    // Ablation: average the mapped base LPs instead of learning an
+    // ensemble. Affinity-function quality weighting is lost.
+    Matrix avg(n, num_classes, 0.0);
+    for (const Matrix& lp : lps) {
+      GOGGLES_RETURN_NOT_OK(avg.AddInPlace(lp));
+    }
+    avg.Scale(1.0 / static_cast<double>(alpha));
+    result.soft_labels = std::move(avg);
+    std::vector<int> identity(static_cast<size_t>(num_classes));
+    for (int k = 0; k < num_classes; ++k) identity[static_cast<size_t>(k)] = k;
+    result.cluster_to_class = identity;
+  } else {
+    // ---- Ensemble layer (§4.1): Bernoulli mixture over one-hot LP. ----
+    Matrix concat = config_.one_hot_lp ? OneHotConcatLabelPredictions(lps)
+                                       : ConcatLabelPredictions(lps);
+    BernoulliMixtureConfig ens_config = config_.ensemble;
+    ens_config.num_components = num_classes;
+    BernoulliMixture ensemble(ens_config);
+    GOGGLES_RETURN_NOT_OK(ensemble.Fit(concat));
+    GOGGLES_ASSIGN_OR_RETURN(Matrix gamma, ensemble.PredictProba(concat));
+    result.ensemble_log_likelihood = ensemble.final_log_likelihood();
+
+    GOGGLES_ASSIGN_OR_RETURN(
+        std::vector<int> mapping,
+        ClusterToClassMapping(gamma, dev_indices, dev_labels, num_classes));
+    result.soft_labels = ApplyMapping(gamma, mapping);
+    result.cluster_to_class = mapping;
+  }
+
+  result.hard_labels.resize(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    int best = 0;
+    for (int k = 1; k < num_classes; ++k) {
+      if (result.soft_labels(i, k) > result.soft_labels(i, best)) best = k;
+    }
+    result.hard_labels[static_cast<size_t>(i)] = best;
+  }
+  return result;
+}
+
+}  // namespace goggles

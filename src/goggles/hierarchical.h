@@ -1,0 +1,71 @@
+#pragma once
+
+#include <vector>
+
+#include "goggles/base_gmm.h"
+#include "goggles/ensemble.h"
+#include "linalg/matrix.h"
+#include "util/status.h"
+
+/// \file hierarchical.h
+/// \brief The hierarchical generative model for class inference (paper §4):
+/// one diagonal-covariance GMM per affinity function (base layer), one-hot
+/// concatenation of their label prediction matrices, a multivariate
+/// Bernoulli mixture (ensemble layer), and development-set cluster-to-class
+/// mapping of both layers.
+
+namespace goggles {
+
+/// \brief Inference hyper-parameters, plus ablation switches (§4.1 design
+/// choices, exercised by bench_ablation_inference).
+struct HierarchicalConfig {
+  GmmConfig base;
+  BernoulliMixtureConfig ensemble;
+  /// One-hot encode LP before the ensemble (paper's design). Off = feed raw
+  /// posteriors to the Bernoulli mixture (ablation).
+  bool one_hot_lp = true;
+  /// Use the Bernoulli ensemble (paper's design). Off = average the mapped
+  /// base-model LPs (ablation).
+  bool use_ensemble = true;
+};
+
+/// \brief Output of class inference.
+struct LabelingResult {
+  /// N x K probabilistic labels, columns aligned to true classes via the
+  /// development-set mapping.
+  Matrix soft_labels;
+  /// Argmax of soft_labels per row.
+  std::vector<int> hard_labels;
+  /// Ensemble-level cluster -> class mapping that was applied.
+  std::vector<int> cluster_to_class;
+  /// Per-affinity-function label prediction matrices, each already mapped
+  /// to true-class columns (diagnostics / Figure 2-style analyses).
+  std::vector<Matrix> base_label_predictions;
+  /// Final ensemble training log-likelihood.
+  double ensemble_log_likelihood = 0.0;
+};
+
+/// \brief Runs the full §4 inference stack on an affinity matrix.
+class HierarchicalLabeler {
+ public:
+  explicit HierarchicalLabeler(HierarchicalConfig config)
+      : config_(config) {}
+
+  /// \brief Fits base + ensemble models and maps clusters to classes.
+  ///
+  /// \param affinity     N x (alpha*N) matrix in the §2.2 layout.
+  /// \param dev_indices  rows with known labels (the development set).
+  /// \param dev_labels   their classes.
+  /// \param num_classes  K.
+  Result<LabelingResult> Fit(const Matrix& affinity,
+                             const std::vector<int>& dev_indices,
+                             const std::vector<int>& dev_labels,
+                             int num_classes) const;
+
+  const HierarchicalConfig& config() const { return config_; }
+
+ private:
+  HierarchicalConfig config_;
+};
+
+}  // namespace goggles

@@ -1,0 +1,70 @@
+#include "goggles/mapping.h"
+
+#include "linalg/hungarian.h"
+
+namespace goggles {
+
+Result<std::vector<int>> ClusterToClassMapping(
+    const Matrix& gamma, const std::vector<int>& dev_indices,
+    const std::vector<int>& dev_labels, int num_classes) {
+  if (dev_indices.size() != dev_labels.size()) {
+    return Status::InvalidArgument(
+        "ClusterToClassMapping: dev indices/labels size mismatch");
+  }
+  if (gamma.cols() != num_classes) {
+    return Status::InvalidArgument(
+        "ClusterToClassMapping: gamma must have K columns");
+  }
+  std::vector<int> identity(static_cast<size_t>(num_classes));
+  for (int k = 0; k < num_classes; ++k) identity[static_cast<size_t>(k)] = k;
+  if (dev_indices.empty()) return identity;
+
+  // w(k, k') = sum of cluster-k responsibility over dev examples of class k'
+  // (Eq. 16's reward matrix).
+  Matrix w(num_classes, num_classes, 0.0);
+  for (size_t i = 0; i < dev_indices.size(); ++i) {
+    const int row = dev_indices[i];
+    const int label = dev_labels[i];
+    if (row < 0 || row >= gamma.rows()) {
+      return Status::OutOfRange("ClusterToClassMapping: dev index out of range");
+    }
+    if (label < 0 || label >= num_classes) {
+      return Status::OutOfRange("ClusterToClassMapping: dev label out of range");
+    }
+    for (int k = 0; k < num_classes; ++k) {
+      w(k, label) += gamma(row, k);
+    }
+  }
+  return SolveAssignmentMax(w);
+}
+
+Matrix ApplyMapping(const Matrix& gamma, const std::vector<int>& mapping) {
+  Matrix out(gamma.rows(), gamma.cols(), 0.0);
+  for (int64_t k = 0; k < gamma.cols(); ++k) {
+    const int target = mapping[static_cast<size_t>(k)];
+    for (int64_t i = 0; i < gamma.rows(); ++i) {
+      out(i, target) = gamma(i, k);
+    }
+  }
+  return out;
+}
+
+std::vector<int> BinaryMappingEq15(const Matrix& gamma,
+                                   const std::vector<int>& dev_indices,
+                                   const std::vector<int>& dev_labels) {
+  // Eq. 15: keep identity iff cluster 1's responsibility mass on class-1
+  // dev examples is at least its mass on class-0 dev examples.
+  double mass_ls1 = 0.0, mass_ls0 = 0.0;
+  for (size_t i = 0; i < dev_indices.size(); ++i) {
+    const double g1 = gamma(dev_indices[i], 1);
+    if (dev_labels[i] == 1) {
+      mass_ls1 += g1;
+    } else {
+      mass_ls0 += g1;
+    }
+  }
+  if (mass_ls1 >= mass_ls0) return {0, 1};
+  return {1, 0};
+}
+
+}  // namespace goggles

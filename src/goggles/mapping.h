@@ -1,0 +1,40 @@
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "util/status.h"
+
+/// \file mapping.h
+/// \brief Cluster-to-class mapping from the development set (paper §4.3).
+///
+/// The hierarchical model clusters instances; the development set decides
+/// which cluster is which class. The "goodness" of a mapping g is
+/// L_g = sum_k sum_{l in LS_{g(k)}} gamma_{l,k} (Eq. 12), maximized over
+/// one-to-one mappings — an assignment problem solved in O(K^3) (Eq. 14/16).
+
+namespace goggles {
+
+/// \brief Finds the one-to-one cluster->class mapping maximizing Eq. 12.
+///
+/// \param gamma       N x K posterior responsibilities (cluster columns).
+/// \param dev_indices row indices of development examples.
+/// \param dev_labels  their true class labels (same length).
+/// \param num_classes K.
+/// \returns mapping[k] = class assigned to cluster k. With an empty
+/// development set the identity mapping is returned (clusters unnamed).
+Result<std::vector<int>> ClusterToClassMapping(
+    const Matrix& gamma, const std::vector<int>& dev_indices,
+    const std::vector<int>& dev_labels, int num_classes);
+
+/// \brief Reorders the columns of `gamma` so column g(k) receives cluster
+/// k's posteriors, aligning clusters with true classes.
+Matrix ApplyMapping(const Matrix& gamma, const std::vector<int>& mapping);
+
+/// \brief Specialized K=2 mapping from Eq. 15 (used to cross-check the
+/// assignment-solver path in tests).
+std::vector<int> BinaryMappingEq15(const Matrix& gamma,
+                                   const std::vector<int>& dev_indices,
+                                   const std::vector<int>& dev_labels);
+
+}  // namespace goggles

@@ -1,0 +1,56 @@
+#include "goggles/pipeline.h"
+
+#include <algorithm>
+
+namespace goggles {
+
+GogglesPipeline::GogglesPipeline(
+    std::shared_ptr<features::FeatureExtractor> extractor, GogglesConfig config)
+    : extractor_(std::move(extractor)), config_(config) {
+  library_ = BuildPrototypeAffinityLibrary(extractor_, config_.top_z);
+}
+
+void GogglesPipeline::AddFunction(std::unique_ptr<AffinityFunction> function) {
+  extra_functions_.push_back(std::move(function));
+}
+
+std::vector<AffinityFunction*> GogglesPipeline::ActiveFunctions() const {
+  std::vector<AffinityFunction*> fns = library_.Pointers();
+  for (const auto& f : extra_functions_) fns.push_back(f.get());
+  if (config_.max_functions > 0 &&
+      config_.max_functions < static_cast<int>(fns.size())) {
+    fns.resize(static_cast<size_t>(config_.max_functions));
+  }
+  return fns;
+}
+
+int GogglesPipeline::num_functions() const {
+  return static_cast<int>(ActiveFunctions().size());
+}
+
+Result<Matrix> GogglesPipeline::BuildAffinity(
+    const std::vector<data::Image>& images) const {
+  std::vector<AffinityFunction*> fns = ActiveFunctions();
+  if (fns.empty()) {
+    return Status::InvalidArgument("GogglesPipeline: no affinity functions");
+  }
+  for (AffinityFunction* f : fns) {
+    GOGGLES_RETURN_NOT_OK(f->Prepare(images));
+  }
+  return BuildAffinityMatrix(fns, static_cast<int>(images.size()));
+}
+
+Result<LabelingResult> GogglesPipeline::Label(
+    const std::vector<data::Image>& images,
+    const std::vector<int>& dev_indices, const std::vector<int>& dev_labels,
+    int num_classes) const {
+  if (dev_indices.size() != dev_labels.size()) {
+    return Status::InvalidArgument(
+        "GogglesPipeline::Label: dev indices/labels size mismatch");
+  }
+  GOGGLES_ASSIGN_OR_RETURN(Matrix affinity, BuildAffinity(images));
+  HierarchicalLabeler labeler(config_.inference);
+  return labeler.Fit(affinity, dev_indices, dev_labels, num_classes);
+}
+
+}  // namespace goggles

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "data/image.h"
+#include "features/extractor.h"
+#include "goggles/affinity.h"
+#include "goggles/hierarchical.h"
+#include "util/status.h"
+
+/// \file pipeline.h
+/// \brief End-to-end GOGGLES: images -> affinity matrix -> probabilistic
+/// labels (Figure 3 of the paper).
+
+namespace goggles {
+
+/// \brief Pipeline hyper-parameters.
+struct GogglesConfig {
+  /// Prototypes per max-pool layer (the paper's Z = 10, for 5*10 = 50
+  /// affinity functions).
+  int top_z = 10;
+  /// Use only the first `max_functions` affinity functions (<=0 = all);
+  /// drives the Figure 9 sweep.
+  int max_functions = 0;
+  HierarchicalConfig inference;
+};
+
+/// \brief Orchestrates affinity construction and class inference.
+class GogglesPipeline {
+ public:
+  /// \param extractor pretrained backbone wrapper (shared; the library of
+  ///        affinity functions is "populated once and reused for any new
+  ///        dataset" — the same extractor serves every labeling task).
+  GogglesPipeline(std::shared_ptr<features::FeatureExtractor> extractor,
+                  GogglesConfig config = {});
+
+  /// \brief Builds the affinity matrix for `images` using the prototype
+  /// affinity library (plus any extra functions added via AddFunction).
+  Result<Matrix> BuildAffinity(const std::vector<data::Image>& images) const;
+
+  /// \brief Full labeling run (Figure 3): affinity matrix + hierarchical
+  /// inference + development-set mapping.
+  ///
+  /// \param images      all N instances (unlabeled and development rows).
+  /// \param dev_indices positions of development examples within `images`.
+  /// \param dev_labels  their classes.
+  /// \param num_classes K.
+  Result<LabelingResult> Label(const std::vector<data::Image>& images,
+                               const std::vector<int>& dev_indices,
+                               const std::vector<int>& dev_labels,
+                               int num_classes) const;
+
+  /// \brief Registers an additional user-supplied affinity function,
+  /// appended after the prototype library (see examples/custom_affinity).
+  void AddFunction(std::unique_ptr<AffinityFunction> function);
+
+  /// \brief Number of affinity functions the pipeline will use.
+  int num_functions() const;
+
+  const GogglesConfig& config() const { return config_; }
+
+ private:
+  std::vector<AffinityFunction*> ActiveFunctions() const;
+
+  std::shared_ptr<features::FeatureExtractor> extractor_;
+  GogglesConfig config_;
+  AffinityLibrary library_;
+  std::vector<std::unique_ptr<AffinityFunction>> extra_functions_;
+};
+
+}  // namespace goggles

@@ -1,0 +1,121 @@
+#include "goggles/theory.h"
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+namespace goggles {
+namespace {
+
+/// W(j, r): sum over compositions (d_1..d_j) of r with each d_i <= cap of
+/// prod_i 1/d_i! — the DP inner kernel of Eq. 23. Computed iteratively.
+/// Values are bounded by e^j, so doubles suffice.
+std::vector<double> ConvolveCappedInverseFactorials(int cells, int total,
+                                                    int cap) {
+  // dp[r] after processing c cells = W(c, r).
+  std::vector<double> dp(static_cast<size_t>(total) + 1, 0.0);
+  dp[0] = 1.0;
+  std::vector<double> inv_fact(static_cast<size_t>(cap) + 1);
+  inv_fact[0] = 1.0;
+  for (int x = 1; x <= cap; ++x) {
+    inv_fact[static_cast<size_t>(x)] =
+        inv_fact[static_cast<size_t>(x - 1)] / static_cast<double>(x);
+  }
+  for (int c = 0; c < cells; ++c) {
+    std::vector<double> next(static_cast<size_t>(total) + 1, 0.0);
+    for (int r = 0; r <= total; ++r) {
+      if (dp[static_cast<size_t>(r)] == 0.0) continue;
+      for (int x = 0; x <= cap && r + x <= total; ++x) {
+        next[static_cast<size_t>(r + x)] +=
+            dp[static_cast<size_t>(r)] * inv_fact[static_cast<size_t>(x)];
+      }
+    }
+    dp = std::move(next);
+  }
+  return dp;
+}
+
+}  // namespace
+
+double ClassMappingProbabilityLowerBound(int num_classes, int dev_per_class,
+                                         double accuracy) {
+  const int k = num_classes;
+  const int d = dev_per_class;
+  if (k < 2 || d <= 0) return 0.0;
+  const double eta = accuracy;
+  const double rho = (1.0 - eta) / static_cast<double>(k - 1);
+
+  // Sum over t = count in the correct cluster; the d - t remaining dev
+  // examples spread over the K-1 wrong clusters, each count strictly < t.
+  double total = 0.0;
+  for (int t = 1; t <= d; ++t) {
+    const int rest = d - t;
+    if (rest > (k - 1) * (t - 1)) continue;  // cannot keep all below t
+    if (eta <= 0.0 && t > 0) continue;
+    if (rho <= 0.0 && rest > 0) continue;
+
+    // Multinomial weight: d!/t! * eta^t * rho^rest * W(K-1, rest | cap=t-1).
+    const std::vector<double> w =
+        ConvolveCappedInverseFactorials(k - 1, rest, t - 1);
+    const double log_coeff = std::lgamma(static_cast<double>(d) + 1.0) -
+                             std::lgamma(static_cast<double>(t) + 1.0) +
+                             static_cast<double>(t) * std::log(eta) +
+                             (rest > 0 ? static_cast<double>(rest) *
+                                             std::log(rho)
+                                       : 0.0);
+    total += std::exp(log_coeff) * w[static_cast<size_t>(rest)];
+  }
+  return std::min(1.0, total);
+}
+
+double CorrectMappingProbabilityLowerBound(int num_classes, int dev_per_class,
+                                           double accuracy) {
+  const double per_class =
+      ClassMappingProbabilityLowerBound(num_classes, dev_per_class, accuracy);
+  return std::pow(per_class, num_classes);
+}
+
+int RequiredDevPerClass(int num_classes, double accuracy,
+                        double target_probability, int max_d) {
+  for (int d = 1; d <= max_d; ++d) {
+    if (CorrectMappingProbabilityLowerBound(num_classes, d, accuracy) >=
+        target_probability) {
+      return d;
+    }
+  }
+  return -1;
+}
+
+double ClassMappingProbabilityBruteForce(int num_classes, int dev_per_class,
+                                         double accuracy) {
+  const int k = num_classes;
+  const int d = dev_per_class;
+  if (k < 2 || d <= 0) return 0.0;
+  const double eta = accuracy;
+  const double rho = (1.0 - eta) / static_cast<double>(k - 1);
+
+  // Enumerate every ordered sequence of per-example cluster assignments;
+  // each sequence's probability is a product of eta / rho factors, which
+  // sums to exactly the multinomial tail of Eq. 18.
+  double total = 0.0;
+  std::vector<int> counts(static_cast<size_t>(k), 0);
+  std::function<void(int, double)> seq = [&](int placed, double prob) {
+    if (placed == d) {
+      const int t = counts[0];
+      for (int c = 1; c < k; ++c) {
+        if (counts[static_cast<size_t>(c)] >= t) return;
+      }
+      total += prob;
+      return;
+    }
+    for (int c = 0; c < k; ++c) {
+      ++counts[static_cast<size_t>(c)];
+      seq(placed + 1, prob * (c == 0 ? eta : rho));
+      --counts[static_cast<size_t>(c)];
+    }
+  };
+  seq(0, 1.0);
+  return total;
+}
+
+}  // namespace goggles

@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file theory.h
+/// \brief Development-set size theory (paper §4.4, Theorem 1, Figure 7).
+///
+/// Given labeling accuracy eta and d development examples per class, the
+/// probability that the majority-vote mapping assigns class k' to its
+/// correct cluster is lower-bounded by a multinomial tail (Eq. 18), and the
+/// probability of a completely correct mapping by the product over classes
+/// (Eq. 19/21). The paper's "rho = eta/(K-1)" is a typo — probabilities
+/// must sum to one, so this implementation uses rho = (1-eta)/(K-1).
+/// The bound is computed by the dynamic program of Eq. 22-23.
+
+namespace goggles {
+
+/// \brief P_l(k'): lower bound on the probability one class maps to its
+/// correct cluster (Eq. 18, strict-majority, ties excluded).
+///
+/// \param num_classes   K >= 2
+/// \param dev_per_class d >= 0 development examples for the class
+/// \param accuracy      eta, the labeler's per-example accuracy
+double ClassMappingProbabilityLowerBound(int num_classes, int dev_per_class,
+                                         double accuracy);
+
+/// \brief Product-over-classes lower bound on a fully correct mapping
+/// (Theorem 1).
+double CorrectMappingProbabilityLowerBound(int num_classes, int dev_per_class,
+                                           double accuracy);
+
+/// \brief Smallest d (per class) such that the Theorem-1 bound reaches
+/// `target_probability`; returns -1 if not reached by `max_d`.
+int RequiredDevPerClass(int num_classes, double accuracy,
+                        double target_probability, int max_d = 200);
+
+/// \brief Brute-force enumeration of Eq. 18 (exponential in K; tests only).
+double ClassMappingProbabilityBruteForce(int num_classes, int dev_per_class,
+                                         double accuracy);
+
+}  // namespace goggles

@@ -1,0 +1,85 @@
+#include "linalg/eigen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace goggles {
+namespace {
+
+double OffDiagonalNorm(const Matrix& a) {
+  double acc = 0.0;
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    for (int64_t j = 0; j < a.cols(); ++j) {
+      if (i != j) acc += a(i, j) * a(i, j);
+    }
+  }
+  return std::sqrt(acc);
+}
+
+}  // namespace
+
+Result<EigenDecomposition> JacobiEigenSymmetric(const Matrix& a,
+                                                int max_sweeps, double tol) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("JacobiEigenSymmetric: matrix not square");
+  }
+  const int64_t n = a.rows();
+  Matrix d = a;           // Will converge to a diagonal matrix.
+  Matrix v = Matrix::Identity(n);
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    if (OffDiagonalNorm(d) < tol) break;
+    for (int64_t p = 0; p < n - 1; ++p) {
+      for (int64_t q = p + 1; q < n; ++q) {
+        double apq = d(p, q);
+        if (std::fabs(apq) < 1e-300) continue;
+        double app = d(p, p);
+        double aqq = d(q, q);
+        double theta = (aqq - app) / (2.0 * apq);
+        // Stable computation of tan(phi) for the annihilating rotation.
+        double t = (theta >= 0 ? 1.0 : -1.0) /
+                   (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        double c = 1.0 / std::sqrt(t * t + 1.0);
+        double s = t * c;
+
+        for (int64_t k = 0; k < n; ++k) {
+          double dkp = d(k, p);
+          double dkq = d(k, q);
+          d(k, p) = c * dkp - s * dkq;
+          d(k, q) = s * dkp + c * dkq;
+        }
+        for (int64_t k = 0; k < n; ++k) {
+          double dpk = d(p, k);
+          double dqk = d(q, k);
+          d(p, k) = c * dpk - s * dqk;
+          d(q, k) = s * dpk + c * dqk;
+        }
+        for (int64_t k = 0; k < n; ++k) {
+          double vkp = v(k, p);
+          double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort eigenpairs by descending eigenvalue.
+  std::vector<int64_t> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&d](int64_t x, int64_t y) { return d(x, x) > d(y, y); });
+
+  EigenDecomposition out;
+  out.values.resize(static_cast<size_t>(n));
+  out.vectors = Matrix(n, n);
+  for (int64_t j = 0; j < n; ++j) {
+    int64_t src = order[static_cast<size_t>(j)];
+    out.values[static_cast<size_t>(j)] = d(src, src);
+    for (int64_t i = 0; i < n; ++i) out.vectors(i, j) = v(i, src);
+  }
+  return out;
+}
+
+}  // namespace goggles

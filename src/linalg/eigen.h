@@ -1,0 +1,31 @@
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "util/status.h"
+
+/// \file eigen.h
+/// \brief Symmetric eigendecomposition via the cyclic Jacobi method.
+
+namespace goggles {
+
+/// \brief Eigen-decomposition of a symmetric matrix.
+struct EigenDecomposition {
+  /// Eigenvalues in descending order.
+  std::vector<double> values;
+  /// Column j of `vectors` is the unit eigenvector for values[j].
+  Matrix vectors;
+};
+
+/// \brief Computes all eigenpairs of symmetric `a` with cyclic Jacobi sweeps.
+///
+/// \param a          symmetric input matrix (symmetry is assumed, the upper
+///                   triangle is trusted).
+/// \param max_sweeps maximum number of full Jacobi sweeps.
+/// \param tol        convergence threshold on the off-diagonal Frobenius norm.
+Result<EigenDecomposition> JacobiEigenSymmetric(const Matrix& a,
+                                                int max_sweeps = 64,
+                                                double tol = 1e-12);
+
+}  // namespace goggles

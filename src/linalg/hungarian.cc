@@ -1,0 +1,89 @@
+#include "linalg/hungarian.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace goggles {
+
+// Classic potentials-based O(n^3) Hungarian algorithm (the standard
+// shortest-augmenting-path formulation, equivalent to Jonker-Volgenant).
+Result<std::vector<int>> SolveAssignmentMin(const Matrix& cost) {
+  if (cost.rows() != cost.cols()) {
+    return Status::InvalidArgument("SolveAssignmentMin: matrix must be square");
+  }
+  const int n = static_cast<int>(cost.rows());
+  if (n == 0) return std::vector<int>{};
+
+  const double kInf = std::numeric_limits<double>::infinity();
+  // 1-indexed internals; row/column 0 are sentinels.
+  std::vector<double> u(static_cast<size_t>(n) + 1, 0.0);
+  std::vector<double> v(static_cast<size_t>(n) + 1, 0.0);
+  std::vector<int> match(static_cast<size_t>(n) + 1, 0);  // col -> row
+  std::vector<int> way(static_cast<size_t>(n) + 1, 0);
+
+  for (int i = 1; i <= n; ++i) {
+    match[0] = i;
+    int j0 = 0;
+    std::vector<double> minv(static_cast<size_t>(n) + 1, kInf);
+    std::vector<char> used(static_cast<size_t>(n) + 1, false);
+    do {
+      used[static_cast<size_t>(j0)] = true;
+      int i0 = match[static_cast<size_t>(j0)];
+      double delta = kInf;
+      int j1 = 0;
+      for (int j = 1; j <= n; ++j) {
+        if (used[static_cast<size_t>(j)]) continue;
+        double cur = cost(i0 - 1, j - 1) - u[static_cast<size_t>(i0)] -
+                     v[static_cast<size_t>(j)];
+        if (cur < minv[static_cast<size_t>(j)]) {
+          minv[static_cast<size_t>(j)] = cur;
+          way[static_cast<size_t>(j)] = j0;
+        }
+        if (minv[static_cast<size_t>(j)] < delta) {
+          delta = minv[static_cast<size_t>(j)];
+          j1 = j;
+        }
+      }
+      for (int j = 0; j <= n; ++j) {
+        if (used[static_cast<size_t>(j)]) {
+          u[static_cast<size_t>(match[static_cast<size_t>(j)])] += delta;
+          v[static_cast<size_t>(j)] -= delta;
+        } else {
+          minv[static_cast<size_t>(j)] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (match[static_cast<size_t>(j0)] != 0);
+    // Augment along the alternating path.
+    do {
+      int j1 = way[static_cast<size_t>(j0)];
+      match[static_cast<size_t>(j0)] = match[static_cast<size_t>(j1)];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  std::vector<int> assignment(static_cast<size_t>(n), -1);
+  for (int j = 1; j <= n; ++j) {
+    assignment[static_cast<size_t>(match[static_cast<size_t>(j)] - 1)] = j - 1;
+  }
+  return assignment;
+}
+
+Result<std::vector<int>> SolveAssignmentMax(const Matrix& reward) {
+  Matrix cost(reward.rows(), reward.cols());
+  for (int64_t r = 0; r < reward.rows(); ++r) {
+    for (int64_t c = 0; c < reward.cols(); ++c) cost(r, c) = -reward(r, c);
+  }
+  return SolveAssignmentMin(cost);
+}
+
+double AssignmentObjective(const Matrix& m, const std::vector<int>& assignment) {
+  double total = 0.0;
+  for (size_t r = 0; r < assignment.size(); ++r) {
+    total += m(static_cast<int64_t>(r), assignment[r]);
+  }
+  return total;
+}
+
+}  // namespace goggles

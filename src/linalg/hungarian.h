@@ -1,0 +1,30 @@
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "util/status.h"
+
+/// \file hungarian.h
+/// \brief O(n^3) solver for the linear assignment problem.
+///
+/// GOGGLES uses this for the cluster-to-class mapping (paper §4.3,
+/// Eq. 14/16): finding the one-to-one mapping g maximizing
+/// L_g = sum_k w[k][g(k)], which the paper notes reduces to the assignment
+/// problem solvable in O(K^3) [Jonker & Volgenant 1987].
+
+namespace goggles {
+
+/// \brief Solves min-cost perfect assignment on a square cost matrix.
+///
+/// \param cost n x n cost matrix.
+/// \returns assignment[i] = column assigned to row i.
+Result<std::vector<int>> SolveAssignmentMin(const Matrix& cost);
+
+/// \brief Solves max-reward assignment (negates and calls the min solver).
+Result<std::vector<int>> SolveAssignmentMax(const Matrix& reward);
+
+/// \brief Total cost/reward of an assignment under the given matrix.
+double AssignmentObjective(const Matrix& m, const std::vector<int>& assignment);
+
+}  // namespace goggles

@@ -1,0 +1,45 @@
+#include "linalg/kernels.h"
+
+#include <cmath>
+
+namespace goggles {
+
+float DotF(const float* a, const float* b, int64_t n) {
+  float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc0 += a[i] * b[i];
+    acc1 += a[i + 1] * b[i + 1];
+    acc2 += a[i + 2] * b[i + 2];
+    acc3 += a[i + 3] * b[i + 3];
+  }
+  for (; i < n; ++i) acc0 += a[i] * b[i];
+  return acc0 + acc1 + acc2 + acc3;
+}
+
+float NormF(const float* a, int64_t n) { return std::sqrt(DotF(a, a, n)); }
+
+float CosineSimilarityF(const float* a, const float* b, int64_t n) {
+  float na = NormF(a, n);
+  float nb = NormF(b, n);
+  if (na < 1e-12f || nb < 1e-12f) return 0.0f;
+  return DotF(a, b, n) / (na * nb);
+}
+
+float SquaredDistanceF(const float* a, const float* b, int64_t n) {
+  float acc = 0.0f;
+  for (int64_t i = 0; i < n; ++i) {
+    float d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+void NormalizeF(float* a, int64_t n) {
+  float norm = NormF(a, n);
+  if (norm < 1e-12f) return;
+  float inv = 1.0f / norm;
+  for (int64_t i = 0; i < n; ++i) a[i] *= inv;
+}
+
+}  // namespace goggles

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <cstdint>
+
+/// \file kernels.h
+/// \brief BLAS-1 style float kernels on raw pointers.
+///
+/// These are the inner loops of affinity computation (Eq. 3 of the paper:
+/// cosine similarity between prototype vectors), kept allocation-free.
+
+namespace goggles {
+
+/// \brief Dot product of two length-n float vectors.
+float DotF(const float* a, const float* b, int64_t n);
+
+/// \brief Euclidean (L2) norm of a length-n float vector.
+float NormF(const float* a, int64_t n);
+
+/// \brief Cosine similarity (Eq. 3); returns 0 when either vector is ~0.
+float CosineSimilarityF(const float* a, const float* b, int64_t n);
+
+/// \brief Squared Euclidean distance between two length-n vectors.
+float SquaredDistanceF(const float* a, const float* b, int64_t n);
+
+/// \brief Scales a vector so it has unit L2 norm (no-op on ~zero vectors).
+void NormalizeF(float* a, int64_t n);
+
+}  // namespace goggles

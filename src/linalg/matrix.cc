@@ -1,0 +1,175 @@
+#include "linalg/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/parallel.h"
+#include "util/string_util.h"
+
+namespace goggles {
+
+Matrix Matrix::Identity(int64_t n) {
+  Matrix m(n, n, 0.0);
+  for (int64_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::FromRows(const std::vector<std::vector<double>>& rows) {
+  if (rows.empty()) return Matrix();
+  Matrix m(static_cast<int64_t>(rows.size()),
+           static_cast<int64_t>(rows[0].size()));
+  for (size_t r = 0; r < rows.size(); ++r) {
+    for (size_t c = 0; c < rows[r].size(); ++c) {
+      m(static_cast<int64_t>(r), static_cast<int64_t>(c)) = rows[r][c];
+    }
+  }
+  return m;
+}
+
+std::vector<double> Matrix::Row(int64_t r) const {
+  return std::vector<double>(RowPtr(r), RowPtr(r) + cols_);
+}
+
+std::vector<double> Matrix::Col(int64_t c) const {
+  std::vector<double> out(static_cast<size_t>(rows_));
+  for (int64_t r = 0; r < rows_; ++r) out[static_cast<size_t>(r)] = (*this)(r, c);
+  return out;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix t(cols_, rows_);
+  for (int64_t r = 0; r < rows_; ++r) {
+    for (int64_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  }
+  return t;
+}
+
+Matrix Matrix::Block(int64_t r0, int64_t c0, int64_t nr, int64_t nc) const {
+  Matrix b(nr, nc);
+  for (int64_t r = 0; r < nr; ++r) {
+    const double* src = RowPtr(r0 + r) + c0;
+    std::copy(src, src + nc, b.RowPtr(r));
+  }
+  return b;
+}
+
+void Matrix::Scale(double factor) {
+  for (double& v : data_) v *= factor;
+}
+
+Status Matrix::AddInPlace(const Matrix& other) {
+  if (other.rows_ != rows_ || other.cols_ != cols_) {
+    return Status::InvalidArgument("AddInPlace: shape mismatch");
+  }
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return Status::OK();
+}
+
+double Matrix::FrobeniusNorm() const {
+  double acc = 0.0;
+  for (double v : data_) acc += v * v;
+  return std::sqrt(acc);
+}
+
+double Matrix::MaxAbs() const {
+  double acc = 0.0;
+  for (double v : data_) acc = std::max(acc, std::fabs(v));
+  return acc;
+}
+
+std::string Matrix::ToString(int max_rows, int max_cols) const {
+  std::ostringstream os;
+  os << "Matrix(" << rows_ << "x" << cols_ << ")\n";
+  int64_t rr = std::min<int64_t>(rows_, max_rows);
+  int64_t cc = std::min<int64_t>(cols_, max_cols);
+  for (int64_t r = 0; r < rr; ++r) {
+    os << "  [";
+    for (int64_t c = 0; c < cc; ++c) {
+      os << StrFormat("%9.4f", (*this)(r, c));
+      if (c + 1 < cc) os << ", ";
+    }
+    if (cc < cols_) os << ", ...";
+    os << "]\n";
+  }
+  if (rr < rows_) os << "  ...\n";
+  return os.str();
+}
+
+Result<Matrix> MatMul(const Matrix& a, const Matrix& b) {
+  if (a.cols() != b.rows()) {
+    return Status::InvalidArgument(StrFormat(
+        "MatMul: inner dimensions differ (%lld vs %lld)",
+        static_cast<long long>(a.cols()), static_cast<long long>(b.rows())));
+  }
+  Matrix c(a.rows(), b.cols(), 0.0);
+  const int64_t n = a.rows(), k = a.cols(), m = b.cols();
+  ParallelFor(0, n, [&](int64_t i) {
+    const double* arow = a.RowPtr(i);
+    double* crow = c.RowPtr(i);
+    for (int64_t p = 0; p < k; ++p) {
+      const double av = arow[p];
+      if (av == 0.0) continue;
+      const double* brow = b.RowPtr(p);
+      for (int64_t j = 0; j < m; ++j) crow[j] += av * brow[j];
+    }
+  });
+  return c;
+}
+
+Matrix GramTranspose(const Matrix& a) {
+  const int64_t n = a.cols();
+  Matrix g(n, n, 0.0);
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    const double* row = a.RowPtr(r);
+    for (int64_t i = 0; i < n; ++i) {
+      const double vi = row[i];
+      if (vi == 0.0) continue;
+      double* grow = g.RowPtr(i);
+      for (int64_t j = i; j < n; ++j) grow[j] += vi * row[j];
+    }
+  }
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < i; ++j) g(i, j) = g(j, i);
+  }
+  return g;
+}
+
+Result<std::vector<double>> MatVec(const Matrix& a,
+                                   const std::vector<double>& x) {
+  if (a.cols() != static_cast<int64_t>(x.size())) {
+    return Status::InvalidArgument("MatVec: dimension mismatch");
+  }
+  std::vector<double> y(static_cast<size_t>(a.rows()), 0.0);
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    const double* row = a.RowPtr(r);
+    double acc = 0.0;
+    for (int64_t c = 0; c < a.cols(); ++c) acc += row[c] * x[static_cast<size_t>(c)];
+    y[static_cast<size_t>(r)] = acc;
+  }
+  return y;
+}
+
+std::vector<double> ColumnMeans(const Matrix& a) {
+  std::vector<double> means(static_cast<size_t>(a.cols()), 0.0);
+  if (a.rows() == 0) return means;
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    const double* row = a.RowPtr(r);
+    for (int64_t c = 0; c < a.cols(); ++c) means[static_cast<size_t>(c)] += row[c];
+  }
+  for (double& m : means) m /= static_cast<double>(a.rows());
+  return means;
+}
+
+Status CenterColumns(Matrix* a, const std::vector<double>& means) {
+  if (static_cast<int64_t>(means.size()) != a->cols()) {
+    return Status::InvalidArgument("CenterColumns: dimension mismatch");
+  }
+  for (int64_t r = 0; r < a->rows(); ++r) {
+    double* row = a->RowPtr(r);
+    for (int64_t c = 0; c < a->cols(); ++c) row[c] -= means[static_cast<size_t>(c)];
+  }
+  return Status::OK();
+}
+
+}  // namespace goggles

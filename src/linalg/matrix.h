@@ -1,0 +1,104 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+/// \file matrix.h
+/// \brief Dense row-major double-precision matrix used by the statistical
+/// components (affinity matrices, EM, clustering baselines).
+
+namespace goggles {
+
+/// \brief Dense row-major matrix of doubles.
+///
+/// Deliberately minimal: the inference code needs contiguous row access,
+/// elementwise updates and a handful of BLAS-1/2/3 style helpers. Heavy
+/// NCHW tensor work lives in `goggles::Tensor` (float) instead.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// Constructs a rows x cols matrix initialized to `fill`.
+  Matrix(int64_t rows, int64_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<size_t>(rows * cols), fill) {}
+
+  /// \brief rows x cols all-zero matrix.
+  static Matrix Zero(int64_t rows, int64_t cols) {
+    return Matrix(rows, cols, 0.0);
+  }
+
+  /// \brief n x n identity.
+  static Matrix Identity(int64_t n);
+
+  /// \brief Builds a matrix from nested initializer data (row major).
+  static Matrix FromRows(const std::vector<std::vector<double>>& rows);
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t size() const { return rows_ * cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(int64_t r, int64_t c) { return data_[r * cols_ + c]; }
+  double operator()(int64_t r, int64_t c) const { return data_[r * cols_ + c]; }
+
+  /// \brief Pointer to the start of row `r`.
+  double* RowPtr(int64_t r) { return data_.data() + r * cols_; }
+  const double* RowPtr(int64_t r) const { return data_.data() + r * cols_; }
+
+  /// \brief Copies row `r` into a vector.
+  std::vector<double> Row(int64_t r) const;
+
+  /// \brief Copies column `c` into a vector.
+  std::vector<double> Col(int64_t c) const;
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  /// \brief Returns the transpose.
+  Matrix Transposed() const;
+
+  /// \brief Contiguous sub-block copy: rows [r0, r0+nr), cols [c0, c0+nc).
+  Matrix Block(int64_t r0, int64_t c0, int64_t nr, int64_t nc) const;
+
+  /// \brief Elementwise in-place scaling.
+  void Scale(double factor);
+
+  /// \brief this += other (shapes must match).
+  Status AddInPlace(const Matrix& other);
+
+  /// \brief Frobenius norm.
+  double FrobeniusNorm() const;
+
+  /// \brief Maximum absolute entry.
+  double MaxAbs() const;
+
+  /// \brief Multi-line debug rendering (small matrices only).
+  std::string ToString(int max_rows = 8, int max_cols = 8) const;
+
+ private:
+  int64_t rows_ = 0;
+  int64_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// \brief C = A * B. Shapes must agree; parallelized over rows of A.
+Result<Matrix> MatMul(const Matrix& a, const Matrix& b);
+
+/// \brief C = A^T * A (n x n Gram matrix), exploiting symmetry.
+Matrix GramTranspose(const Matrix& a);
+
+/// \brief y = A * x.
+Result<std::vector<double>> MatVec(const Matrix& a,
+                                   const std::vector<double>& x);
+
+/// \brief Column means of `a` (length = cols).
+std::vector<double> ColumnMeans(const Matrix& a);
+
+/// \brief Subtracts `means` from every row in place.
+Status CenterColumns(Matrix* a, const std::vector<double>& means);
+
+}  // namespace goggles

@@ -1,0 +1,50 @@
+#include "linalg/pca.h"
+
+#include <algorithm>
+
+#include "linalg/eigen.h"
+
+namespace goggles {
+
+Result<Pca> Pca::Fit(const Matrix& data, int num_components) {
+  if (data.rows() < 2) {
+    return Status::InvalidArgument("Pca::Fit: need at least 2 samples");
+  }
+  if (num_components < 1) {
+    return Status::InvalidArgument("Pca::Fit: num_components must be >= 1");
+  }
+  const int64_t d = data.cols();
+  num_components = static_cast<int>(std::min<int64_t>(num_components, d));
+
+  Pca pca;
+  pca.means_ = ColumnMeans(data);
+  Matrix centered = data;
+  GOGGLES_RETURN_NOT_OK(CenterColumns(&centered, pca.means_));
+
+  Matrix cov = GramTranspose(centered);
+  cov.Scale(1.0 / static_cast<double>(data.rows() - 1));
+
+  GOGGLES_ASSIGN_OR_RETURN(EigenDecomposition eig, JacobiEigenSymmetric(cov));
+
+  pca.components_ = Matrix(d, num_components);
+  pca.explained_variance_.resize(static_cast<size_t>(num_components));
+  for (int j = 0; j < num_components; ++j) {
+    pca.explained_variance_[static_cast<size_t>(j)] =
+        std::max(0.0, eig.values[static_cast<size_t>(j)]);
+    for (int64_t i = 0; i < d; ++i) {
+      pca.components_(i, j) = eig.vectors(i, j);
+    }
+  }
+  return pca;
+}
+
+Result<Matrix> Pca::Transform(const Matrix& data) const {
+  if (data.cols() != static_cast<int64_t>(means_.size())) {
+    return Status::InvalidArgument("Pca::Transform: dimension mismatch");
+  }
+  Matrix centered = data;
+  GOGGLES_RETURN_NOT_OK(CenterColumns(&centered, means_));
+  return MatMul(centered, components_);
+}
+
+}  // namespace goggles

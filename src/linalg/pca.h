@@ -1,0 +1,47 @@
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "util/status.h"
+
+/// \file pca.h
+/// \brief Principal component analysis.
+///
+/// GOGGLES' Snuba baseline follows the paper's setup (§5.1.2): the VGG
+/// logits of every image are projected onto the top-10 principal components
+/// of the dataset and the projections serve as Snuba's "primitives".
+
+namespace goggles {
+
+/// \brief Fitted PCA model: projection onto the leading components.
+class Pca {
+ public:
+  /// \brief Fits PCA on `data` (rows = samples) keeping `num_components`.
+  ///
+  /// Uses the covariance matrix + Jacobi eigendecomposition; intended for
+  /// modest feature dimensionality (logits-sized, not pixel-sized).
+  static Result<Pca> Fit(const Matrix& data, int num_components);
+
+  /// \brief Projects samples (rows) onto the retained components.
+  Result<Matrix> Transform(const Matrix& data) const;
+
+  /// \brief Variance captured by each retained component, descending.
+  const std::vector<double>& explained_variance() const {
+    return explained_variance_;
+  }
+
+  int num_components() const { return static_cast<int>(components_.cols()); }
+
+  /// \brief Feature means subtracted before projection.
+  const std::vector<double>& means() const { return means_; }
+
+ private:
+  Pca() = default;
+
+  std::vector<double> means_;
+  Matrix components_;  // d x k, columns are principal directions.
+  std::vector<double> explained_variance_;
+};
+
+}  // namespace goggles

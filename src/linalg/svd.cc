@@ -1,0 +1,109 @@
+#include "linalg/svd.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/eigen.h"
+#include "util/rng.h"
+
+namespace goggles {
+namespace {
+
+/// Orthonormalizes the columns of `m` in place (modified Gram-Schmidt).
+/// Columns that collapse to (near) zero are re-randomized.
+void OrthonormalizeColumns(Matrix* m, Rng* rng) {
+  const int64_t rows = m->rows();
+  const int64_t cols = m->cols();
+  for (int64_t j = 0; j < cols; ++j) {
+    for (int attempt = 0; attempt < 3; ++attempt) {
+      for (int64_t prev = 0; prev < j; ++prev) {
+        double dot = 0.0;
+        for (int64_t i = 0; i < rows; ++i) dot += (*m)(i, j) * (*m)(i, prev);
+        for (int64_t i = 0; i < rows; ++i) (*m)(i, j) -= dot * (*m)(i, prev);
+      }
+      double norm = 0.0;
+      for (int64_t i = 0; i < rows; ++i) norm += (*m)(i, j) * (*m)(i, j);
+      norm = std::sqrt(norm);
+      if (norm > 1e-10) {
+        for (int64_t i = 0; i < rows; ++i) (*m)(i, j) /= norm;
+        break;
+      }
+      for (int64_t i = 0; i < rows; ++i) (*m)(i, j) = rng->Gaussian();
+    }
+  }
+}
+
+}  // namespace
+
+Result<SvdResult> TruncatedSvd(const Matrix& a, int k, int iters,
+                               uint64_t seed) {
+  if (a.rows() == 0 || a.cols() == 0) {
+    return Status::InvalidArgument("TruncatedSvd: empty matrix");
+  }
+  const int64_t m = a.rows();
+  const int64_t n = a.cols();
+  k = static_cast<int>(std::min<int64_t>(k, std::min(m, n)));
+  if (k <= 0) return Status::InvalidArgument("TruncatedSvd: k must be >= 1");
+
+  Rng rng(seed);
+
+  // Iterate on the thinner side: V if n <= m, else U.
+  const bool iterate_v = n <= m;
+  const int64_t dim = iterate_v ? n : m;
+  Matrix q(dim, k);
+  for (int64_t i = 0; i < dim; ++i) {
+    for (int64_t j = 0; j < k; ++j) q(i, j) = rng.Gaussian();
+  }
+  OrthonormalizeColumns(&q, &rng);
+
+  Matrix at = a.Transposed();
+  // `fwd` maps R^dim -> R^other, `bwd` maps back, so one power-iteration
+  // step is q <- bwd(fwd(q)) = (X^T X) q on the iterated side.
+  const Matrix& fwd = iterate_v ? a : at;
+  const Matrix& bwd = iterate_v ? at : a;
+
+  for (int it = 0; it < iters; ++it) {
+    GOGGLES_ASSIGN_OR_RETURN(Matrix z, MatMul(fwd, q));  // other x k
+    GOGGLES_ASSIGN_OR_RETURN(q, MatMul(bwd, z));         // dim x k
+    OrthonormalizeColumns(&q, &rng);
+  }
+
+  // Recover the paired factor and singular values.
+  GOGGLES_ASSIGN_OR_RETURN(Matrix paired, MatMul(fwd, q));  // other x k
+  std::vector<double> sigma(static_cast<size_t>(k), 0.0);
+  for (int j = 0; j < k; ++j) {
+    double norm = 0.0;
+    for (int64_t i = 0; i < paired.rows(); ++i) norm += paired(i, j) * paired(i, j);
+    sigma[static_cast<size_t>(j)] = std::sqrt(norm);
+    double inv = sigma[static_cast<size_t>(j)] > 1e-12
+                     ? 1.0 / sigma[static_cast<size_t>(j)]
+                     : 0.0;
+    for (int64_t i = 0; i < paired.rows(); ++i) paired(i, j) *= inv;
+  }
+
+  // Sort triplets by descending singular value.
+  std::vector<int> order(static_cast<size_t>(k));
+  for (int i = 0; i < k; ++i) order[static_cast<size_t>(i)] = i;
+  std::sort(order.begin(), order.end(), [&sigma](int x, int y) {
+    return sigma[static_cast<size_t>(x)] > sigma[static_cast<size_t>(y)];
+  });
+
+  SvdResult out;
+  out.s.resize(static_cast<size_t>(k));
+  out.u = Matrix(m, k);
+  out.v = Matrix(n, k);
+  for (int jj = 0; jj < k; ++jj) {
+    int src = order[static_cast<size_t>(jj)];
+    out.s[static_cast<size_t>(jj)] = sigma[static_cast<size_t>(src)];
+    if (iterate_v) {
+      for (int64_t i = 0; i < n; ++i) out.v(i, jj) = q(i, src);
+      for (int64_t i = 0; i < m; ++i) out.u(i, jj) = paired(i, src);
+    } else {
+      for (int64_t i = 0; i < m; ++i) out.u(i, jj) = q(i, src);
+      for (int64_t i = 0; i < n; ++i) out.v(i, jj) = paired(i, src);
+    }
+  }
+  return out;
+}
+
+}  // namespace goggles

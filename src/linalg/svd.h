@@ -1,0 +1,30 @@
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "util/status.h"
+
+/// \file svd.h
+/// \brief Truncated singular value decomposition via block power iteration.
+///
+/// Used by the spectral co-clustering baseline (Dhillon, KDD 2001), which
+/// needs the leading singular vectors of the normalized affinity matrix.
+
+namespace goggles {
+
+/// \brief Rank-k factors: A ~= U diag(S) V^T.
+struct SvdResult {
+  Matrix u;                   ///< m x k, orthonormal columns.
+  std::vector<double> s;      ///< k singular values, descending.
+  Matrix v;                   ///< n x k, orthonormal columns.
+};
+
+/// \brief Computes the top-`k` singular triplets of `a`.
+///
+/// Subspace (block power) iteration with Gram-Schmidt re-orthonormalization
+/// on the smaller Gram side. Deterministic given `seed`.
+Result<SvdResult> TruncatedSvd(const Matrix& a, int k, int iters = 50,
+                               uint64_t seed = 7);
+
+}  // namespace goggles

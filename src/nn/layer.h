@@ -1,0 +1,50 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "util/status.h"
+
+/// \file layer.h
+/// \brief Abstract layer interface for the sequential NN substrate.
+
+namespace goggles::nn {
+
+/// \brief A trainable parameter: value plus accumulated gradient.
+struct Parameter {
+  std::string name;
+  Tensor value;
+  Tensor grad;
+};
+
+/// \brief One differentiable layer.
+///
+/// Layers cache whatever they need during Forward (inputs, argmax masks) so
+/// the subsequent Backward call can compute exact gradients. A layer is
+/// therefore stateful across one Forward/Backward pair; `Sequential` owns
+/// the call ordering.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// \brief Computes the layer output for `x`.
+  virtual Result<Tensor> Forward(const Tensor& x) = 0;
+
+  /// \brief Given d(loss)/d(output), accumulates parameter gradients and
+  /// returns d(loss)/d(input). Must follow a Forward call.
+  virtual Result<Tensor> Backward(const Tensor& grad_output) = 0;
+
+  /// \brief Trainable parameters (empty for stateless layers).
+  virtual std::vector<Parameter*> Params() { return {}; }
+
+  /// \brief Sets all parameter gradients to zero.
+  void ZeroGrad() {
+    for (Parameter* p : Params()) p->grad.Fill(0.0f);
+  }
+
+  /// \brief Layer type name for debugging/serialization.
+  virtual std::string name() const = 0;
+};
+
+}  // namespace goggles::nn

@@ -1,0 +1,55 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace goggles::nn {
+
+void Sgd::Step(const std::vector<Parameter*>& params) {
+  if (velocity_.size() != params.size()) {
+    velocity_.clear();
+    for (Parameter* p : params) velocity_.push_back(Tensor::Zeros(p->value.shape()));
+  }
+  for (size_t i = 0; i < params.size(); ++i) {
+    Parameter* p = params[i];
+    Tensor& vel = velocity_[i];
+    float* v = vel.data();
+    float* w = p->value.data();
+    const float* g = p->grad.data();
+    for (int64_t j = 0; j < p->value.NumElements(); ++j) {
+      float grad = g[j] + weight_decay_ * w[j];
+      v[j] = momentum_ * v[j] + grad;
+      w[j] -= lr_ * v[j];
+    }
+  }
+}
+
+void Adam::Step(const std::vector<Parameter*>& params) {
+  if (m_.size() != params.size()) {
+    m_.clear();
+    v_.clear();
+    for (Parameter* p : params) {
+      m_.push_back(Tensor::Zeros(p->value.shape()));
+      v_.push_back(Tensor::Zeros(p->value.shape()));
+    }
+    t_ = 0;
+  }
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (size_t i = 0; i < params.size(); ++i) {
+    Parameter* p = params[i];
+    float* m = m_[i].data();
+    float* v = v_[i].data();
+    float* w = p->value.data();
+    const float* g = p->grad.data();
+    for (int64_t j = 0; j < p->value.NumElements(); ++j) {
+      m[j] = beta1_ * m[j] + (1.0f - beta1_) * g[j];
+      v[j] = beta2_ * v[j] + (1.0f - beta2_) * g[j] * g[j];
+      const float mhat = m[j] / bc1;
+      const float vhat = v[j] / bc2;
+      w[j] -= lr_ * mhat / (std::sqrt(vhat) + epsilon_);
+    }
+  }
+}
+
+}  // namespace goggles::nn

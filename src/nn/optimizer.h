@@ -1,0 +1,57 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/layer.h"
+
+/// \file optimizer.h
+/// \brief First-order optimizers (SGD with momentum, Adam).
+///
+/// The paper trains FSL and end models "with the Adam optimizer with a
+/// learning rate of 1e-3" (§5.1.3); Adam here uses the same defaults.
+
+namespace goggles::nn {
+
+/// \brief Interface for parameter-update rules.
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// \brief Applies one update using each parameter's accumulated gradient.
+  virtual void Step(const std::vector<Parameter*>& params) = 0;
+};
+
+/// \brief Stochastic gradient descent with classical momentum.
+class Sgd : public Optimizer {
+ public:
+  explicit Sgd(float learning_rate, float momentum = 0.9f,
+               float weight_decay = 0.0f)
+      : lr_(learning_rate), momentum_(momentum), weight_decay_(weight_decay) {}
+
+  void Step(const std::vector<Parameter*>& params) override;
+
+ private:
+  float lr_;
+  float momentum_;
+  float weight_decay_;
+  std::vector<Tensor> velocity_;  // lazily sized to match params
+};
+
+/// \brief Adam (Kingma & Ba) with bias correction.
+class Adam : public Optimizer {
+ public:
+  explicit Adam(float learning_rate = 1e-3f, float beta1 = 0.9f,
+                float beta2 = 0.999f, float epsilon = 1e-8f)
+      : lr_(learning_rate), beta1_(beta1), beta2_(beta2), epsilon_(epsilon) {}
+
+  void Step(const std::vector<Parameter*>& params) override;
+
+ private:
+  float lr_, beta1_, beta2_, epsilon_;
+  int64_t t_ = 0;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+};
+
+}  // namespace goggles::nn

@@ -1,0 +1,76 @@
+#include "nn/sequential.h"
+
+namespace goggles::nn {
+
+int Sequential::Add(std::unique_ptr<Layer> layer) {
+  layers_.push_back(std::move(layer));
+  return static_cast<int>(layers_.size()) - 1;
+}
+
+Result<Tensor> Sequential::Forward(const Tensor& x) {
+  Tensor cur = x;
+  for (auto& layer : layers_) {
+    GOGGLES_ASSIGN_OR_RETURN(cur, layer->Forward(cur));
+  }
+  return cur;
+}
+
+Result<Tensor> Sequential::ForwardWithTaps(const Tensor& x,
+                                           const std::vector<int>& tap_layers,
+                                           std::vector<Tensor>* taps) {
+  taps->clear();
+  taps->reserve(tap_layers.size());
+  size_t next_tap = 0;
+  Tensor cur = x;
+  for (int i = 0; i < num_layers(); ++i) {
+    GOGGLES_ASSIGN_OR_RETURN(cur, layers_[static_cast<size_t>(i)]->Forward(cur));
+    if (next_tap < tap_layers.size() && tap_layers[next_tap] == i) {
+      taps->push_back(cur);
+      ++next_tap;
+    }
+  }
+  if (next_tap != tap_layers.size()) {
+    return Status::InvalidArgument(
+        "ForwardWithTaps: tap_layers must be ascending valid layer indices");
+  }
+  return cur;
+}
+
+Result<Tensor> Sequential::ForwardUpTo(const Tensor& x, int upto_layer) {
+  if (upto_layer < 0 || upto_layer >= num_layers()) {
+    return Status::OutOfRange("ForwardUpTo: layer index out of range");
+  }
+  Tensor cur = x;
+  for (int i = 0; i <= upto_layer; ++i) {
+    GOGGLES_ASSIGN_OR_RETURN(cur, layers_[static_cast<size_t>(i)]->Forward(cur));
+  }
+  return cur;
+}
+
+Result<Tensor> Sequential::Backward(const Tensor& grad_output) {
+  Tensor cur = grad_output;
+  for (int i = num_layers() - 1; i >= 0; --i) {
+    GOGGLES_ASSIGN_OR_RETURN(cur, layers_[static_cast<size_t>(i)]->Backward(cur));
+  }
+  return cur;
+}
+
+std::vector<Parameter*> Sequential::Params() {
+  std::vector<Parameter*> out;
+  for (auto& layer : layers_) {
+    for (Parameter* p : layer->Params()) out.push_back(p);
+  }
+  return out;
+}
+
+void Sequential::ZeroGrad() {
+  for (auto& layer : layers_) layer->ZeroGrad();
+}
+
+int64_t Sequential::NumParameters() {
+  int64_t total = 0;
+  for (Parameter* p : Params()) total += p->value.NumElements();
+  return total;
+}
+
+}  // namespace goggles::nn

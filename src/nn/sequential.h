@@ -1,0 +1,66 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+
+/// \file sequential.h
+/// \brief Ordered layer container with feature taps.
+///
+/// Besides plain forward/backward, `Sequential` can return the activations
+/// of selected intermediate layers in a single pass — GOGGLES taps the five
+/// max-pool outputs to extract prototypes (paper §3.1).
+
+namespace goggles::nn {
+
+/// \brief A feed-forward stack of layers.
+class Sequential {
+ public:
+  Sequential() = default;
+
+  // Movable, not copyable (owns layer state).
+  Sequential(Sequential&&) = default;
+  Sequential& operator=(Sequential&&) = default;
+  Sequential(const Sequential&) = delete;
+  Sequential& operator=(const Sequential&) = delete;
+
+  /// \brief Appends a layer; returns its index.
+  int Add(std::unique_ptr<Layer> layer);
+
+  int num_layers() const { return static_cast<int>(layers_.size()); }
+
+  Layer* layer(int i) { return layers_[static_cast<size_t>(i)].get(); }
+  const Layer* layer(int i) const { return layers_[static_cast<size_t>(i)].get(); }
+
+  /// \brief Full forward pass.
+  Result<Tensor> Forward(const Tensor& x);
+
+  /// \brief Forward pass that also captures the outputs of `tap_layers`
+  /// (indices into the layer stack, ascending). `taps[i]` receives the
+  /// output of layer `tap_layers[i]`.
+  Result<Tensor> ForwardWithTaps(const Tensor& x,
+                                 const std::vector<int>& tap_layers,
+                                 std::vector<Tensor>* taps);
+
+  /// \brief Forward only through layers [0, upto_layer] inclusive.
+  Result<Tensor> ForwardUpTo(const Tensor& x, int upto_layer);
+
+  /// \brief Backward pass through every layer (after a full Forward).
+  Result<Tensor> Backward(const Tensor& grad_output);
+
+  /// \brief All trainable parameters in layer order.
+  std::vector<Parameter*> Params();
+
+  /// \brief Zeroes all parameter gradients.
+  void ZeroGrad();
+
+  /// \brief Total number of trainable scalars.
+  int64_t NumParameters();
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+}  // namespace goggles::nn

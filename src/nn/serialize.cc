@@ -1,0 +1,100 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <fstream>
+
+#include "util/string_util.h"
+
+namespace goggles::nn {
+namespace {
+
+constexpr char kMagic[4] = {'G', 'G', 'L', 'W'};
+constexpr uint32_t kVersion = 1;
+
+template <typename T>
+void WritePod(std::ofstream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::ifstream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return in.good();
+}
+
+}  // namespace
+
+Status SaveParameters(Sequential* net, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out.is_open()) {
+    return Status::IOError("SaveParameters: cannot open " + path);
+  }
+  out.write(kMagic, sizeof(kMagic));
+  WritePod(out, kVersion);
+  const std::vector<Parameter*> params = net->Params();
+  WritePod(out, static_cast<uint64_t>(params.size()));
+  for (const Parameter* p : params) {
+    WritePod(out, static_cast<uint32_t>(p->name.size()));
+    out.write(p->name.data(), static_cast<std::streamsize>(p->name.size()));
+    WritePod(out, static_cast<uint32_t>(p->value.ndim()));
+    for (int64_t d : p->value.shape()) WritePod(out, d);
+    out.write(reinterpret_cast<const char*>(p->value.data()),
+              static_cast<std::streamsize>(p->value.NumElements() *
+                                           sizeof(float)));
+  }
+  if (!out.good()) return Status::IOError("SaveParameters: write failed");
+  return Status::OK();
+}
+
+Status LoadParameters(Sequential* net, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return Status::NotFound("LoadParameters: cannot open " + path);
+  }
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in.good() || std::string(magic, 4) != std::string(kMagic, 4)) {
+    return Status::IOError("LoadParameters: bad magic");
+  }
+  uint32_t version = 0;
+  if (!ReadPod(in, &version) || version != kVersion) {
+    return Status::IOError("LoadParameters: unsupported version");
+  }
+  uint64_t count = 0;
+  if (!ReadPod(in, &count)) return Status::IOError("LoadParameters: truncated");
+
+  std::vector<Parameter*> params = net->Params();
+  if (count != params.size()) {
+    return Status::InvalidArgument(StrFormat(
+        "LoadParameters: parameter count mismatch (file %llu vs model %zu)",
+        static_cast<unsigned long long>(count), params.size()));
+  }
+  for (Parameter* p : params) {
+    uint32_t name_len = 0;
+    if (!ReadPod(in, &name_len)) return Status::IOError("truncated name len");
+    std::string name(name_len, '\0');
+    in.read(name.data(), name_len);
+    if (name != p->name) {
+      return Status::InvalidArgument(
+          StrFormat("LoadParameters: parameter name mismatch ('%s' vs '%s')",
+                    name.c_str(), p->name.c_str()));
+    }
+    uint32_t ndim = 0;
+    if (!ReadPod(in, &ndim)) return Status::IOError("truncated ndim");
+    std::vector<int64_t> shape(ndim);
+    for (auto& d : shape) {
+      if (!ReadPod(in, &d)) return Status::IOError("truncated shape");
+    }
+    if (shape != p->value.shape()) {
+      return Status::InvalidArgument("LoadParameters: shape mismatch for " +
+                                     p->name);
+    }
+    in.read(reinterpret_cast<char*>(p->value.data()),
+            static_cast<std::streamsize>(p->value.NumElements() *
+                                         sizeof(float)));
+    if (!in.good()) return Status::IOError("LoadParameters: truncated payload");
+  }
+  return Status::OK();
+}
+
+}  // namespace goggles::nn

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <string>
+
+#include "nn/sequential.h"
+#include "util/status.h"
+
+/// \file serialize.h
+/// \brief Binary save/load of a Sequential model's parameters.
+///
+/// Enables caching the pretrained VggMini backbone on disk so every bench /
+/// example process does not have to retrain it (the paper's analogue:
+/// downloading pretrained VGG-16 weights once).
+
+namespace goggles::nn {
+
+/// \brief Writes all parameters (in layer order) to `path`.
+///
+/// Format: magic "GGLW", version, parameter count; then per parameter:
+/// name length+bytes, ndim, dims, raw float32 payload.
+Status SaveParameters(Sequential* net, const std::string& path);
+
+/// \brief Loads parameters saved by SaveParameters into `net`.
+///
+/// The architecture must match (same parameter order, names and shapes).
+Status LoadParameters(Sequential* net, const std::string& path);
+
+}  // namespace goggles::nn

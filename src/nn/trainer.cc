@@ -1,0 +1,129 @@
+#include "nn/trainer.h"
+
+#include <algorithm>
+
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace goggles::nn {
+
+Tensor MakeOneHot(const std::vector<int>& labels, int num_classes) {
+  Tensor t({static_cast<int64_t>(labels.size()), num_classes});
+  for (size_t i = 0; i < labels.size(); ++i) {
+    t.At2(static_cast<int64_t>(i), labels[i]) = 1.0f;
+  }
+  return t;
+}
+
+Tensor GatherRows(const Tensor& x, const std::vector<int>& indices) {
+  std::vector<int64_t> shape = x.shape();
+  const int64_t row_elems = x.NumElements() / x.dim(0);
+  shape[0] = static_cast<int64_t>(indices.size());
+  Tensor out(shape);
+  for (size_t i = 0; i < indices.size(); ++i) {
+    const float* src = x.data() + static_cast<int64_t>(indices[i]) * row_elems;
+    std::copy(src, src + row_elems,
+              out.data() + static_cast<int64_t>(i) * row_elems);
+  }
+  return out;
+}
+
+Trainer::Trainer(Sequential* net, const TrainerConfig& config)
+    : net_(net), config_(config) {
+  if (config_.optimizer == TrainerConfig::OptimizerKind::kAdam) {
+    optimizer_ = std::make_unique<Adam>(config_.learning_rate);
+  } else {
+    optimizer_ = std::make_unique<Sgd>(config_.learning_rate, config_.momentum,
+                                       config_.weight_decay);
+  }
+}
+
+Result<double> Trainer::RunEpoch(const Tensor& x, const Tensor& targets,
+                                 Rng* rng) {
+  const int64_t n = x.dim(0);
+  std::vector<int> order(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) order[static_cast<size_t>(i)] = static_cast<int>(i);
+  if (config_.shuffle) rng->Shuffle(&order);
+
+  double total_loss = 0.0;
+  int64_t batches = 0;
+  for (int64_t start = 0; start < n; start += config_.batch_size) {
+    const int64_t end = std::min<int64_t>(n, start + config_.batch_size);
+    std::vector<int> batch(order.begin() + start, order.begin() + end);
+    Tensor xb = GatherRows(x, batch);
+    Tensor tb = GatherRows(targets, batch);
+
+    net_->ZeroGrad();
+    GOGGLES_ASSIGN_OR_RETURN(Tensor logits, net_->Forward(xb));
+    GOGGLES_ASSIGN_OR_RETURN(SoftmaxCrossEntropyResult loss,
+                             SoftmaxCrossEntropy(logits, tb));
+    GOGGLES_ASSIGN_OR_RETURN(Tensor unused, net_->Backward(loss.dlogits));
+    (void)unused;
+    optimizer_->Step(net_->Params());
+
+    total_loss += loss.loss;
+    ++batches;
+  }
+  return batches > 0 ? total_loss / static_cast<double>(batches) : 0.0;
+}
+
+Result<double> Trainer::FitSoft(const Tensor& x, const Tensor& targets) {
+  if (x.dim(0) != targets.dim(0)) {
+    return Status::InvalidArgument("FitSoft: sample count mismatch");
+  }
+  Rng rng(config_.seed);
+  double last_loss = 0.0;
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    GOGGLES_ASSIGN_OR_RETURN(last_loss, RunEpoch(x, targets, &rng));
+    if (config_.verbose) {
+      GOGGLES_LOG(INFO) << "epoch " << (epoch + 1) << "/" << config_.epochs
+                        << " loss=" << last_loss;
+    }
+  }
+  return last_loss;
+}
+
+Result<double> Trainer::Fit(const Tensor& x, const std::vector<int>& labels,
+                            int num_classes) {
+  return FitSoft(x, MakeOneHot(labels, num_classes));
+}
+
+Result<std::vector<int>> Trainer::Predict(const Tensor& x, int batch_size) {
+  const int64_t n = x.dim(0);
+  std::vector<int> preds;
+  preds.reserve(static_cast<size_t>(n));
+  for (int64_t start = 0; start < n; start += batch_size) {
+    const int64_t end = std::min<int64_t>(n, start + batch_size);
+    std::vector<int> batch;
+    for (int64_t i = start; i < end; ++i) batch.push_back(static_cast<int>(i));
+    Tensor xb = GatherRows(x, batch);
+    GOGGLES_ASSIGN_OR_RETURN(Tensor logits, net_->Forward(xb));
+    const int64_t k = logits.dim(1);
+    for (int64_t i = 0; i < logits.dim(0); ++i) {
+      const float* row = logits.data() + i * k;
+      int best = 0;
+      for (int64_t j = 1; j < k; ++j) {
+        if (row[j] > row[best]) best = static_cast<int>(j);
+      }
+      preds.push_back(best);
+    }
+  }
+  return preds;
+}
+
+Result<double> Trainer::Evaluate(const Tensor& x,
+                                 const std::vector<int>& labels) {
+  GOGGLES_ASSIGN_OR_RETURN(std::vector<int> preds, Predict(x));
+  if (preds.size() != labels.size()) {
+    return Status::Internal("Evaluate: prediction count mismatch");
+  }
+  int64_t correct = 0;
+  for (size_t i = 0; i < preds.size(); ++i) {
+    if (preds[i] == labels[i]) ++correct;
+  }
+  return labels.empty() ? 0.0
+                        : static_cast<double>(correct) /
+                              static_cast<double>(labels.size());
+}
+
+}  // namespace goggles::nn

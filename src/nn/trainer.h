@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/optimizer.h"
+#include "nn/sequential.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+/// \file trainer.h
+/// \brief Minibatch trainer for `Sequential` models.
+///
+/// Supports hard labels and probabilistic ("soft") labels; the latter is
+/// how downstream end models consume GOGGLES output (paper §2.1: minimize
+/// the expected loss under the probabilistic label distribution).
+
+namespace goggles::nn {
+
+/// \brief Training hyper-parameters.
+struct TrainerConfig {
+  int epochs = 5;
+  int batch_size = 32;
+  float learning_rate = 1e-3f;
+  enum class OptimizerKind { kSgd, kAdam } optimizer = OptimizerKind::kAdam;
+  float momentum = 0.9f;
+  float weight_decay = 0.0f;
+  bool shuffle = true;
+  uint64_t seed = 42;
+  bool verbose = false;
+};
+
+/// \brief Runs minibatch SGD/Adam over a Sequential model.
+class Trainer {
+ public:
+  /// \param net borrowed; must outlive the trainer.
+  Trainer(Sequential* net, const TrainerConfig& config);
+
+  /// \brief Trains against soft target distributions.
+  ///
+  /// \param x       [N, ...] input tensor (first dim is the sample index)
+  /// \param targets [N, K] rows sum to 1
+  /// \returns mean loss of the final epoch
+  Result<double> FitSoft(const Tensor& x, const Tensor& targets);
+
+  /// \brief Trains against integer labels (one-hot encoded internally).
+  Result<double> Fit(const Tensor& x, const std::vector<int>& labels,
+                     int num_classes);
+
+  /// \brief Argmax predictions.
+  Result<std::vector<int>> Predict(const Tensor& x, int batch_size = 64);
+
+  /// \brief Fraction of correct argmax predictions.
+  Result<double> Evaluate(const Tensor& x, const std::vector<int>& labels);
+
+ private:
+  Result<double> RunEpoch(const Tensor& x, const Tensor& targets, Rng* rng);
+
+  Sequential* net_;
+  TrainerConfig config_;
+  std::unique_ptr<Optimizer> optimizer_;
+};
+
+/// \brief One-hot encodes labels into an [N, K] tensor.
+Tensor MakeOneHot(const std::vector<int>& labels, int num_classes);
+
+/// \brief Gathers rows `indices` of `x` (first-dimension gather).
+Tensor GatherRows(const Tensor& x, const std::vector<int>& indices);
+
+}  // namespace goggles::nn

@@ -1,0 +1,56 @@
+#include "nn/vgg.h"
+
+#include <memory>
+
+#include "nn/layers.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace goggles::nn {
+
+Result<VggMini> BuildVggMini(const VggMiniConfig& config) {
+  if (config.stage_channels.empty()) {
+    return Status::InvalidArgument("VggMini: need at least one stage");
+  }
+  if (config.convs_per_stage < 1) {
+    return Status::InvalidArgument("VggMini: convs_per_stage must be >= 1");
+  }
+  int size = config.image_size;
+  for (size_t s = 0; s < config.stage_channels.size(); ++s) {
+    if (size < 2) {
+      return Status::InvalidArgument(StrFormat(
+          "VggMini: image_size %d too small for %zu pooling stages",
+          config.image_size, config.stage_channels.size()));
+    }
+    size /= 2;
+  }
+
+  VggMini model;
+  model.config = config;
+  Rng rng(config.seed);
+
+  int in_ch = config.in_channels;
+  for (int ch : config.stage_channels) {
+    for (int conv = 0; conv < config.convs_per_stage; ++conv) {
+      model.net.Add(std::make_unique<Conv2D>(in_ch, ch, /*kernel=*/3,
+                                             /*stride=*/1, /*pad=*/1, &rng));
+      model.net.Add(std::make_unique<ReLU>());
+      in_ch = ch;
+    }
+    int pool_index =
+        model.net.Add(std::make_unique<MaxPool2D>(/*kernel=*/2, /*stride=*/2));
+    model.pool_layer_indices.push_back(pool_index);
+  }
+
+  const int64_t final_spatial =
+      config.image_size >> config.stage_channels.size();
+  model.feature_dim =
+      static_cast<int64_t>(config.stage_channels.back()) * final_spatial *
+      final_spatial;
+  model.flatten_layer_index = model.net.Add(std::make_unique<Flatten>());
+  model.net.Add(
+      std::make_unique<Linear>(model.feature_dim, config.num_classes, &rng));
+  return model;
+}
+
+}  // namespace goggles::nn

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <vector>
+
+#include "nn/sequential.h"
+#include "util/status.h"
+
+/// \file vgg.h
+/// \brief `VggMini`: the VGG-style backbone used for affinity coding.
+///
+/// The paper builds its 50 affinity functions on the 5 max-pooling layers of
+/// an ImageNet-pretrained VGG-16 (§3). Offline we cannot ship those weights,
+/// so `VggMini` reproduces the *structural* property GOGGLES relies on —
+/// a stack of conv/ReLU stages each ending in max-pool, yielding filter maps
+/// at 5 scales — and is pretrained in-repo on the SynthNet corpus (see
+/// DESIGN.md, substitution table).
+
+namespace goggles::nn {
+
+/// \brief Architecture hyper-parameters for VggMini.
+struct VggMiniConfig {
+  int in_channels = 3;
+  int image_size = 32;
+  /// Output channels of each conv stage; one max-pool follows each stage,
+  /// so `stage_channels.size()` is also the number of pooling layers (the
+  /// paper's 5).
+  std::vector<int> stage_channels = {8, 16, 32, 48, 64};
+  int convs_per_stage = 1;
+  int num_classes = 16;
+  uint64_t seed = 1234;
+};
+
+/// \brief A built backbone: the network plus bookkeeping for feature taps.
+struct VggMini {
+  Sequential net;
+  VggMiniConfig config;
+  /// Layer indices (into `net`) of the max-pool layers, ascending. These
+  /// are the tap points GOGGLES extracts prototypes from.
+  std::vector<int> pool_layer_indices;
+  /// Index of the Flatten layer (the penultimate feature representation
+  /// right after it feeds the classifier head).
+  int flatten_layer_index = -1;
+  /// Flattened feature dimension entering the classifier head.
+  int64_t feature_dim = 0;
+};
+
+/// \brief Constructs a randomly-initialized VggMini per `config`.
+Result<VggMini> BuildVggMini(const VggMiniConfig& config);
+
+}  // namespace goggles::nn

@@ -1,0 +1,44 @@
+#include "tensor/gemm.h"
+
+#include <vector>
+
+#include "util/parallel.h"
+
+namespace goggles {
+
+void SGemm(bool transpose_a, bool transpose_b, int64_t m, int64_t n, int64_t k,
+           float alpha, const float* a, int64_t lda, const float* b,
+           int64_t ldb, float beta, float* c, int64_t ldc) {
+  auto a_at = [&](int64_t i, int64_t p) -> float {
+    return transpose_a ? a[p * lda + i] : a[i * lda + p];
+  };
+
+  // Only parallelize when there is enough work to amortize thread startup.
+  const bool parallel = m * n * k > (1 << 16);
+
+  ParallelForChunked(
+      0, m,
+      [&](int64_t row_begin, int64_t row_end) {
+        for (int64_t i = row_begin; i < row_end; ++i) {
+          float* crow = c + i * ldc;
+          if (beta == 0.0f) {
+            for (int64_t j = 0; j < n; ++j) crow[j] = 0.0f;
+          } else if (beta != 1.0f) {
+            for (int64_t j = 0; j < n; ++j) crow[j] *= beta;
+          }
+          for (int64_t p = 0; p < k; ++p) {
+            const float av = alpha * a_at(i, p);
+            if (av == 0.0f) continue;
+            if (!transpose_b) {
+              const float* brow = b + p * ldb;
+              for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+            } else {
+              for (int64_t j = 0; j < n; ++j) crow[j] += av * b[j * ldb + p];
+            }
+          }
+        }
+      },
+      parallel ? 0 : 1);
+}
+
+}  // namespace goggles

@@ -1,0 +1,18 @@
+#pragma once
+
+#include <cstdint>
+
+/// \file gemm.h
+/// \brief Single-precision GEMM used by the conv (im2col) and linear layers.
+
+namespace goggles {
+
+/// \brief C = alpha * op(A) * op(B) + beta * C.
+///
+/// A is (m x k) after optional transpose, B is (k x n) after optional
+/// transpose, C is (m x n) row-major. Parallelized over rows of C.
+void SGemm(bool transpose_a, bool transpose_b, int64_t m, int64_t n, int64_t k,
+           float alpha, const float* a, int64_t lda, const float* b,
+           int64_t ldb, float beta, float* c, int64_t ldc);
+
+}  // namespace goggles

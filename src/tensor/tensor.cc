@@ -1,0 +1,104 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+namespace goggles {
+namespace {
+
+int64_t ShapeNumElements(const std::vector<int64_t>& shape) {
+  int64_t n = 1;
+  for (int64_t d : shape) n *= d;
+  return shape.empty() ? 0 : n;
+}
+
+}  // namespace
+
+Tensor::Tensor(std::vector<int64_t> shape, float fill)
+    : shape_(std::move(shape)),
+      data_(static_cast<size_t>(ShapeNumElements(shape_)), fill) {}
+
+Tensor Tensor::RandomNormal(std::vector<int64_t> shape, float stddev,
+                            Rng* rng) {
+  Tensor t(std::move(shape));
+  for (size_t i = 0; i < t.data_.size(); ++i) {
+    t.data_[i] = static_cast<float>(rng->Gaussian(0.0, stddev));
+  }
+  return t;
+}
+
+Tensor Tensor::RandomUniform(std::vector<int64_t> shape, float lo, float hi,
+                             Rng* rng) {
+  Tensor t(std::move(shape));
+  for (size_t i = 0; i < t.data_.size(); ++i) {
+    t.data_[i] = static_cast<float>(rng->Uniform(lo, hi));
+  }
+  return t;
+}
+
+Tensor Tensor::FromVector(const std::vector<float>& values) {
+  Tensor t({static_cast<int64_t>(values.size())});
+  std::copy(values.begin(), values.end(), t.data_.begin());
+  return t;
+}
+
+Status Tensor::Reshape(std::vector<int64_t> new_shape) {
+  if (ShapeNumElements(new_shape) != NumElements()) {
+    return Status::InvalidArgument("Reshape: element count mismatch");
+  }
+  shape_ = std::move(new_shape);
+  return Status::OK();
+}
+
+void Tensor::Fill(float value) { std::fill(data_.begin(), data_.end(), value); }
+
+void Tensor::Scale(float factor) {
+  for (float& v : data_) v *= factor;
+}
+
+Status Tensor::AddInPlace(const Tensor& other) {
+  if (other.shape_ != shape_) {
+    return Status::InvalidArgument("Tensor::AddInPlace: shape mismatch");
+  }
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return Status::OK();
+}
+
+Status Tensor::Axpy(float factor, const Tensor& other) {
+  if (other.shape_ != shape_) {
+    return Status::InvalidArgument("Tensor::Axpy: shape mismatch");
+  }
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += factor * other.data_[i];
+  return Status::OK();
+}
+
+double Tensor::Sum() const {
+  double acc = 0.0;
+  for (float v : data_) acc += v;
+  return acc;
+}
+
+float Tensor::MaxAbs() const {
+  float acc = 0.0f;
+  for (float v : data_) acc = std::max(acc, std::fabs(v));
+  return acc;
+}
+
+std::string Tensor::ShapeString() const {
+  std::ostringstream os;
+  os << '[';
+  for (size_t i = 0; i < shape_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << shape_[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+bool SameShape(const Tensor& a, const Tensor& b) {
+  return a.shape() == b.shape();
+}
+
+}  // namespace goggles

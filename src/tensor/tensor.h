@@ -1,0 +1,103 @@
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+/// \file tensor.h
+/// \brief Dense float tensor with NCHW conventions for the NN substrate.
+///
+/// The paper's affinity functions are built on the intermediate filter maps
+/// of a convolutional network (VGG-16 in the paper, our `VggMini` here).
+/// This tensor type backs that network's forward/backward computation.
+
+namespace goggles {
+
+/// \brief A dense, contiguous, row-major float tensor.
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Constructs a tensor of the given shape filled with `fill`.
+  explicit Tensor(std::vector<int64_t> shape, float fill = 0.0f);
+
+  /// \brief All-zero tensor of the given shape.
+  static Tensor Zeros(std::vector<int64_t> shape) { return Tensor(std::move(shape)); }
+
+  /// \brief Tensor with i.i.d. N(0, stddev^2) entries.
+  static Tensor RandomNormal(std::vector<int64_t> shape, float stddev, Rng* rng);
+
+  /// \brief Tensor with i.i.d. Uniform(lo, hi) entries.
+  static Tensor RandomUniform(std::vector<int64_t> shape, float lo, float hi,
+                              Rng* rng);
+
+  /// \brief 1-D tensor from explicit values.
+  static Tensor FromVector(const std::vector<float>& values);
+
+  const std::vector<int64_t>& shape() const { return shape_; }
+  int64_t ndim() const { return static_cast<int64_t>(shape_.size()); }
+  int64_t dim(int i) const { return shape_[static_cast<size_t>(i)]; }
+  int64_t NumElements() const { return static_cast<int64_t>(data_.size()); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  float& operator[](int64_t i) { return data_[static_cast<size_t>(i)]; }
+  float operator[](int64_t i) const { return data_[static_cast<size_t>(i)]; }
+
+  /// \brief 4-D accessor (NCHW).
+  float& At4(int64_t n, int64_t c, int64_t h, int64_t w) {
+    return data_[static_cast<size_t>(
+        ((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w)];
+  }
+  float At4(int64_t n, int64_t c, int64_t h, int64_t w) const {
+    return data_[static_cast<size_t>(
+        ((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w)];
+  }
+
+  /// \brief 2-D accessor (row, col).
+  float& At2(int64_t r, int64_t c) {
+    return data_[static_cast<size_t>(r * shape_[1] + c)];
+  }
+  float At2(int64_t r, int64_t c) const {
+    return data_[static_cast<size_t>(r * shape_[1] + c)];
+  }
+
+  /// \brief Reinterprets the shape; element count must be preserved.
+  Status Reshape(std::vector<int64_t> new_shape);
+
+  /// \brief Sets every element to `value`.
+  void Fill(float value);
+
+  /// \brief Multiplies every element by `factor`.
+  void Scale(float factor);
+
+  /// \brief this += other (shapes must match exactly).
+  Status AddInPlace(const Tensor& other);
+
+  /// \brief this += factor * other (shapes must match exactly).
+  Status Axpy(float factor, const Tensor& other);
+
+  /// \brief Sum of all elements.
+  double Sum() const;
+
+  /// \brief Maximum absolute element (0 for empty tensors).
+  float MaxAbs() const;
+
+  /// \brief Human-readable shape, e.g. "[8, 3, 32, 32]".
+  std::string ShapeString() const;
+
+ private:
+  std::vector<int64_t> shape_;
+  std::vector<float> data_;
+};
+
+/// \brief True iff the two shapes are identical.
+bool SameShape(const Tensor& a, const Tensor& b);
+
+}  // namespace goggles

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+/// \file csv.h
+/// \brief Tiny CSV writer for exporting experiment series (e.g. the data
+/// behind each reproduced figure).
+
+namespace goggles {
+
+/// \brief Accumulates rows and writes RFC-4180-style CSV.
+class CsvWriter {
+ public:
+  /// \brief Sets the header row.
+  void SetHeader(std::vector<std::string> header);
+
+  /// \brief Appends a row of already-formatted cells.
+  void AddRow(std::vector<std::string> row);
+
+  /// \brief Serializes all rows (header first if set).
+  std::string ToString() const;
+
+  /// \brief Writes the CSV content to `path`.
+  Status WriteToFile(const std::string& path) const;
+
+ private:
+  static std::string EscapeCell(const std::string& cell);
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace goggles

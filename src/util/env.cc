@@ -1,0 +1,30 @@
+#include "util/env.h"
+
+#include <cstdlib>
+
+namespace goggles {
+
+std::string GetEnvOr(const std::string& name, const std::string& fallback) {
+  const char* v = std::getenv(name.c_str());
+  return v == nullptr ? fallback : std::string(v);
+}
+
+int64_t GetEnvIntOr(const std::string& name, int64_t fallback) {
+  const char* v = std::getenv(name.c_str());
+  if (v == nullptr) return fallback;
+  char* end = nullptr;
+  long long parsed = std::strtoll(v, &end, 10);
+  if (end == v) return fallback;
+  return static_cast<int64_t>(parsed);
+}
+
+double GetEnvDoubleOr(const std::string& name, double fallback) {
+  const char* v = std::getenv(name.c_str());
+  if (v == nullptr) return fallback;
+  char* end = nullptr;
+  double parsed = std::strtod(v, &end);
+  if (end == v) return fallback;
+  return parsed;
+}
+
+}  // namespace goggles

@@ -1,0 +1,19 @@
+#pragma once
+
+#include <string>
+
+/// \file env.h
+/// \brief Environment-variable helpers for experiment knobs.
+
+namespace goggles {
+
+/// \brief Returns the environment variable `name`, or `fallback` if unset.
+std::string GetEnvOr(const std::string& name, const std::string& fallback);
+
+/// \brief Integer-valued environment variable with fallback.
+int64_t GetEnvIntOr(const std::string& name, int64_t fallback);
+
+/// \brief Double-valued environment variable with fallback.
+double GetEnvDoubleOr(const std::string& name, double fallback);
+
+}  // namespace goggles

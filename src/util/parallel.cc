@@ -1,0 +1,55 @@
+#include "util/parallel.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+namespace goggles {
+
+int DefaultNumThreads() {
+  static int cached = [] {
+    if (const char* env = std::getenv("GOGGLES_NUM_THREADS")) {
+      int n = std::atoi(env);
+      if (n > 0) return n;
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+  }();
+  return cached;
+}
+
+void ParallelForChunked(int64_t begin, int64_t end,
+                        const std::function<void(int64_t, int64_t)>& fn,
+                        int num_threads) {
+  if (end <= begin) return;
+  if (num_threads <= 0) num_threads = DefaultNumThreads();
+  int64_t n = end - begin;
+  int64_t workers = std::min<int64_t>(num_threads, n);
+  if (workers <= 1) {
+    fn(begin, end);
+    return;
+  }
+  int64_t chunk = (n + workers - 1) / workers;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(workers));
+  for (int64_t w = 0; w < workers; ++w) {
+    int64_t lo = begin + w * chunk;
+    int64_t hi = std::min(end, lo + chunk);
+    if (lo >= hi) break;
+    threads.emplace_back([&fn, lo, hi] { fn(lo, hi); });
+  }
+  for (auto& t : threads) t.join();
+}
+
+void ParallelFor(int64_t begin, int64_t end,
+                 const std::function<void(int64_t)>& fn, int num_threads) {
+  ParallelForChunked(
+      begin, end,
+      [&fn](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) fn(i);
+      },
+      num_threads);
+}
+
+}  // namespace goggles

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+/// \file parallel.h
+/// \brief Minimal data-parallel helpers used by the compute kernels.
+
+namespace goggles {
+
+/// \brief Number of worker threads to use by default.
+///
+/// Resolves, in order: the `GOGGLES_NUM_THREADS` environment variable, then
+/// `std::thread::hardware_concurrency()`, with a floor of 1.
+int DefaultNumThreads();
+
+/// \brief Runs `fn(i)` for every i in [begin, end) across worker threads.
+///
+/// The range is split into contiguous chunks, one batch per worker. `fn`
+/// must be safe to invoke concurrently for distinct indices. Falls back to
+/// a serial loop when the range is small or one thread is requested.
+void ParallelFor(int64_t begin, int64_t end,
+                 const std::function<void(int64_t)>& fn,
+                 int num_threads = 0);
+
+/// \brief Runs `fn(chunk_begin, chunk_end)` over disjoint chunks covering
+/// [begin, end). Useful when per-iteration work is tiny.
+void ParallelForChunked(int64_t begin, int64_t end,
+                        const std::function<void(int64_t, int64_t)>& fn,
+                        int num_threads = 0);
+
+}  // namespace goggles

@@ -1,0 +1,43 @@
+#include "util/status.h"
+
+namespace goggles {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kNotImplemented:
+      return "NotImplemented";
+    case StatusCode::kIOError:
+      return "IOError";
+    case StatusCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeToString(code_);
+  out += ": ";
+  out += msg_;
+  return out;
+}
+
+void Status::Abort(const char* context) const {
+  if (ok()) return;
+  std::cerr << "FATAL";
+  if (context != nullptr) std::cerr << " (" << context << ")";
+  std::cerr << ": " << ToString() << std::endl;
+  std::abort();
+}
+
+}  // namespace goggles

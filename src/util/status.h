@@ -1,0 +1,170 @@
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <utility>
+
+/// \file status.h
+/// \brief Error handling primitives following the Apache Arrow / RocksDB
+/// idiom: library code never throws; fallible functions return a `Status`
+/// or a `Result<T>`.
+
+namespace goggles {
+
+/// \brief Machine-readable error category carried by a Status.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfRange = 2,
+  kNotFound = 3,
+  kAlreadyExists = 4,
+  kNotImplemented = 5,
+  kIOError = 6,
+  kInternal = 7,
+};
+
+/// \brief Returns a human-readable name for a StatusCode.
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of an operation: OK, or an error code plus message.
+///
+/// Status is cheap to copy in the OK case (no allocation) and carries a
+/// message string only on error. Use the factory functions
+/// (`Status::InvalidArgument(...)` etc.) to construct errors.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  /// \brief Returns an OK status.
+  static Status OK() { return Status(); }
+
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  /// \brief True iff the operation succeeded.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  StatusCode code() const { return code_; }
+
+  /// \brief Error message; empty for OK statuses.
+  const std::string& message() const { return msg_; }
+
+  /// \brief "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  /// \brief Aborts the process with a diagnostic if this status is an error.
+  ///
+  /// Intended for tests, examples and benchmark drivers where an error is
+  /// unrecoverable; library code should propagate instead.
+  void Abort(const char* context = nullptr) const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && msg_ == other.msg_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string msg_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& st) {
+  return os << st.ToString();
+}
+
+/// \brief A value of type T, or the Status explaining why it is absent.
+///
+/// Mirrors arrow::Result. Access the value with `ValueOrDie()` (aborts on
+/// error; for tests/drivers) or `operator*` after checking `ok()`.
+template <typename T>
+class Result {
+ public:
+  /// Constructs an errored result. `status` must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT implicit
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+  /// Constructs a successful result holding `value`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT implicit
+
+  bool ok() const { return value_.has_value(); }
+
+  /// \brief The error (or OK) status associated with this result.
+  const Status& status() const { return status_; }
+
+  /// \brief Returns the value, aborting the process if this is an error.
+  const T& ValueOrDie() const& {
+    if (!ok()) status_.Abort("Result::ValueOrDie");
+    return *value_;
+  }
+  T ValueOrDie() && {
+    if (!ok()) status_.Abort("Result::ValueOrDie");
+    return std::move(*value_);
+  }
+
+  /// \brief Unchecked access; valid only when ok().
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  T operator*() && { return std::move(*value_); }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+  /// \brief Moves the value out; valid only when ok().
+  T MoveValueUnsafe() { return std::move(*value_); }
+
+ private:
+  Status status_ = Status::OK();
+  std::optional<T> value_;
+};
+
+/// \brief Propagates an error Status from the enclosing function.
+#define GOGGLES_RETURN_NOT_OK(expr)                    \
+  do {                                                 \
+    ::goggles::Status _goggles_status = (expr);        \
+    if (!_goggles_status.ok()) return _goggles_status; \
+  } while (false)
+
+/// \brief Aborts the process if `expr` is an error Status.
+#define GOGGLES_CHECK_OK(expr)                  \
+  do {                                          \
+    ::goggles::Status _goggles_status = (expr); \
+    _goggles_status.Abort(#expr);               \
+  } while (false)
+
+#define GOGGLES_CONCAT_IMPL(x, y) x##y
+#define GOGGLES_CONCAT(x, y) GOGGLES_CONCAT_IMPL(x, y)
+
+/// \brief Evaluates a Result-returning expression; on success binds the
+/// value to `lhs`, on error returns the Status from the enclosing function.
+#define GOGGLES_ASSIGN_OR_RETURN(lhs, rexpr)                       \
+  auto GOGGLES_CONCAT(_goggles_result_, __LINE__) = (rexpr);       \
+  if (!GOGGLES_CONCAT(_goggles_result_, __LINE__).ok())            \
+    return GOGGLES_CONCAT(_goggles_result_, __LINE__).status();    \
+  lhs = std::move(*GOGGLES_CONCAT(_goggles_result_, __LINE__))
+
+}  // namespace goggles

@@ -1,0 +1,75 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace goggles {
+namespace {
+const char* kSeparatorSentinel = "\x01--";
+}
+
+void AsciiTable::SetHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void AsciiTable::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+void AsciiTable::AddSeparator() { rows_.push_back({kSeparatorSentinel}); }
+
+std::string AsciiTable::ToString() const {
+  size_t cols = header_.size();
+  for (const auto& r : rows_) {
+    if (!(r.size() == 1 && r[0] == kSeparatorSentinel)) {
+      cols = std::max(cols, r.size());
+    }
+  }
+  std::vector<size_t> width(cols, 0);
+  auto measure = [&](const std::vector<std::string>& r) {
+    for (size_t c = 0; c < r.size() && c < cols; ++c) {
+      width[c] = std::max(width[c], r[c].size());
+    }
+  };
+  if (!header_.empty()) measure(header_);
+  for (const auto& r : rows_) {
+    if (!(r.size() == 1 && r[0] == kSeparatorSentinel)) measure(r);
+  }
+
+  std::ostringstream os;
+  auto hline = [&] {
+    os << '+';
+    for (size_t c = 0; c < cols; ++c) {
+      os << std::string(width[c] + 2, '-') << '+';
+    }
+    os << '\n';
+  };
+  auto emit = [&](const std::vector<std::string>& r) {
+    os << '|';
+    for (size_t c = 0; c < cols; ++c) {
+      const std::string cell = c < r.size() ? r[c] : "";
+      os << ' ' << cell << std::string(width[c] - cell.size(), ' ') << " |";
+    }
+    os << '\n';
+  };
+
+  if (!title_.empty()) os << title_ << '\n';
+  hline();
+  if (!header_.empty()) {
+    emit(header_);
+    hline();
+  }
+  for (const auto& r : rows_) {
+    if (r.size() == 1 && r[0] == kSeparatorSentinel) {
+      hline();
+    } else {
+      emit(r);
+    }
+  }
+  hline();
+  return os.str();
+}
+
+void AsciiTable::Print(std::ostream& os) const { os << ToString(); }
+
+}  // namespace goggles

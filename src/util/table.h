@@ -1,0 +1,40 @@
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+/// \file table.h
+/// \brief ASCII table rendering used by the benchmark/experiment drivers to
+/// print paper-style tables.
+
+namespace goggles {
+
+/// \brief Column-aligned ASCII table with an optional title.
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::string title = "") : title_(std::move(title)) {}
+
+  /// \brief Sets the header row (fixes the column count).
+  void SetHeader(std::vector<std::string> header);
+
+  /// \brief Appends a data row; short rows are padded with empty cells.
+  void AddRow(std::vector<std::string> row);
+
+  /// \brief Appends a horizontal separator line.
+  void AddSeparator();
+
+  /// \brief Renders the table.
+  std::string ToString() const;
+
+  /// \brief Renders the table to `os` (default stdout).
+  void Print(std::ostream& os = std::cout) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  // A row with the single sentinel cell "\x01--" renders as a separator.
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace goggles

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <chrono>
+
+/// \file timer.h
+/// \brief Wall-clock timing helper.
+
+namespace goggles {
+
+/// \brief Monotonic stopwatch; starts on construction.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// \brief Resets the start time to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// \brief Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// \brief Milliseconds elapsed since construction or the last Restart().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace goggles

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+/// \file topk.h
+/// \brief Argmax / top-k index selection helpers.
+
+namespace goggles {
+
+/// \brief Index of the maximum element (first on ties); -1 if empty.
+template <typename T>
+int64_t ArgMax(const std::vector<T>& v) {
+  if (v.empty()) return -1;
+  return static_cast<int64_t>(
+      std::distance(v.begin(), std::max_element(v.begin(), v.end())));
+}
+
+/// \brief Index of the minimum element (first on ties); -1 if empty.
+template <typename T>
+int64_t ArgMin(const std::vector<T>& v) {
+  if (v.empty()) return -1;
+  return static_cast<int64_t>(
+      std::distance(v.begin(), std::min_element(v.begin(), v.end())));
+}
+
+/// \brief Indices of `v` sorted by descending value (stable on ties).
+template <typename T>
+std::vector<int> ArgSortDescending(const std::vector<T>& v) {
+  std::vector<int> idx(v.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  std::stable_sort(idx.begin(), idx.end(),
+                   [&v](int a, int b) { return v[a] > v[b]; });
+  return idx;
+}
+
+/// \brief Indices of the k largest elements, in descending value order.
+template <typename T>
+std::vector<int> ArgTopK(const std::vector<T>& v, int k) {
+  std::vector<int> idx = ArgSortDescending(v);
+  if (k < static_cast<int>(idx.size())) idx.resize(k);
+  return idx;
+}
+
+}  // namespace goggles

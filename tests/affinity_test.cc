@@ -1,0 +1,160 @@
+#include "goggles/affinity.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/raster.h"
+#include "nn/vgg.h"
+
+namespace goggles {
+namespace {
+
+data::Image PatternImage(int variant) {
+  data::Image img(3, 32, 32, 0.1f);
+  switch (variant % 3) {
+    case 0:
+      data::DrawFilledCircle(&img, 16, 16, 8, {1.0f, 0.2f, 0.2f});
+      break;
+    case 1:
+      data::DrawFilledRect(&img, 8, 8, 24, 24, {0.2f, 1.0f, 0.2f});
+      break;
+    default:
+      data::DrawCross(&img, 16, 16, 16, 3, {0.2f, 0.2f, 1.0f});
+      break;
+  }
+  return img;
+}
+
+std::shared_ptr<features::FeatureExtractor> MakeExtractor() {
+  nn::VggMiniConfig config;
+  config.stage_channels = {4, 8, 8, 8, 8};
+  config.num_classes = 4;
+  Result<nn::VggMini> model = nn::BuildVggMini(config);
+  model.status().Abort("vgg");
+  return std::make_shared<features::FeatureExtractor>(std::move(*model));
+}
+
+class AffinityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    extractor_ = MakeExtractor();
+    for (int i = 0; i < 6; ++i) images_.push_back(PatternImage(i));
+  }
+  std::shared_ptr<features::FeatureExtractor> extractor_;
+  std::vector<data::Image> images_;
+};
+
+TEST_F(AffinityTest, LibraryHasLayersTimesZFunctions) {
+  AffinityLibrary library = BuildPrototypeAffinityLibrary(extractor_, 10);
+  EXPECT_EQ(library.functions.size(), 50u);  // 5 layers x Z=10
+  AffinityLibrary small = BuildPrototypeAffinityLibrary(extractor_, 3);
+  EXPECT_EQ(small.functions.size(), 15u);
+}
+
+TEST_F(AffinityTest, RoundRobinOrderingSpansLayersFirst) {
+  AffinityLibrary library = BuildPrototypeAffinityLibrary(extractor_, 2);
+  // First 5 functions are z=0 of layers 1..5.
+  EXPECT_EQ(library.functions[0]->name(), "proto[L1,z0]");
+  EXPECT_EQ(library.functions[1]->name(), "proto[L2,z0]");
+  EXPECT_EQ(library.functions[4]->name(), "proto[L5,z0]");
+  EXPECT_EQ(library.functions[5]->name(), "proto[L1,z1]");
+}
+
+TEST_F(AffinityTest, ScoresAreBoundedCosines) {
+  AffinityLibrary library = BuildPrototypeAffinityLibrary(extractor_, 4);
+  for (auto& f : library.functions) {
+    ASSERT_TRUE(f->Prepare(images_).ok());
+  }
+  for (auto& f : library.functions) {
+    for (int i = 0; i < 6; ++i) {
+      for (int j = 0; j < 6; ++j) {
+        const float s = f->Score(i, j);
+        ASSERT_GE(s, -1.0f - 1e-5f);
+        ASSERT_LE(s, 1.0f + 1e-5f);
+      }
+    }
+  }
+}
+
+TEST_F(AffinityTest, SelfAffinityIsMaximal) {
+  // Eq. 2 with i == j: the prototype of x_j exists among x_j's own position
+  // vectors, so the max cosine is exactly 1.
+  AffinityLibrary library = BuildPrototypeAffinityLibrary(extractor_, 4);
+  for (auto& f : library.functions) {
+    ASSERT_TRUE(f->Prepare(images_).ok());
+  }
+  for (auto& f : library.functions) {
+    for (int i = 0; i < 6; ++i) {
+      EXPECT_NEAR(f->Score(i, i), 1.0f, 1e-4f);
+    }
+  }
+}
+
+TEST_F(AffinityTest, SameConceptScoresHigherThanDifferent) {
+  // Images 0 and 3 share the circle concept; image 1 is a square.
+  AffinityLibrary library = BuildPrototypeAffinityLibrary(extractor_, 10);
+  for (auto& f : library.functions) {
+    ASSERT_TRUE(f->Prepare(images_).ok());
+  }
+  double same = 0.0, diff = 0.0;
+  for (auto& f : library.functions) {
+    same += f->Score(0, 3);
+    diff += f->Score(1, 3);
+  }
+  EXPECT_GT(same, diff);
+}
+
+TEST_F(AffinityTest, MatrixLayoutMatchesPaperSection22) {
+  AffinityLibrary library = BuildPrototypeAffinityLibrary(extractor_, 2);
+  std::vector<AffinityFunction*> fns = library.Pointers();
+  for (auto* f : fns) ASSERT_TRUE(f->Prepare(images_).ok());
+  const int n = static_cast<int>(images_.size());
+  Result<Matrix> a = BuildAffinityMatrix(fns, n);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->rows(), n);
+  EXPECT_EQ(a->cols(), static_cast<int64_t>(fns.size()) * n);
+  // A[i, f*N + j] == f(x_i, x_j).
+  for (size_t f = 0; f < fns.size(); ++f) {
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        ASSERT_NEAR((*a)(i, static_cast<int64_t>(f) * n + j),
+                    static_cast<double>(fns[f]->Score(i, j)), 1e-6);
+      }
+    }
+  }
+}
+
+TEST_F(AffinityTest, PrepareIsIdempotent) {
+  AffinityLibrary library = BuildPrototypeAffinityLibrary(extractor_, 2);
+  ASSERT_TRUE(library.source->Prepare(images_).ok());
+  const float before = library.source->Score(0, 0, 0, 1);
+  ASSERT_TRUE(library.source->Prepare(images_).ok());
+  EXPECT_FLOAT_EQ(library.source->Score(0, 0, 0, 1), before);
+}
+
+TEST(VectorCosineAffinityTest, MatchesCosine) {
+  Matrix emb = Matrix::FromRows({{1, 0}, {0, 1}, {1, 1}, {-1, 0}});
+  VectorCosineAffinity affinity("test", emb);
+  std::vector<data::Image> dummy(4, data::Image(1, 2, 2));
+  ASSERT_TRUE(affinity.Prepare(dummy).ok());
+  EXPECT_NEAR(affinity.Score(0, 0), 1.0f, 1e-6f);
+  EXPECT_NEAR(affinity.Score(0, 1), 0.0f, 1e-6f);
+  EXPECT_NEAR(affinity.Score(0, 2), 1.0f / std::sqrt(2.0f), 1e-6f);
+  EXPECT_NEAR(affinity.Score(0, 3), -1.0f, 1e-6f);
+  EXPECT_EQ(affinity.name(), "test");
+}
+
+TEST(VectorCosineAffinityTest, PrepareValidatesRowCount) {
+  Matrix emb = Matrix::FromRows({{1, 0}});
+  VectorCosineAffinity affinity("test", emb);
+  std::vector<data::Image> two(2, data::Image(1, 2, 2));
+  EXPECT_FALSE(affinity.Prepare(two).ok());
+}
+
+TEST(BuildAffinityMatrixTest, EmptyFunctionListRejected) {
+  EXPECT_FALSE(BuildAffinityMatrix({}, 3).ok());
+}
+
+}  // namespace
+}  // namespace goggles

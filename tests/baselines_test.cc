@@ -1,0 +1,331 @@
+#include <gtest/gtest.h>
+
+#include "baselines/attribute_lfs.h"
+#include "baselines/end_model.h"
+#include "baselines/fsl.h"
+#include "baselines/kmeans.h"
+#include "baselines/label_model.h"
+#include "baselines/spectral.h"
+#include "data/birds.h"
+#include "eval/metrics.h"
+#include "util/rng.h"
+
+namespace goggles::baselines {
+namespace {
+
+Matrix TwoBlobs(int n_per, int dim, double separation, Rng* rng,
+                std::vector<int>* truth = nullptr) {
+  Matrix x(2 * n_per, dim);
+  for (int i = 0; i < 2 * n_per; ++i) {
+    const int label = i < n_per ? 0 : 1;
+    if (truth != nullptr) truth->push_back(label);
+    for (int j = 0; j < dim; ++j) {
+      x(i, j) = (label == 0 ? 0.0 : separation) + rng->Gaussian();
+    }
+  }
+  return x;
+}
+
+TEST(KMeansTest, RecoversBlobs) {
+  Rng rng(3);
+  std::vector<int> truth;
+  Matrix x = TwoBlobs(50, 3, 10.0, &rng, &truth);
+  KMeansConfig config;
+  config.num_clusters = 2;
+  KMeans km(config);
+  ASSERT_TRUE(km.Fit(x).ok());
+  EXPECT_GE(eval::AccuracyWithOptimalMapping(km.labels(), truth, 2), 0.99);
+}
+
+TEST(KMeansTest, InertiaDecreasesWithMoreClusters) {
+  Rng rng(5);
+  Matrix x = TwoBlobs(40, 3, 6.0, &rng);
+  KMeansConfig c2;
+  c2.num_clusters = 2;
+  KMeansConfig c4;
+  c4.num_clusters = 4;
+  KMeans km2(c2), km4(c4);
+  ASSERT_TRUE(km2.Fit(x).ok());
+  ASSERT_TRUE(km4.Fit(x).ok());
+  EXPECT_LE(km4.inertia(), km2.inertia() + 1e-9);
+}
+
+TEST(KMeansTest, PredictAssignsNearestCenter) {
+  Rng rng(7);
+  Matrix x = TwoBlobs(30, 2, 10.0, &rng);
+  KMeansConfig config;
+  config.num_clusters = 2;
+  KMeans km(config);
+  ASSERT_TRUE(km.Fit(x).ok());
+  Matrix probe = Matrix::FromRows({{0.0, 0.0}, {10.0, 10.0}});
+  Result<std::vector<int>> pred = km.Predict(probe);
+  ASSERT_TRUE(pred.ok());
+  EXPECT_NE((*pred)[0], (*pred)[1]);
+}
+
+TEST(KMeansTest, ValidatesInputs) {
+  KMeansConfig config;
+  config.num_clusters = 10;
+  KMeans km(config);
+  EXPECT_FALSE(km.Fit(Matrix(3, 2, 1.0)).ok());
+  KMeans unfitted{KMeansConfig{}};
+  EXPECT_FALSE(unfitted.Predict(Matrix(2, 2)).ok());
+}
+
+TEST(SpectralTest, RecoversBlockStructure) {
+  // Block affinity matrix: same-class entries high, cross-class low.
+  Rng rng(9);
+  const int n = 40;
+  std::vector<int> truth;
+  Matrix a(n, n);
+  for (int i = 0; i < n; ++i) truth.push_back(i % 2);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      const double base = truth[static_cast<size_t>(i)] ==
+                                  truth[static_cast<size_t>(j)]
+                              ? 0.9
+                              : 0.1;
+      a(i, j) = base + rng.Uniform(-0.05, 0.05);
+    }
+  }
+  SpectralConfig config;
+  config.num_clusters = 2;
+  Result<std::vector<int>> labels = SpectralCoclusterRows(a, config);
+  ASSERT_TRUE(labels.ok());
+  EXPECT_GE(eval::AccuracyWithOptimalMapping(*labels, truth, 2), 0.95);
+}
+
+TEST(SpectralTest, HandlesNegativeEntries) {
+  Rng rng(11);
+  Matrix a(10, 10);
+  for (int64_t i = 0; i < a.size(); ++i) a.data()[i] = rng.Uniform(-1.0, 1.0);
+  SpectralConfig config;
+  Result<std::vector<int>> labels = SpectralCoclusterRows(a, config);
+  ASSERT_TRUE(labels.ok());
+  EXPECT_EQ(labels->size(), 10u);
+}
+
+TEST(SpectralTest, EmptyMatrixRejected) {
+  EXPECT_FALSE(SpectralCoclusterRows(Matrix(), SpectralConfig{}).ok());
+}
+
+/// Builds votes where LF l has true accuracy acc[l] (abstaining at the
+/// given rate), for a balanced binary ground truth.
+Matrix SyntheticVotes(const std::vector<double>& accuracies,
+                      const std::vector<int>& truth, double abstain_rate,
+                      Rng* rng) {
+  Matrix votes(static_cast<int64_t>(truth.size()),
+               static_cast<int64_t>(accuracies.size()));
+  for (size_t i = 0; i < truth.size(); ++i) {
+    for (size_t l = 0; l < accuracies.size(); ++l) {
+      if (rng->Bernoulli(abstain_rate)) {
+        votes(static_cast<int64_t>(i), static_cast<int64_t>(l)) = kAbstainVote;
+      } else if (rng->Bernoulli(accuracies[l])) {
+        votes(static_cast<int64_t>(i), static_cast<int64_t>(l)) = truth[i];
+      } else {
+        votes(static_cast<int64_t>(i), static_cast<int64_t>(l)) = 1 - truth[i];
+      }
+    }
+  }
+  return votes;
+}
+
+TEST(LabelModelTest, RecoversLfAccuracyOrdering) {
+  Rng rng(13);
+  std::vector<int> truth;
+  for (int i = 0; i < 400; ++i) truth.push_back(i % 2);
+  const std::vector<double> true_acc = {0.9, 0.75, 0.6};
+  Matrix votes = SyntheticVotes(true_acc, truth, 0.2, &rng);
+  LabelModelConfig config;
+  LabelModel model(config);
+  ASSERT_TRUE(model.Fit(votes).ok());
+  const auto& est = model.lf_accuracies();
+  EXPECT_GT(est[0], est[1]);
+  EXPECT_GT(est[1], est[2]);
+  EXPECT_NEAR(est[0], 0.9, 0.08);
+}
+
+TEST(LabelModelTest, BeatsWorstLfAndMatchesMajorityOrBetter) {
+  // Needs enough LFs for the consensus to identify per-LF quality; with
+  // very few, mostly-random LFs, Dawid-Skene EM cannot beat majority vote
+  // (a known property, not an implementation artifact).
+  Rng rng(17);
+  std::vector<int> truth;
+  for (int i = 0; i < 300; ++i) truth.push_back(i % 2);
+  Matrix votes =
+      SyntheticVotes({0.9, 0.85, 0.75, 0.7, 0.65, 0.55}, truth, 0.1, &rng);
+  LabelModelConfig config;
+  LabelModel model(config);
+  ASSERT_TRUE(model.Fit(votes).ok());
+  Result<Matrix> proba = model.PredictProba(votes);
+  ASSERT_TRUE(proba.ok());
+
+  std::vector<int> em_pred, mv_pred;
+  Matrix mv = MajorityVoteProba(votes, 2);
+  for (int64_t i = 0; i < proba->rows(); ++i) {
+    em_pred.push_back((*proba)(i, 1) > (*proba)(i, 0) ? 1 : 0);
+    mv_pred.push_back(mv(i, 1) > mv(i, 0) ? 1 : 0);
+  }
+  const double em_acc = eval::Accuracy(em_pred, truth);
+  const double mv_acc = eval::Accuracy(mv_pred, truth);
+  EXPECT_GE(em_acc, mv_acc - 0.02);  // EM weighting >= majority vote
+  EXPECT_GT(em_acc, 0.8);
+}
+
+TEST(LabelModelTest, AllAbstainGetsPriorRow) {
+  Matrix votes(3, 2, static_cast<double>(kAbstainVote));
+  votes(0, 0) = 1;  // one real vote so the fit is not degenerate
+  LabelModelConfig config;
+  LabelModel model(config);
+  ASSERT_TRUE(model.Fit(votes).ok());
+  Result<Matrix> proba = model.PredictProba(votes);
+  ASSERT_TRUE(proba.ok());
+  // Row 1 has only abstains -> posterior equals the prior.
+  EXPECT_NEAR((*proba)(1, 0) + (*proba)(1, 1), 1.0, 1e-9);
+}
+
+TEST(LabelModelTest, ValidatesInputs) {
+  LabelModel model{LabelModelConfig{}};
+  EXPECT_FALSE(model.Fit(Matrix()).ok());
+  EXPECT_FALSE(model.PredictProba(Matrix(2, 2)).ok());  // not fitted
+}
+
+TEST(MajorityVoteTest, CountsNonAbstainVotes) {
+  Matrix votes = Matrix::FromRows({{0, 0, 1}, {-1, -1, -1}});
+  Matrix proba = MajorityVoteProba(votes, 2);
+  EXPECT_NEAR(proba(0, 0), 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(proba(1, 0), 0.5, 1e-9);  // uniform under total abstain
+}
+
+TEST(AttributeLfsTest, VotesFollowClassOwnership) {
+  data::SynthBirdsConfig config;
+  config.images_per_class = 4;
+  config.annotation_noise = 0.0;
+  data::LabeledDataset birds = data::GenerateSynthBirds(config);
+  data::LabeledDataset pair = data::SelectClasses(birds, {0, 1});
+  Result<Matrix> votes = BuildAttributeVotes(pair);
+  ASSERT_TRUE(votes.ok());
+  EXPECT_EQ(votes->rows(), pair.size());
+  EXPECT_GT(votes->cols(), 0);
+  // With noise-free annotations, every non-abstain vote is correct.
+  for (int64_t i = 0; i < votes->rows(); ++i) {
+    for (int64_t l = 0; l < votes->cols(); ++l) {
+      const int vote = static_cast<int>((*votes)(i, l));
+      if (vote == kAbstainVote) continue;
+      ASSERT_EQ(vote, pair.labels[static_cast<size_t>(i)]);
+    }
+  }
+}
+
+TEST(AttributeLfsTest, RequiresAttributeMetadata) {
+  data::LabeledDataset plain;
+  plain.num_classes = 2;
+  EXPECT_FALSE(BuildAttributeVotes(plain).ok());
+}
+
+TEST(FslTest, LearnsSeparableSupport) {
+  Rng rng(19);
+  std::vector<int> truth;
+  Matrix features = TwoBlobs(30, 4, 6.0, &rng, &truth);
+  // 5-shot support: rows 0-4 (class 0) and 30-34 (class 1).
+  Matrix support(10, 4);
+  std::vector<int> support_labels;
+  for (int i = 0; i < 5; ++i) {
+    for (int64_t j = 0; j < 4; ++j) {
+      support(i, j) = features(i, j);
+      support(i + 5, j) = features(30 + i, j);
+    }
+  }
+  for (int i = 0; i < 5; ++i) support_labels.push_back(0);
+  for (int i = 0; i < 5; ++i) support_labels.push_back(1);
+
+  FslConfig config;
+  config.epochs = 400;
+  config.learning_rate = 5e-3f;
+  FewShotBaseline fsl(config);
+  ASSERT_TRUE(fsl.Fit(support, support_labels, 2).ok());
+  Result<double> acc = fsl.Evaluate(features, truth);
+  ASSERT_TRUE(acc.ok());
+  EXPECT_GT(*acc, 0.95);
+}
+
+TEST(FslTest, ValidatesInputs) {
+  FewShotBaseline fsl{FslConfig{}};
+  EXPECT_FALSE(fsl.Fit(Matrix(), {}, 2).ok());
+  EXPECT_FALSE(fsl.Predict(Matrix(2, 2)).ok());  // not fitted
+  Matrix support = Matrix::FromRows({{0.0, 0.0}, {1.0, 1.0}});
+  ASSERT_TRUE(fsl.Fit(support, {0, 1}, 2).ok());
+  EXPECT_FALSE(fsl.Predict(Matrix(2, 5)).ok());  // dim mismatch
+}
+
+TEST(EndModelTest, LearnsFromHardLabels) {
+  Rng rng(23);
+  std::vector<int> truth;
+  Matrix features = TwoBlobs(40, 4, 5.0, &rng, &truth);
+  EndModelConfig config;
+  config.epochs = 40;
+  EndModel model(4, 2, config);
+  ASSERT_TRUE(model.FitHard(features, truth).ok());
+  Result<double> acc = model.Evaluate(features, truth);
+  ASSERT_TRUE(acc.ok());
+  EXPECT_GT(*acc, 0.95);
+}
+
+TEST(EndModelTest, LearnsFromSoftLabels) {
+  // The paper's core training mode: probabilistic labels (§2.1).
+  Rng rng(29);
+  std::vector<int> truth;
+  Matrix features = TwoBlobs(40, 4, 5.0, &rng, &truth);
+  Matrix soft(80, 2);
+  for (int i = 0; i < 80; ++i) {
+    soft(i, truth[static_cast<size_t>(i)]) = 0.85;
+    soft(i, 1 - truth[static_cast<size_t>(i)]) = 0.15;
+  }
+  EndModelConfig config;
+  config.epochs = 40;
+  EndModel model(4, 2, config);
+  ASSERT_TRUE(model.FitSoft(features, soft).ok());
+  Result<double> acc = model.Evaluate(features, truth);
+  ASSERT_TRUE(acc.ok());
+  EXPECT_GT(*acc, 0.9);
+}
+
+TEST(EndModelTest, NoisierLabelsHurt) {
+  // Labels at 55% purity should train a worse model than labels at 95%.
+  Rng rng(31);
+  std::vector<int> truth;
+  Matrix features = TwoBlobs(60, 4, 3.0, &rng, &truth);
+  auto train_with_purity = [&](double purity) {
+    Matrix soft(120, 2);
+    Rng flip_rng(77);
+    for (int i = 0; i < 120; ++i) {
+      int label = truth[static_cast<size_t>(i)];
+      if (!flip_rng.Bernoulli(purity)) label = 1 - label;
+      soft(i, label) = 1.0;
+    }
+    EndModelConfig config;
+    config.epochs = 30;
+    EndModel model(4, 2, config);
+    model.FitSoft(features, soft).Abort("fit");
+    return *model.Evaluate(features, truth);
+  };
+  EXPECT_GT(train_with_purity(0.95), train_with_purity(0.55));
+}
+
+TEST(EndModelTest, ValidatesInputs) {
+  EndModel model(4, 2, EndModelConfig{});
+  EXPECT_FALSE(model.FitSoft(Matrix(3, 4), Matrix(2, 2)).ok());
+  EXPECT_FALSE(model.FitSoft(Matrix(3, 4), Matrix(3, 5)).ok());
+  EXPECT_FALSE(model.FitHard(Matrix(3, 4), {0, 1}).ok());
+}
+
+TEST(MatrixToTensorTest, PreservesValues) {
+  Matrix m = Matrix::FromRows({{1.5, -2.5}, {0.0, 4.0}});
+  Tensor t = MatrixToTensor(m);
+  EXPECT_EQ(t.shape(), (std::vector<int64_t>{2, 2}));
+  EXPECT_FLOAT_EQ(t.At2(0, 0), 1.5f);
+  EXPECT_FLOAT_EQ(t.At2(1, 1), 4.0f);
+}
+
+}  // namespace
+}  // namespace goggles::baselines

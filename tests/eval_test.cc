@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+#include "eval/tasks.h"
+
+namespace goggles::eval {
+namespace {
+
+TEST(MetricsTest, AccuracyBasics) {
+  EXPECT_DOUBLE_EQ(Accuracy({0, 1, 1, 0}, {0, 1, 0, 0}), 0.75);
+  EXPECT_DOUBLE_EQ(Accuracy({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(Accuracy({0}, {0, 1}), 0.0);  // size mismatch guarded
+}
+
+TEST(MetricsTest, AccuracyExcludingSkipsDevRows) {
+  // Rows 0 and 2 excluded; of the rest, 1 of 2 correct.
+  EXPECT_DOUBLE_EQ(
+      AccuracyExcluding({0, 1, 1, 0}, {1, 1, 0, 1}, {0, 2}), 0.5);
+  // Excluding everything yields 0.
+  EXPECT_DOUBLE_EQ(AccuracyExcluding({0}, {0}, {0}), 0.0);
+}
+
+TEST(MetricsTest, ConfusionMatrixCounts) {
+  Matrix confusion = ConfusionMatrix({0, 0, 1, 1}, {0, 1, 1, 1}, 2);
+  EXPECT_DOUBLE_EQ(confusion(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(confusion(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(confusion(1, 1), 2.0);
+  EXPECT_DOUBLE_EQ(confusion(1, 0), 0.0);
+}
+
+TEST(MetricsTest, OptimalMappingFixesSwappedClusters) {
+  // Clusters perfectly anti-aligned with labels.
+  std::vector<int> clusters = {1, 1, 0, 0};
+  std::vector<int> truth = {0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(Accuracy(clusters, truth), 0.0);
+  EXPECT_DOUBLE_EQ(AccuracyWithOptimalMapping(clusters, truth, 2), 1.0);
+}
+
+TEST(MetricsTest, OptimalMappingThreeClasses) {
+  // Cyclic shift of 3 classes, one error.
+  std::vector<int> clusters = {1, 1, 2, 2, 0, 1};
+  std::vector<int> truth = {0, 0, 1, 1, 2, 2};
+  EXPECT_NEAR(AccuracyWithOptimalMapping(clusters, truth, 3), 5.0 / 6.0,
+              1e-12);
+}
+
+TEST(MetricsTest, OptimalMappingExcluding) {
+  std::vector<int> clusters = {1, 1, 0, 0};
+  std::vector<int> truth = {0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(
+      AccuracyWithOptimalMappingExcluding(clusters, truth, 2, {0}), 1.0);
+}
+
+TEST(MetricsTest, MeanAndStd) {
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_NEAR(StdDev({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}), 2.138, 1e-3);
+  EXPECT_DOUBLE_EQ(StdDev({1.0}), 0.0);
+}
+
+TEST(MetricsTest, AucPerfectAndRandom) {
+  // Perfect separation -> AUC 1; inverted -> 0; ties -> 0.5.
+  EXPECT_DOUBLE_EQ(AucRoc({0.1, 0.2, 0.8, 0.9}, {0, 0, 1, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(AucRoc({0.9, 0.8, 0.2, 0.1}, {0, 0, 1, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(AucRoc({0.5, 0.5, 0.5, 0.5}, {0, 1, 0, 1}), 0.5);
+}
+
+TEST(MetricsTest, AucHandlesDegenerateLabelSets) {
+  EXPECT_DOUBLE_EQ(AucRoc({0.1, 0.9}, {1, 1}), 0.5);
+  EXPECT_DOUBLE_EQ(AucRoc({}, {}), 0.5);
+}
+
+TEST(MetricsTest, AucKnownMixedCase) {
+  // scores: pos {0.8, 0.4}, neg {0.6, 0.2}: pairs won = (0.8>0.6, 0.8>0.2,
+  // 0.4<0.6, 0.4>0.2) = 3 of 4.
+  EXPECT_DOUBLE_EQ(AucRoc({0.8, 0.4, 0.6, 0.2}, {1, 1, 0, 0}), 0.75);
+}
+
+TEST(TasksTest, BinaryDatasetYieldsOneTask) {
+  TaskSuiteConfig config;
+  config.images_per_class = 12;
+  Result<std::vector<LabelingTask>> tasks = MakeTasks("surface", config);
+  ASSERT_TRUE(tasks.ok());
+  ASSERT_EQ(tasks->size(), 1u);
+  const LabelingTask& task = (*tasks)[0];
+  EXPECT_EQ(task.num_classes, 2);
+  EXPECT_GT(task.train.size(), 0);
+  EXPECT_GT(task.test.size(), 0);
+  EXPECT_EQ(task.dev_indices.size(), task.dev_labels.size());
+  EXPECT_EQ(task.dev_indices.size(), 10u);  // 5 per class
+}
+
+TEST(TasksTest, MultiClassDatasetYieldsPairs) {
+  TaskSuiteConfig config;
+  config.images_per_class = 6;
+  config.num_pairs = 4;
+  Result<std::vector<LabelingTask>> tasks = MakeTasks("birds", config);
+  ASSERT_TRUE(tasks.ok());
+  EXPECT_EQ(tasks->size(), 4u);
+  for (const LabelingTask& task : *tasks) {
+    EXPECT_EQ(task.num_classes, 2);
+    EXPECT_TRUE(task.train.has_attributes());  // carried from the corpus
+    // Dev labels match the train labels at those indices.
+    for (size_t i = 0; i < task.dev_indices.size(); ++i) {
+      EXPECT_EQ(task.dev_labels[i],
+                task.train.labels[static_cast<size_t>(task.dev_indices[i])]);
+    }
+  }
+}
+
+TEST(TasksTest, TrainTestDisjointSizes) {
+  TaskSuiteConfig config;
+  config.images_per_class = 20;
+  config.train_fraction = 0.6;
+  Result<std::vector<LabelingTask>> tasks = MakeTasks("tbxray", config);
+  ASSERT_TRUE(tasks.ok());
+  const LabelingTask& task = (*tasks)[0];
+  EXPECT_EQ(task.train.size(), 24);  // 12 per class
+  EXPECT_EQ(task.test.size(), 16);
+}
+
+TEST(TasksTest, UnknownDatasetRejected) {
+  EXPECT_FALSE(MakeTasks("cifar", TaskSuiteConfig{}).ok());
+}
+
+TEST(TasksTest, DeterministicForSeed) {
+  TaskSuiteConfig config;
+  config.images_per_class = 6;
+  config.num_pairs = 2;
+  config.seed = 42;
+  Result<std::vector<LabelingTask>> a = MakeTasks("birds", config);
+  Result<std::vector<LabelingTask>> b = MakeTasks("birds", config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ((*a)[i].task_name, (*b)[i].task_name);
+    EXPECT_EQ((*a)[i].dev_indices, (*b)[i].dev_indices);
+    EXPECT_EQ((*a)[i].train.labels, (*b)[i].train.labels);
+  }
+}
+
+}  // namespace
+}  // namespace goggles::eval

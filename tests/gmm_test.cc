@@ -1,0 +1,188 @@
+#include "goggles/base_gmm.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace goggles {
+namespace {
+
+/// Two well-separated diagonal Gaussian blobs in `dim` dimensions.
+Matrix TwoBlobs(int n_per, int dim, double separation, Rng* rng,
+                std::vector<int>* truth = nullptr) {
+  Matrix x(2 * n_per, dim);
+  for (int i = 0; i < 2 * n_per; ++i) {
+    const int label = i < n_per ? 0 : 1;
+    if (truth != nullptr) truth->push_back(label);
+    for (int j = 0; j < dim; ++j) {
+      const double center = label == 0 ? 0.0 : separation;
+      x(i, j) = center + rng->Gaussian();
+    }
+  }
+  return x;
+}
+
+TEST(LogSumExpTest, MatchesDirectComputation) {
+  const double v[3] = {1.0, 2.0, 3.0};
+  const double expected =
+      std::log(std::exp(1.0) + std::exp(2.0) + std::exp(3.0));
+  EXPECT_NEAR(LogSumExp(v, 3), expected, 1e-12);
+}
+
+TEST(LogSumExpTest, StableForLargeValues) {
+  const double v[2] = {1000.0, 1000.0};
+  EXPECT_NEAR(LogSumExp(v, 2), 1000.0 + std::log(2.0), 1e-9);
+}
+
+TEST(DiagonalGmmTest, SeparatesTwoBlobs) {
+  Rng rng(3);
+  std::vector<int> truth;
+  Matrix x = TwoBlobs(50, 4, 8.0, &rng, &truth);
+  GmmConfig config;
+  config.num_components = 2;
+  DiagonalGmm gmm(config);
+  ASSERT_TRUE(gmm.Fit(x).ok());
+  Result<Matrix> proba = gmm.PredictProba(x);
+  ASSERT_TRUE(proba.ok());
+
+  // Cluster assignments must agree with truth up to label swap.
+  int agree = 0;
+  for (int i = 0; i < 100; ++i) {
+    const int pred = (*proba)(i, 0) > (*proba)(i, 1) ? 0 : 1;
+    if (pred == truth[static_cast<size_t>(i)]) ++agree;
+  }
+  const int correct = std::max(agree, 100 - agree);
+  EXPECT_GE(correct, 98);
+}
+
+TEST(DiagonalGmmTest, PosteriorsSumToOne) {
+  Rng rng(5);
+  Matrix x = TwoBlobs(30, 3, 4.0, &rng);
+  GmmConfig config;
+  config.num_components = 2;
+  DiagonalGmm gmm(config);
+  ASSERT_TRUE(gmm.Fit(x).ok());
+  Result<Matrix> proba = gmm.PredictProba(x);
+  ASSERT_TRUE(proba.ok());
+  for (int64_t i = 0; i < proba->rows(); ++i) {
+    double total = 0.0;
+    for (int64_t c = 0; c < proba->cols(); ++c) {
+      EXPECT_GE((*proba)(i, c), 0.0);
+      total += (*proba)(i, c);
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(DiagonalGmmTest, WeightsSumToOne) {
+  Rng rng(7);
+  Matrix x = TwoBlobs(30, 3, 5.0, &rng);
+  GmmConfig config;
+  config.num_components = 2;
+  DiagonalGmm gmm(config);
+  ASSERT_TRUE(gmm.Fit(x).ok());
+  double total = 0.0;
+  for (double w : gmm.weights()) total += w;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(DiagonalGmmTest, MeansNearTrueCenters) {
+  Rng rng(9);
+  Matrix x = TwoBlobs(200, 2, 10.0, &rng);
+  GmmConfig config;
+  config.num_components = 2;
+  DiagonalGmm gmm(config);
+  ASSERT_TRUE(gmm.Fit(x).ok());
+  // One mean near 0, the other near 10 (either order).
+  const double m0 = gmm.means()(0, 0);
+  const double m1 = gmm.means()(1, 0);
+  const double lo = std::min(m0, m1), hi = std::max(m0, m1);
+  EXPECT_NEAR(lo, 0.0, 0.5);
+  EXPECT_NEAR(hi, 10.0, 0.5);
+}
+
+TEST(DiagonalGmmTest, VarianceFloorRespected) {
+  // Constant data would give zero variance without the floor.
+  Matrix x(10, 2, 3.0);
+  GmmConfig config;
+  config.num_components = 2;
+  config.var_floor = 1e-4;
+  DiagonalGmm gmm(config);
+  ASSERT_TRUE(gmm.Fit(x).ok());
+  for (int64_t c = 0; c < 2; ++c) {
+    for (int64_t j = 0; j < 2; ++j) {
+      EXPECT_GE(gmm.variances()(c, j), 1e-4);
+    }
+  }
+}
+
+TEST(DiagonalGmmTest, InvalidInputsRejected) {
+  GmmConfig config;
+  config.num_components = 5;
+  DiagonalGmm gmm(config);
+  EXPECT_FALSE(gmm.Fit(Matrix(3, 2, 1.0)).ok());  // fewer rows than K
+  DiagonalGmm unfitted{GmmConfig{}};
+  EXPECT_FALSE(unfitted.PredictProba(Matrix(3, 2)).ok());
+}
+
+TEST(DiagonalGmmTest, PredictDimensionMismatchRejected) {
+  Rng rng(11);
+  Matrix x = TwoBlobs(20, 3, 5.0, &rng);
+  GmmConfig config;
+  DiagonalGmm gmm(config);
+  ASSERT_TRUE(gmm.Fit(x).ok());
+  EXPECT_FALSE(gmm.PredictProba(Matrix(5, 7)).ok());
+}
+
+/// EM property: the log-likelihood sequence is non-decreasing.
+class GmmMonotoneSweep
+    : public ::testing::TestWithParam<std::tuple<int, double, uint64_t>> {};
+
+TEST_P(GmmMonotoneSweep, LogLikelihoodNonDecreasing) {
+  const int dim = std::get<0>(GetParam());
+  const double sep = std::get<1>(GetParam());
+  const uint64_t seed = std::get<2>(GetParam());
+  Rng rng(seed);
+  Matrix x = TwoBlobs(40, dim, sep, &rng);
+  GmmConfig config;
+  config.num_components = 2;
+  config.seed = seed;
+  config.num_restarts = 1;
+  config.tol = 0.0;  // run all iterations
+  config.max_iters = 40;
+  DiagonalGmm gmm(config);
+  ASSERT_TRUE(gmm.Fit(x).ok());
+  const auto& history = gmm.log_likelihood_history();
+  ASSERT_GE(history.size(), 2u);
+  for (size_t i = 1; i < history.size(); ++i) {
+    // Small numerical slack for float accumulation.
+    ASSERT_GE(history[i], history[i - 1] - 1e-6)
+        << "iteration " << i << " decreased the log-likelihood";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Property, GmmMonotoneSweep,
+    ::testing::Combine(::testing::Values(2, 8, 32),
+                       ::testing::Values(0.5, 2.0, 6.0),
+                       ::testing::Values(1ULL, 17ULL)));
+
+TEST(DiagonalGmmTest, MoreRestartsNeverWorse) {
+  Rng rng(13);
+  Matrix x = TwoBlobs(60, 4, 3.0, &rng);
+  GmmConfig one;
+  one.num_components = 2;
+  one.num_restarts = 1;
+  GmmConfig many = one;
+  many.num_restarts = 5;
+  DiagonalGmm gmm_one(one), gmm_many(many);
+  ASSERT_TRUE(gmm_one.Fit(x).ok());
+  ASSERT_TRUE(gmm_many.Fit(x).ok());
+  EXPECT_GE(gmm_many.final_log_likelihood(),
+            gmm_one.final_log_likelihood() - 1e-9);
+}
+
+}  // namespace
+}  // namespace goggles

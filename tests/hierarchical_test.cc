@@ -1,0 +1,196 @@
+#include "goggles/hierarchical.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace goggles {
+namespace {
+
+/// Builds a synthetic affinity matrix in the paper's layout: `good`
+/// functions produce block structure (same-class pairs score high), `noisy`
+/// functions produce pure noise — mirroring Figure 5.
+Matrix SyntheticAffinity(const std::vector<int>& truth, int num_good,
+                         int num_noisy, double noise, Rng* rng) {
+  const int n = static_cast<int>(truth.size());
+  const int alpha = num_good + num_noisy;
+  Matrix a(n, static_cast<int64_t>(alpha) * n);
+  for (int f = 0; f < alpha; ++f) {
+    const bool good = f < num_good;
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        double v;
+        if (good) {
+          const double base = truth[static_cast<size_t>(i)] ==
+                                      truth[static_cast<size_t>(j)]
+                                  ? 0.8
+                                  : 0.2;
+          v = base + rng->Gaussian() * noise;
+        } else {
+          v = rng->Uniform();
+        }
+        a(i, static_cast<int64_t>(f) * n + j) = v;
+      }
+    }
+  }
+  return a;
+}
+
+std::vector<int> AlternatingTruth(int n) {
+  std::vector<int> truth(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) truth[static_cast<size_t>(i)] = i % 2;
+  return truth;
+}
+
+double AccuracyOf(const LabelingResult& result, const std::vector<int>& truth) {
+  int correct = 0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    if (result.hard_labels[i] == truth[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(truth.size());
+}
+
+TEST(HierarchicalTest, RecoversPlantedClusters) {
+  Rng rng(3);
+  std::vector<int> truth = AlternatingTruth(60);
+  Matrix a = SyntheticAffinity(truth, 5, 5, 0.1, &rng);
+  HierarchicalLabeler labeler{HierarchicalConfig{}};
+  Result<LabelingResult> result =
+      labeler.Fit(a, {0, 1, 2, 3}, {0, 1, 0, 1}, 2);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(AccuracyOf(*result, truth), 0.95);
+}
+
+TEST(HierarchicalTest, SurvivesManyNoisyFunctions) {
+  // The ensemble must identify the informative functions even when 80% of
+  // the library is noise (the paper's affinity function selection claim).
+  Rng rng(5);
+  std::vector<int> truth = AlternatingTruth(50);
+  Matrix a = SyntheticAffinity(truth, 2, 8, 0.08, &rng);
+  HierarchicalLabeler labeler{HierarchicalConfig{}};
+  Result<LabelingResult> result =
+      labeler.Fit(a, {0, 1, 2, 3, 4, 5}, {0, 1, 0, 1, 0, 1}, 2);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(AccuracyOf(*result, truth), 0.9);
+}
+
+TEST(HierarchicalTest, MappingFollowsDevLabels) {
+  // Same affinity, but dev labels flipped: output classes must flip too.
+  Rng rng(7);
+  std::vector<int> truth = AlternatingTruth(40);
+  Matrix a = SyntheticAffinity(truth, 4, 2, 0.1, &rng);
+  HierarchicalLabeler labeler{HierarchicalConfig{}};
+  Result<LabelingResult> normal =
+      labeler.Fit(a, {0, 1}, {0, 1}, 2);
+  Result<LabelingResult> flipped =
+      labeler.Fit(a, {0, 1}, {1, 0}, 2);
+  ASSERT_TRUE(normal.ok());
+  ASSERT_TRUE(flipped.ok());
+  int agreements = 0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    if (normal->hard_labels[i] != flipped->hard_labels[i]) ++agreements;
+  }
+  // Hard labels are complementary.
+  EXPECT_GE(agreements, static_cast<int>(truth.size()) - 2);
+}
+
+TEST(HierarchicalTest, SoftLabelRowsSumToOne) {
+  Rng rng(9);
+  std::vector<int> truth = AlternatingTruth(30);
+  Matrix a = SyntheticAffinity(truth, 3, 3, 0.15, &rng);
+  HierarchicalLabeler labeler{HierarchicalConfig{}};
+  Result<LabelingResult> result = labeler.Fit(a, {0, 1}, {0, 1}, 2);
+  ASSERT_TRUE(result.ok());
+  for (int64_t i = 0; i < result->soft_labels.rows(); ++i) {
+    double total = 0.0;
+    for (int64_t c = 0; c < result->soft_labels.cols(); ++c) {
+      total += result->soft_labels(i, c);
+    }
+    EXPECT_NEAR(total, 1.0, 1e-6);
+  }
+}
+
+TEST(HierarchicalTest, BaseLpsExposedPerFunction) {
+  Rng rng(11);
+  std::vector<int> truth = AlternatingTruth(20);
+  Matrix a = SyntheticAffinity(truth, 2, 1, 0.1, &rng);
+  HierarchicalLabeler labeler{HierarchicalConfig{}};
+  Result<LabelingResult> result = labeler.Fit(a, {0, 1}, {0, 1}, 2);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->base_label_predictions.size(), 3u);
+  for (const Matrix& lp : result->base_label_predictions) {
+    EXPECT_EQ(lp.rows(), 20);
+    EXPECT_EQ(lp.cols(), 2);
+  }
+}
+
+TEST(HierarchicalTest, AblationAveragingStillWorksOnCleanData) {
+  Rng rng(13);
+  std::vector<int> truth = AlternatingTruth(40);
+  Matrix a = SyntheticAffinity(truth, 5, 0, 0.05, &rng);
+  HierarchicalConfig config;
+  config.use_ensemble = false;  // base-LP averaging ablation
+  HierarchicalLabeler labeler{config};
+  Result<LabelingResult> result =
+      labeler.Fit(a, {0, 1, 2, 3}, {0, 1, 0, 1}, 2);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(AccuracyOf(*result, truth), 0.9);
+}
+
+TEST(HierarchicalTest, AblationAveragingDegradesWithNoise) {
+  // With mostly-noise functions, unweighted averaging should underperform
+  // the learned ensemble (this is the point of §4.1's design).
+  Rng rng(15);
+  std::vector<int> truth = AlternatingTruth(60);
+  Matrix a = SyntheticAffinity(truth, 2, 18, 0.08, &rng);
+  std::vector<int> dev_idx = {0, 1, 2, 3, 4, 5};
+  std::vector<int> dev_lab = {0, 1, 0, 1, 0, 1};
+
+  HierarchicalConfig ensemble_config;
+  HierarchicalLabeler ensemble{ensemble_config};
+  Result<LabelingResult> with = ensemble.Fit(a, dev_idx, dev_lab, 2);
+  ASSERT_TRUE(with.ok());
+
+  HierarchicalConfig avg_config;
+  avg_config.use_ensemble = false;
+  HierarchicalLabeler averaged{avg_config};
+  Result<LabelingResult> without = averaged.Fit(a, dev_idx, dev_lab, 2);
+  ASSERT_TRUE(without.ok());
+
+  EXPECT_GE(AccuracyOf(*with, truth) + 1e-9, AccuracyOf(*without, truth));
+}
+
+TEST(HierarchicalTest, NoOneHotAblationRuns) {
+  Rng rng(17);
+  std::vector<int> truth = AlternatingTruth(30);
+  Matrix a = SyntheticAffinity(truth, 4, 2, 0.1, &rng);
+  HierarchicalConfig config;
+  config.one_hot_lp = false;
+  HierarchicalLabeler labeler{config};
+  Result<LabelingResult> result = labeler.Fit(a, {0, 1}, {0, 1}, 2);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(AccuracyOf(*result, truth), 0.8);
+}
+
+TEST(HierarchicalTest, RejectsMalformedAffinity) {
+  HierarchicalLabeler labeler{HierarchicalConfig{}};
+  EXPECT_FALSE(labeler.Fit(Matrix(), {}, {}, 2).ok());
+  // Width not a multiple of N.
+  EXPECT_FALSE(labeler.Fit(Matrix(4, 7), {}, {}, 2).ok());
+}
+
+TEST(HierarchicalTest, ThreeClassInference) {
+  Rng rng(19);
+  const int n = 60;
+  std::vector<int> truth(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) truth[static_cast<size_t>(i)] = i % 3;
+  Matrix a = SyntheticAffinity(truth, 5, 2, 0.08, &rng);
+  HierarchicalLabeler labeler{HierarchicalConfig{}};
+  Result<LabelingResult> result =
+      labeler.Fit(a, {0, 1, 2, 3, 4, 5}, {0, 1, 2, 0, 1, 2}, 3);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(AccuracyOf(*result, truth), 0.85);
+}
+
+}  // namespace
+}  // namespace goggles

@@ -1,0 +1,187 @@
+/// \file integration_test.cc
+/// \brief End-to-end tests: pretrained backbone -> affinity coding ->
+/// probabilistic labels, plus end-model training on those labels.
+///
+/// Uses a reduced backbone (fewer channels, fewer pretraining images) so
+/// the whole suite stays fast; the full-scale configuration is exercised
+/// by the bench binaries.
+
+#include <gtest/gtest.h>
+
+#include "eval/backbone.h"
+#include "eval/metrics.h"
+#include "eval/runners.h"
+#include "eval/tasks.h"
+#include "features/hog.h"
+#include "goggles/pipeline.h"
+
+namespace goggles {
+namespace {
+
+/// Shared across tests in this binary: train once, reuse.
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    eval::BackboneOptions options;
+    options.arch.stage_channels = {6, 12, 16, 24, 32};
+    options.pretrain_images_per_class = 32;
+    options.epochs = 8;
+    options.cache_dir = ::testing::TempDir();
+    double train_acc = 0.0;
+    auto extractor = eval::GetPretrainedExtractor(options, &train_acc);
+    extractor.status().Abort("integration backbone");
+    context_ = new eval::RunnerContext();
+    context_->extractor = *extractor;
+    // Sanity: the backbone learned something on SynthNet (or was cached:
+    // train_acc reported as -1).
+    if (train_acc >= 0.0) {
+      ASSERT_GT(train_acc, 0.2) << "backbone failed to train";
+    }
+  }
+
+  static void TearDownTestSuite() {
+    delete context_;
+    context_ = nullptr;
+  }
+
+  static eval::LabelingTask MakeBirdsTask(int pairs_seed = 7) {
+    eval::TaskSuiteConfig config;
+    config.num_pairs = 1;
+    config.images_per_class = 40;
+    config.seed = static_cast<uint64_t>(pairs_seed);
+    auto tasks = eval::MakeTasks("birds", config);
+    tasks.status().Abort("tasks");
+    return (*tasks)[0];
+  }
+
+  static eval::RunnerContext* context_;
+};
+
+eval::RunnerContext* IntegrationTest::context_ = nullptr;
+
+TEST_F(IntegrationTest, GogglesLabelsEasyTaskAccurately) {
+  eval::LabelingTask task = MakeBirdsTask();
+  Result<double> acc = eval::RunGogglesLabeling(task, *context_);
+  ASSERT_TRUE(acc.ok()) << acc.status();
+  EXPECT_GT(*acc, 0.85) << "GOGGLES should label SynthBirds well";
+}
+
+TEST_F(IntegrationTest, SoftLabelsFeedEndModel) {
+  eval::LabelingTask task = MakeBirdsTask();
+  LabelingResult labeling;
+  Result<double> acc = eval::RunGogglesLabeling(task, *context_, &labeling);
+  ASSERT_TRUE(acc.ok());
+  Result<double> end_acc =
+      eval::RunEndModelFromSoftLabels(task, *context_, labeling.soft_labels);
+  ASSERT_TRUE(end_acc.ok()) << end_acc.status();
+  EXPECT_GT(*end_acc, 0.75);
+}
+
+TEST_F(IntegrationTest, SupervisedUpperBoundBeatsOrMatchesGoggles) {
+  eval::LabelingTask task = MakeBirdsTask();
+  LabelingResult labeling;
+  Result<double> goggles_label_acc =
+      eval::RunGogglesLabeling(task, *context_, &labeling);
+  ASSERT_TRUE(goggles_label_acc.ok());
+  Result<double> goggles_end =
+      eval::RunEndModelFromSoftLabels(task, *context_, labeling.soft_labels);
+  Result<double> upper = eval::RunSupervisedUpperBound(task, *context_);
+  ASSERT_TRUE(goggles_end.ok());
+  ASSERT_TRUE(upper.ok());
+  EXPECT_GE(*upper, *goggles_end - 0.1);  // modest slack for small test nets
+}
+
+TEST_F(IntegrationTest, SnorkelRunsOnAttributeTask) {
+  eval::LabelingTask task = MakeBirdsTask();
+  Result<double> acc = eval::RunSnorkelLabeling(task);
+  ASSERT_TRUE(acc.ok()) << acc.status();
+  // Attribute LFs are near-perfect annotations: Snorkel does well.
+  EXPECT_GT(*acc, 0.8);
+}
+
+TEST_F(IntegrationTest, SnubaRunsAndGogglesBeatsIt) {
+  eval::LabelingTask task = MakeBirdsTask();
+  Result<double> goggles = eval::RunGogglesLabeling(task, *context_);
+  Result<double> snuba = eval::RunSnubaLabeling(task, *context_);
+  ASSERT_TRUE(goggles.ok());
+  ASSERT_TRUE(snuba.ok()) << snuba.status();
+  // The paper's headline: GOGGLES outperforms Snuba (by 21% on average).
+  EXPECT_GT(*goggles, *snuba - 0.05);
+}
+
+TEST_F(IntegrationTest, FslEndToEndRuns) {
+  eval::LabelingTask task = MakeBirdsTask();
+  Result<double> acc = eval::RunFslEndToEnd(task, *context_);
+  ASSERT_TRUE(acc.ok()) << acc.status();
+  EXPECT_GT(*acc, 0.5);
+}
+
+TEST_F(IntegrationTest, ClusteringBaselinesRun) {
+  eval::LabelingTask task = MakeBirdsTask();
+  for (auto kind : {eval::ClusteringKind::kKMeans, eval::ClusteringKind::kGmm,
+                    eval::ClusteringKind::kSpectral}) {
+    Result<double> acc = eval::RunClusteringBaseline(task, *context_, kind);
+    ASSERT_TRUE(acc.ok()) << acc.status();
+    EXPECT_GE(*acc, 0.45);  // optimal mapping => at least chance level
+    EXPECT_LE(*acc, 1.0);
+  }
+}
+
+TEST_F(IntegrationTest, RepresentationAblationsRun) {
+  eval::LabelingTask task = MakeBirdsTask();
+  Result<double> hog = eval::RunRepresentationAffinity(
+      task, *context_, eval::RepresentationKind::kHog);
+  Result<double> logits = eval::RunRepresentationAffinity(
+      task, *context_, eval::RepresentationKind::kLogits);
+  ASSERT_TRUE(hog.ok()) << hog.status();
+  ASSERT_TRUE(logits.ok()) << logits.status();
+  EXPECT_GT(*hog, 0.4);
+  EXPECT_GT(*logits, 0.4);
+}
+
+TEST_F(IntegrationTest, MoreAffinityFunctionsHelpOrMatch) {
+  // Figure 9's trend, coarsely: the full library is at least as good as a
+  // 5-function prefix (allowing small-run variance slack).
+  eval::LabelingTask task = MakeBirdsTask();
+  eval::RunnerContext few = *context_;
+  few.goggles.max_functions = 5;
+  Result<double> acc_few = eval::RunGogglesLabeling(task, few);
+  Result<double> acc_all = eval::RunGogglesLabeling(task, *context_);
+  ASSERT_TRUE(acc_few.ok());
+  ASSERT_TRUE(acc_all.ok());
+  EXPECT_GE(*acc_all, *acc_few - 0.1);
+}
+
+TEST_F(IntegrationTest, CustomAffinityFunctionJoinsLibrary) {
+  eval::LabelingTask task = MakeBirdsTask();
+  GogglesPipeline pipeline(context_->extractor, context_->goggles);
+  const int before = pipeline.num_functions();
+  auto hog_matrix = features::ComputeHogMatrix(task.train.images);
+  ASSERT_TRUE(hog_matrix.ok());
+  pipeline.AddFunction(std::make_unique<VectorCosineAffinity>(
+      "custom-hog", std::move(*hog_matrix)));
+  EXPECT_EQ(pipeline.num_functions(), before + 1);
+  Result<LabelingResult> result =
+      pipeline.Label(task.train.images, task.dev_indices, task.dev_labels, 2);
+  ASSERT_TRUE(result.ok()) << result.status();
+  const double acc = eval::AccuracyExcluding(
+      result->hard_labels, task.train.labels, task.dev_indices);
+  EXPECT_GT(acc, 0.8);
+}
+
+TEST_F(IntegrationTest, DevSetSizeZeroStillClusters) {
+  // Without a development set GOGGLES still clusters; accuracy under the
+  // *optimal* mapping stays high even though the cluster naming is
+  // arbitrary (paper §4.3).
+  eval::LabelingTask task = MakeBirdsTask();
+  GogglesPipeline pipeline(context_->extractor, context_->goggles);
+  Result<LabelingResult> result =
+      pipeline.Label(task.train.images, {}, {}, 2);
+  ASSERT_TRUE(result.ok());
+  const double mapped_acc = eval::AccuracyWithOptimalMapping(
+      result->hard_labels, task.train.labels, 2);
+  EXPECT_GT(mapped_acc, 0.85);
+}
+
+}  // namespace
+}  // namespace goggles

@@ -1,0 +1,109 @@
+#include "linalg/eigen.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace goggles {
+namespace {
+
+Matrix RandomSymmetric(int n, Rng* rng) {
+  Matrix m(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i; j < n; ++j) {
+      double v = rng->Gaussian();
+      m(i, j) = v;
+      m(j, i) = v;
+    }
+  }
+  return m;
+}
+
+TEST(JacobiEigenTest, IdentityHasUnitEigenvalues) {
+  Result<EigenDecomposition> eig = JacobiEigenSymmetric(Matrix::Identity(4));
+  ASSERT_TRUE(eig.ok());
+  for (double v : eig->values) EXPECT_NEAR(v, 1.0, 1e-10);
+}
+
+TEST(JacobiEigenTest, DiagonalMatrixSortedDescending) {
+  Matrix d(3, 3, 0.0);
+  d(0, 0) = 1.0;
+  d(1, 1) = 5.0;
+  d(2, 2) = 3.0;
+  Result<EigenDecomposition> eig = JacobiEigenSymmetric(d);
+  ASSERT_TRUE(eig.ok());
+  EXPECT_NEAR(eig->values[0], 5.0, 1e-10);
+  EXPECT_NEAR(eig->values[1], 3.0, 1e-10);
+  EXPECT_NEAR(eig->values[2], 1.0, 1e-10);
+}
+
+TEST(JacobiEigenTest, Known2x2) {
+  // [[2, 1], [1, 2]] has eigenvalues 3 and 1.
+  Matrix m = Matrix::FromRows({{2, 1}, {1, 2}});
+  Result<EigenDecomposition> eig = JacobiEigenSymmetric(m);
+  ASSERT_TRUE(eig.ok());
+  EXPECT_NEAR(eig->values[0], 3.0, 1e-10);
+  EXPECT_NEAR(eig->values[1], 1.0, 1e-10);
+}
+
+TEST(JacobiEigenTest, NonSquareRejected) {
+  EXPECT_FALSE(JacobiEigenSymmetric(Matrix(2, 3)).ok());
+}
+
+class JacobiPropertySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(JacobiPropertySweep, EigenEquationHolds) {
+  const int n = GetParam();
+  Rng rng(1000 + static_cast<uint64_t>(n));
+  Matrix a = RandomSymmetric(n, &rng);
+  Result<EigenDecomposition> eig = JacobiEigenSymmetric(a);
+  ASSERT_TRUE(eig.ok());
+  // Check A v_j = lambda_j v_j for every eigenpair.
+  for (int j = 0; j < n; ++j) {
+    std::vector<double> v(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) v[static_cast<size_t>(i)] = eig->vectors(i, j);
+    Result<std::vector<double>> av = MatVec(a, v);
+    ASSERT_TRUE(av.ok());
+    for (int i = 0; i < n; ++i) {
+      EXPECT_NEAR((*av)[static_cast<size_t>(i)],
+                  eig->values[static_cast<size_t>(j)] * v[static_cast<size_t>(i)],
+                  1e-8)
+          << "n=" << n << " pair " << j;
+    }
+  }
+}
+
+TEST_P(JacobiPropertySweep, EigenvectorsOrthonormal) {
+  const int n = GetParam();
+  Rng rng(2000 + static_cast<uint64_t>(n));
+  Matrix a = RandomSymmetric(n, &rng);
+  Result<EigenDecomposition> eig = JacobiEigenSymmetric(a);
+  ASSERT_TRUE(eig.ok());
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      double dot = 0.0;
+      for (int r = 0; r < n; ++r) dot += eig->vectors(r, i) * eig->vectors(r, j);
+      EXPECT_NEAR(dot, i == j ? 1.0 : 0.0, 1e-9);
+    }
+  }
+}
+
+TEST_P(JacobiPropertySweep, TraceEqualsEigenvalueSum) {
+  const int n = GetParam();
+  Rng rng(3000 + static_cast<uint64_t>(n));
+  Matrix a = RandomSymmetric(n, &rng);
+  Result<EigenDecomposition> eig = JacobiEigenSymmetric(a);
+  ASSERT_TRUE(eig.ok());
+  double trace = 0.0, sum = 0.0;
+  for (int i = 0; i < n; ++i) trace += a(i, i);
+  for (double v : eig->values) sum += v;
+  EXPECT_NEAR(trace, sum, 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, JacobiPropertySweep,
+                         ::testing::Values(2, 3, 5, 8, 16, 25));
+
+}  // namespace
+}  // namespace goggles

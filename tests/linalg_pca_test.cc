@@ -1,0 +1,99 @@
+#include "linalg/pca.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace goggles {
+namespace {
+
+TEST(PcaTest, RecoversDominantDirection) {
+  // Points along the direction (1, 1)/sqrt(2) with small orthogonal noise.
+  Rng rng(3);
+  Matrix data(200, 2);
+  for (int i = 0; i < 200; ++i) {
+    const double t = rng.Gaussian() * 10.0;
+    const double noise = rng.Gaussian() * 0.1;
+    data(i, 0) = t + noise;
+    data(i, 1) = t - noise;
+  }
+  Result<Pca> pca = Pca::Fit(data, 2);
+  ASSERT_TRUE(pca.ok());
+  // First component captures almost all variance.
+  EXPECT_GT(pca->explained_variance()[0], 50.0);
+  EXPECT_LT(pca->explained_variance()[1], 1.0);
+}
+
+TEST(PcaTest, ExplainedVarianceDescending) {
+  Rng rng(5);
+  Matrix data(100, 6);
+  for (int i = 0; i < 100; ++i) {
+    for (int j = 0; j < 6; ++j) {
+      data(i, j) = rng.Gaussian() * static_cast<double>(6 - j);
+    }
+  }
+  Result<Pca> pca = Pca::Fit(data, 6);
+  ASSERT_TRUE(pca.ok());
+  for (size_t i = 1; i < pca->explained_variance().size(); ++i) {
+    EXPECT_LE(pca->explained_variance()[i],
+              pca->explained_variance()[i - 1] + 1e-9);
+  }
+}
+
+TEST(PcaTest, TransformShapeAndCentering) {
+  Rng rng(7);
+  Matrix data(50, 4);
+  for (int64_t i = 0; i < data.size(); ++i) {
+    data.data()[i] = rng.Uniform(0.0, 10.0);
+  }
+  Result<Pca> pca = Pca::Fit(data, 2);
+  ASSERT_TRUE(pca.ok());
+  Result<Matrix> projected = pca->Transform(data);
+  ASSERT_TRUE(projected.ok());
+  EXPECT_EQ(projected->rows(), 50);
+  EXPECT_EQ(projected->cols(), 2);
+  // Projection of training data is centered.
+  std::vector<double> means = ColumnMeans(*projected);
+  EXPECT_NEAR(means[0], 0.0, 1e-9);
+  EXPECT_NEAR(means[1], 0.0, 1e-9);
+}
+
+TEST(PcaTest, ProjectionVarianceMatchesEigenvalue) {
+  Rng rng(11);
+  Matrix data(300, 3);
+  for (int i = 0; i < 300; ++i) {
+    data(i, 0) = rng.Gaussian() * 3.0;
+    data(i, 1) = rng.Gaussian();
+    data(i, 2) = rng.Gaussian() * 0.2;
+  }
+  Result<Pca> pca = Pca::Fit(data, 1);
+  ASSERT_TRUE(pca.ok());
+  Result<Matrix> projected = pca->Transform(data);
+  ASSERT_TRUE(projected.ok());
+  double var = 0.0;
+  for (int i = 0; i < 300; ++i) var += (*projected)(i, 0) * (*projected)(i, 0);
+  var /= 299.0;
+  EXPECT_NEAR(var, pca->explained_variance()[0],
+              0.05 * pca->explained_variance()[0]);
+}
+
+TEST(PcaTest, NumComponentsClamped) {
+  Matrix data = Matrix::FromRows({{1, 2}, {3, 4}, {5, 6}});
+  Result<Pca> pca = Pca::Fit(data, 10);
+  ASSERT_TRUE(pca.ok());
+  EXPECT_EQ(pca->num_components(), 2);
+}
+
+TEST(PcaTest, InvalidInputsRejected) {
+  EXPECT_FALSE(Pca::Fit(Matrix(1, 3, 1.0), 1).ok());
+  Matrix ok_data = Matrix::FromRows({{1, 2}, {3, 4}});
+  EXPECT_FALSE(Pca::Fit(ok_data, 0).ok());
+  Result<Pca> pca = Pca::Fit(ok_data, 1);
+  ASSERT_TRUE(pca.ok());
+  EXPECT_FALSE(pca->Transform(Matrix(2, 5)).ok());
+}
+
+}  // namespace
+}  // namespace goggles

@@ -1,0 +1,134 @@
+#include "linalg/svd.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace goggles {
+namespace {
+
+/// Builds a random rank-r matrix (m x n) as sum of r outer products.
+Matrix RandomLowRank(int m, int n, int r, Rng* rng) {
+  Matrix out(m, n, 0.0);
+  for (int c = 0; c < r; ++c) {
+    std::vector<double> u(static_cast<size_t>(m)), v(static_cast<size_t>(n));
+    for (auto& x : u) x = rng->Gaussian();
+    for (auto& x : v) x = rng->Gaussian();
+    const double scale = static_cast<double>(r - c);  // descending strength
+    for (int i = 0; i < m; ++i) {
+      for (int j = 0; j < n; ++j) {
+        out(i, j) += scale * u[static_cast<size_t>(i)] * v[static_cast<size_t>(j)];
+      }
+    }
+  }
+  return out;
+}
+
+double ReconstructionError(const Matrix& a, const SvdResult& svd) {
+  double err = 0.0, norm = 0.0;
+  const int k = static_cast<int>(svd.s.size());
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    for (int64_t j = 0; j < a.cols(); ++j) {
+      double rec = 0.0;
+      for (int c = 0; c < k; ++c) {
+        rec += svd.s[static_cast<size_t>(c)] * svd.u(i, c) * svd.v(j, c);
+      }
+      err += (a(i, j) - rec) * (a(i, j) - rec);
+      norm += a(i, j) * a(i, j);
+    }
+  }
+  return std::sqrt(err / std::max(norm, 1e-30));
+}
+
+TEST(SvdTest, ExactRecoveryOfLowRank) {
+  Rng rng(7);
+  Matrix a = RandomLowRank(20, 12, 3, &rng);
+  Result<SvdResult> svd = TruncatedSvd(a, 3, 80);
+  ASSERT_TRUE(svd.ok());
+  EXPECT_LT(ReconstructionError(a, *svd), 1e-6);
+}
+
+TEST(SvdTest, WideMatrixRecovery) {
+  Rng rng(11);
+  Matrix a = RandomLowRank(10, 50, 2, &rng);
+  Result<SvdResult> svd = TruncatedSvd(a, 2, 80);
+  ASSERT_TRUE(svd.ok());
+  EXPECT_LT(ReconstructionError(a, *svd), 1e-6);
+}
+
+TEST(SvdTest, TallMatrixRecovery) {
+  Rng rng(13);
+  Matrix a = RandomLowRank(50, 10, 2, &rng);
+  Result<SvdResult> svd = TruncatedSvd(a, 2, 80);
+  ASSERT_TRUE(svd.ok());
+  EXPECT_LT(ReconstructionError(a, *svd), 1e-6);
+}
+
+TEST(SvdTest, SingularValuesDescendingAndNonNegative) {
+  Rng rng(17);
+  Matrix a = RandomLowRank(15, 15, 5, &rng);
+  Result<SvdResult> svd = TruncatedSvd(a, 5, 80);
+  ASSERT_TRUE(svd.ok());
+  for (size_t i = 0; i < svd->s.size(); ++i) {
+    EXPECT_GE(svd->s[i], 0.0);
+    if (i > 0) EXPECT_LE(svd->s[i], svd->s[i - 1] + 1e-9);
+  }
+}
+
+TEST(SvdTest, FactorsOrthonormal) {
+  Rng rng(19);
+  Matrix a = RandomLowRank(18, 14, 4, &rng);
+  Result<SvdResult> svd = TruncatedSvd(a, 4, 100);
+  ASSERT_TRUE(svd.ok());
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      double dot_u = 0.0, dot_v = 0.0;
+      for (int64_t r = 0; r < svd->u.rows(); ++r) dot_u += svd->u(r, i) * svd->u(r, j);
+      for (int64_t r = 0; r < svd->v.rows(); ++r) dot_v += svd->v(r, i) * svd->v(r, j);
+      EXPECT_NEAR(dot_u, i == j ? 1.0 : 0.0, 1e-6);
+      EXPECT_NEAR(dot_v, i == j ? 1.0 : 0.0, 1e-6);
+    }
+  }
+}
+
+TEST(SvdTest, KnownDiagonalSingularValues) {
+  Matrix a(3, 3, 0.0);
+  a(0, 0) = 4.0;
+  a(1, 1) = 2.0;
+  a(2, 2) = 1.0;
+  Result<SvdResult> svd = TruncatedSvd(a, 3, 100);
+  ASSERT_TRUE(svd.ok());
+  EXPECT_NEAR(svd->s[0], 4.0, 1e-8);
+  EXPECT_NEAR(svd->s[1], 2.0, 1e-8);
+  EXPECT_NEAR(svd->s[2], 1.0, 1e-8);
+}
+
+TEST(SvdTest, KClampedToMinDimension) {
+  Rng rng(23);
+  Matrix a = RandomLowRank(4, 9, 2, &rng);
+  Result<SvdResult> svd = TruncatedSvd(a, 100, 50);
+  ASSERT_TRUE(svd.ok());
+  EXPECT_EQ(svd->s.size(), 4u);
+}
+
+TEST(SvdTest, InvalidInputsRejected) {
+  EXPECT_FALSE(TruncatedSvd(Matrix(), 2).ok());
+  EXPECT_FALSE(TruncatedSvd(Matrix(3, 3, 1.0), 0).ok());
+}
+
+TEST(SvdTest, DeterministicForFixedSeed) {
+  Rng rng(29);
+  Matrix a = RandomLowRank(12, 12, 3, &rng);
+  Result<SvdResult> s1 = TruncatedSvd(a, 2, 60, /*seed=*/5);
+  Result<SvdResult> s2 = TruncatedSvd(a, 2, 60, /*seed=*/5);
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  for (size_t i = 0; i < s1->s.size(); ++i) {
+    EXPECT_DOUBLE_EQ(s1->s[i], s2->s[i]);
+  }
+}
+
+}  // namespace
+}  // namespace goggles

@@ -1,0 +1,124 @@
+#include "goggles/mapping.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace goggles {
+namespace {
+
+TEST(MappingTest, IdentityWhenClustersAlignWithClasses) {
+  // 4 instances, cluster == class already.
+  Matrix gamma = Matrix::FromRows(
+      {{0.9, 0.1}, {0.8, 0.2}, {0.1, 0.9}, {0.2, 0.8}});
+  Result<std::vector<int>> mapping =
+      ClusterToClassMapping(gamma, {0, 2}, {0, 1}, 2);
+  ASSERT_TRUE(mapping.ok());
+  EXPECT_EQ(*mapping, (std::vector<int>{0, 1}));
+}
+
+TEST(MappingTest, SwapWhenClustersAreFlipped) {
+  Matrix gamma = Matrix::FromRows(
+      {{0.9, 0.1}, {0.8, 0.2}, {0.1, 0.9}, {0.2, 0.8}});
+  // Dev labels say rows 0,1 are class 1 and rows 2,3 class 0.
+  Result<std::vector<int>> mapping =
+      ClusterToClassMapping(gamma, {0, 2}, {1, 0}, 2);
+  ASSERT_TRUE(mapping.ok());
+  EXPECT_EQ(*mapping, (std::vector<int>{1, 0}));
+}
+
+TEST(MappingTest, EmptyDevSetYieldsIdentity) {
+  Matrix gamma = Matrix::FromRows({{0.9, 0.1}});
+  Result<std::vector<int>> mapping = ClusterToClassMapping(gamma, {}, {}, 2);
+  ASSERT_TRUE(mapping.ok());
+  EXPECT_EQ(*mapping, (std::vector<int>{0, 1}));
+}
+
+TEST(MappingTest, ValidatesInputs) {
+  Matrix gamma = Matrix::FromRows({{0.9, 0.1}});
+  EXPECT_FALSE(ClusterToClassMapping(gamma, {0}, {0, 1}, 2).ok());
+  EXPECT_FALSE(ClusterToClassMapping(gamma, {5}, {0}, 2).ok());   // bad index
+  EXPECT_FALSE(ClusterToClassMapping(gamma, {0}, {7}, 2).ok());   // bad label
+  EXPECT_FALSE(ClusterToClassMapping(gamma, {0}, {0}, 3).ok());   // K mismatch
+}
+
+TEST(MappingTest, ApplyMappingPermutesColumns) {
+  Matrix gamma = Matrix::FromRows({{0.7, 0.3}, {0.4, 0.6}});
+  Matrix mapped = ApplyMapping(gamma, {1, 0});
+  EXPECT_DOUBLE_EQ(mapped(0, 1), 0.7);
+  EXPECT_DOUBLE_EQ(mapped(0, 0), 0.3);
+  EXPECT_DOUBLE_EQ(mapped(1, 1), 0.4);
+}
+
+TEST(MappingTest, ThreeClassPermutationRecovered) {
+  // Clusters are a cyclic shift of classes: cluster 0 -> class 1,
+  // cluster 1 -> class 2, cluster 2 -> class 0.
+  const int n = 9;
+  Matrix gamma(n, 3, 0.05);
+  std::vector<int> dev_indices, dev_labels;
+  for (int i = 0; i < n; ++i) {
+    const int true_class = i % 3;
+    const int cluster = (true_class + 2) % 3;  // inverse of the shift
+    gamma(i, cluster) = 0.9;
+    dev_indices.push_back(i);
+    dev_labels.push_back(true_class);
+  }
+  Result<std::vector<int>> mapping =
+      ClusterToClassMapping(gamma, dev_indices, dev_labels, 3);
+  ASSERT_TRUE(mapping.ok());
+  EXPECT_EQ(*mapping, (std::vector<int>{1, 2, 0}));
+}
+
+TEST(MappingTest, HungarianAgreesWithEq15OnBinaryTasks) {
+  // Property check (paper §4.3: Eq. 14 reduces to Eq. 15 when K = 2, under
+  // the paper's assumption of equal-size per-class development sets —
+  // Eq. 15 compares only cluster-1 masses, which matches the assignment
+  // objective exactly when |LS_0| = |LS_1|).
+  Rng rng(11);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int n = 20;
+    Matrix gamma(n, 2);
+    for (int i = 0; i < n; ++i) {
+      const double p = rng.Uniform();
+      gamma(i, 0) = p;
+      gamma(i, 1) = 1.0 - p;
+    }
+    std::vector<int> dev_indices, dev_labels;
+    for (int i = 0; i < 6; ++i) {
+      dev_indices.push_back(static_cast<int>(rng.UniformInt(0, n - 1)));
+      dev_labels.push_back(i % 2);  // balanced dev set, as the paper assumes
+    }
+    Result<std::vector<int>> hungarian =
+        ClusterToClassMapping(gamma, dev_indices, dev_labels, 2);
+    ASSERT_TRUE(hungarian.ok());
+    std::vector<int> eq15 = BinaryMappingEq15(gamma, dev_indices, dev_labels);
+    // Both maximize the same objective; they can differ only on exact ties.
+    double obj_h = 0.0, obj_e = 0.0;
+    for (size_t d = 0; d < dev_indices.size(); ++d) {
+      for (int k = 0; k < 2; ++k) {
+        if ((*hungarian)[static_cast<size_t>(k)] == dev_labels[d]) {
+          obj_h += gamma(dev_indices[d], k);
+        }
+        if (eq15[static_cast<size_t>(k)] == dev_labels[d]) {
+          obj_e += gamma(dev_indices[d], k);
+        }
+      }
+    }
+    EXPECT_NEAR(obj_h, obj_e, 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(MappingTest, MappingInvariantToDuplicatedDevEntries) {
+  Matrix gamma = Matrix::FromRows(
+      {{0.9, 0.1}, {0.8, 0.2}, {0.1, 0.9}, {0.2, 0.8}});
+  Result<std::vector<int>> once =
+      ClusterToClassMapping(gamma, {0, 2}, {0, 1}, 2);
+  Result<std::vector<int>> twice =
+      ClusterToClassMapping(gamma, {0, 0, 2, 2}, {0, 0, 1, 1}, 2);
+  ASSERT_TRUE(once.ok());
+  ASSERT_TRUE(twice.ok());
+  EXPECT_EQ(*once, *twice);
+}
+
+}  // namespace
+}  // namespace goggles

@@ -1,0 +1,166 @@
+/// \file tensor_gradcheck_test.cc
+/// \brief Central finite-difference validation of every backward pass.
+///
+/// For a scalar loss L = sum(w_out * op(x)), the analytic gradient from the
+/// backward pass must match (L(x+eps) - L(x-eps)) / (2 eps) elementwise.
+
+#include <cmath>
+#include <functional>
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace goggles {
+namespace {
+
+/// Weighted-sum loss over a tensor with fixed random weights, making the
+/// upstream gradient dL/dy = weights.
+struct WeightedLoss {
+  Tensor weights;
+
+  explicit WeightedLoss(const std::vector<int64_t>& shape, Rng* rng)
+      : weights(Tensor::RandomNormal(shape, 1.0f, rng)) {}
+
+  double Eval(const Tensor& y) const {
+    double acc = 0.0;
+    for (int64_t i = 0; i < y.NumElements(); ++i) {
+      acc += static_cast<double>(weights[i]) * y[i];
+    }
+    return acc;
+  }
+};
+
+constexpr float kEps = 1e-2f;
+constexpr double kTol = 2e-2;
+
+/// Checks analytic against numeric gradient for every element of `param`.
+void CheckGradient(Tensor* param, const Tensor& analytic_grad,
+                   const std::function<double()>& loss_fn) {
+  ASSERT_EQ(param->NumElements(), analytic_grad.NumElements());
+  for (int64_t i = 0; i < param->NumElements(); ++i) {
+    const float orig = (*param)[i];
+    (*param)[i] = orig + kEps;
+    const double plus = loss_fn();
+    (*param)[i] = orig - kEps;
+    const double minus = loss_fn();
+    (*param)[i] = orig;
+    const double numeric = (plus - minus) / (2.0 * kEps);
+    EXPECT_NEAR(analytic_grad[i], numeric, kTol)
+        << "element " << i << " of " << param->ShapeString();
+  }
+}
+
+TEST(GradCheckTest, Conv2dInputWeightAndBias) {
+  Rng rng(11);
+  Tensor x = Tensor::RandomNormal({2, 2, 5, 5}, 1.0f, &rng);
+  Tensor w = Tensor::RandomNormal({3, 2, 3, 3}, 0.5f, &rng);
+  Tensor b = Tensor::RandomNormal({3}, 0.5f, &rng);
+  const Conv2dParams params{1, 1};
+
+  Result<Tensor> y0 = Conv2dForward(x, w, b, params);
+  ASSERT_TRUE(y0.ok());
+  WeightedLoss loss(y0->shape(), &rng);
+  auto loss_fn = [&]() {
+    return loss.Eval(*Conv2dForward(x, w, b, params));
+  };
+
+  Result<Conv2dGrads> grads = Conv2dBackward(x, w, *(&loss.weights), params);
+  ASSERT_TRUE(grads.ok());
+  CheckGradient(&x, grads->dx, loss_fn);
+  CheckGradient(&w, grads->dw, loss_fn);
+  CheckGradient(&b, grads->db, loss_fn);
+}
+
+TEST(GradCheckTest, Conv2dStride2) {
+  Rng rng(13);
+  Tensor x = Tensor::RandomNormal({1, 1, 6, 6}, 1.0f, &rng);
+  Tensor w = Tensor::RandomNormal({2, 1, 3, 3}, 0.5f, &rng);
+  Tensor b = Tensor::Zeros({2});
+  const Conv2dParams params{2, 1};
+
+  Result<Tensor> y0 = Conv2dForward(x, w, b, params);
+  ASSERT_TRUE(y0.ok());
+  WeightedLoss loss(y0->shape(), &rng);
+  auto loss_fn = [&]() { return loss.Eval(*Conv2dForward(x, w, b, params)); };
+
+  Result<Conv2dGrads> grads = Conv2dBackward(x, w, loss.weights, params);
+  ASSERT_TRUE(grads.ok());
+  CheckGradient(&x, grads->dx, loss_fn);
+  CheckGradient(&w, grads->dw, loss_fn);
+}
+
+TEST(GradCheckTest, LinearAllParams) {
+  Rng rng(17);
+  Tensor x = Tensor::RandomNormal({4, 6}, 1.0f, &rng);
+  Tensor w = Tensor::RandomNormal({3, 6}, 0.5f, &rng);
+  Tensor b = Tensor::RandomNormal({3}, 0.5f, &rng);
+
+  Result<Tensor> y0 = LinearForward(x, w, b);
+  ASSERT_TRUE(y0.ok());
+  WeightedLoss loss(y0->shape(), &rng);
+  auto loss_fn = [&]() { return loss.Eval(*LinearForward(x, w, b)); };
+
+  Result<LinearGrads> grads = LinearBackward(x, w, loss.weights);
+  ASSERT_TRUE(grads.ok());
+  CheckGradient(&x, grads->dx, loss_fn);
+  CheckGradient(&w, grads->dw, loss_fn);
+  CheckGradient(&b, grads->db, loss_fn);
+}
+
+TEST(GradCheckTest, MaxPoolInput) {
+  Rng rng(19);
+  // Distinct values so the argmax is stable under the probe epsilon.
+  Tensor x({1, 2, 4, 4});
+  for (int64_t i = 0; i < x.NumElements(); ++i) {
+    x[i] = static_cast<float>(i % 7) + 0.1f * static_cast<float>(i);
+  }
+  Result<MaxPoolResult> fwd0 = MaxPool2dForward(x, 2, 2);
+  ASSERT_TRUE(fwd0.ok());
+  WeightedLoss loss(fwd0->y.shape(), &rng);
+  auto loss_fn = [&]() { return loss.Eval(MaxPool2dForward(x, 2, 2)->y); };
+
+  Result<Tensor> dx = MaxPool2dBackward(fwd0->argmax, x.shape(), loss.weights);
+  ASSERT_TRUE(dx.ok());
+  CheckGradient(&x, *dx, loss_fn);
+}
+
+TEST(GradCheckTest, ReluInput) {
+  Rng rng(23);
+  // Keep values away from the kink at 0 (within the probe epsilon).
+  Tensor x = Tensor::RandomNormal({3, 7}, 1.0f, &rng);
+  for (int64_t i = 0; i < x.NumElements(); ++i) {
+    if (std::fabs(x[i]) < 3 * kEps) x[i] = 4 * kEps;
+  }
+  Tensor y0 = ReluForward(x);
+  WeightedLoss loss(y0.shape(), &rng);
+  auto loss_fn = [&]() { return loss.Eval(ReluForward(x)); };
+  Tensor dx = ReluBackward(x, loss.weights);
+  CheckGradient(&x, dx, loss_fn);
+}
+
+TEST(GradCheckTest, SoftmaxCrossEntropyLogits) {
+  Rng rng(29);
+  Tensor logits = Tensor::RandomNormal({5, 4}, 1.0f, &rng);
+  // Random soft targets normalized per row.
+  Tensor targets({5, 4});
+  for (int i = 0; i < 5; ++i) {
+    float total = 0.0f;
+    for (int j = 0; j < 4; ++j) {
+      targets.At2(i, j) = static_cast<float>(rng.Uniform(0.1, 1.0));
+      total += targets.At2(i, j);
+    }
+    for (int j = 0; j < 4; ++j) targets.At2(i, j) /= total;
+  }
+
+  Result<SoftmaxCrossEntropyResult> r0 = SoftmaxCrossEntropy(logits, targets);
+  ASSERT_TRUE(r0.ok());
+  auto loss_fn = [&]() {
+    return SoftmaxCrossEntropy(logits, targets)->loss;
+  };
+  CheckGradient(&logits, r0->dlogits, loss_fn);
+}
+
+}  // namespace
+}  // namespace goggles

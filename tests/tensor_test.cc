@@ -1,0 +1,93 @@
+#include "tensor/tensor.h"
+
+#include <gtest/gtest.h>
+
+namespace goggles {
+namespace {
+
+TEST(TensorTest, ConstructionAndShape) {
+  Tensor t({2, 3, 4});
+  EXPECT_EQ(t.ndim(), 3);
+  EXPECT_EQ(t.dim(0), 2);
+  EXPECT_EQ(t.NumElements(), 24);
+  EXPECT_EQ(t.ShapeString(), "[2, 3, 4]");
+  EXPECT_FALSE(t.empty());
+  EXPECT_TRUE(Tensor().empty());
+}
+
+TEST(TensorTest, FillAndScale) {
+  Tensor t({2, 2}, 3.0f);
+  EXPECT_FLOAT_EQ(t[3], 3.0f);
+  t.Scale(2.0f);
+  EXPECT_FLOAT_EQ(t[0], 6.0f);
+  t.Fill(-1.0f);
+  EXPECT_FLOAT_EQ(t[2], -1.0f);
+}
+
+TEST(TensorTest, At4Indexing) {
+  Tensor t({2, 3, 4, 5});
+  t.At4(1, 2, 3, 4) = 7.0f;
+  // Flat index: ((1*3+2)*4+3)*5+4 = 119
+  EXPECT_FLOAT_EQ(t[119], 7.0f);
+  const Tensor& ct = t;
+  EXPECT_FLOAT_EQ(ct.At4(1, 2, 3, 4), 7.0f);
+}
+
+TEST(TensorTest, At2Indexing) {
+  Tensor t({3, 4});
+  t.At2(2, 1) = 5.0f;
+  EXPECT_FLOAT_EQ(t[9], 5.0f);
+}
+
+TEST(TensorTest, ReshapePreservesData) {
+  Tensor t = Tensor::FromVector({1, 2, 3, 4, 5, 6});
+  ASSERT_TRUE(t.Reshape({2, 3}).ok());
+  EXPECT_FLOAT_EQ(t.At2(1, 0), 4.0f);
+  EXPECT_FALSE(t.Reshape({5}).ok());
+}
+
+TEST(TensorTest, AddInPlaceAndAxpy) {
+  Tensor a = Tensor::FromVector({1, 2, 3});
+  Tensor b = Tensor::FromVector({10, 20, 30});
+  ASSERT_TRUE(a.AddInPlace(b).ok());
+  EXPECT_FLOAT_EQ(a[2], 33.0f);
+  ASSERT_TRUE(a.Axpy(0.5f, b).ok());
+  EXPECT_FLOAT_EQ(a[0], 16.0f);
+  Tensor wrong({2});
+  EXPECT_FALSE(a.AddInPlace(wrong).ok());
+  EXPECT_FALSE(a.Axpy(1.0f, wrong).ok());
+}
+
+TEST(TensorTest, SumAndMaxAbs) {
+  Tensor t = Tensor::FromVector({-3, 1, 2});
+  EXPECT_DOUBLE_EQ(t.Sum(), 0.0);
+  EXPECT_FLOAT_EQ(t.MaxAbs(), 3.0f);
+  EXPECT_FLOAT_EQ(Tensor().MaxAbs(), 0.0f);
+}
+
+TEST(TensorTest, RandomNormalStatistics) {
+  Rng rng(3);
+  Tensor t = Tensor::RandomNormal({10000}, 2.0f, &rng);
+  double mean = t.Sum() / 10000.0;
+  EXPECT_NEAR(mean, 0.0, 0.1);
+  double var = 0.0;
+  for (int64_t i = 0; i < t.NumElements(); ++i) var += t[i] * t[i];
+  EXPECT_NEAR(var / 10000.0, 4.0, 0.3);
+}
+
+TEST(TensorTest, RandomUniformBounds) {
+  Rng rng(5);
+  Tensor t = Tensor::RandomUniform({1000}, -1.0f, 1.0f, &rng);
+  for (int64_t i = 0; i < t.NumElements(); ++i) {
+    ASSERT_GE(t[i], -1.0f);
+    ASSERT_LT(t[i], 1.0f);
+  }
+}
+
+TEST(TensorTest, SameShape) {
+  EXPECT_TRUE(SameShape(Tensor({2, 3}), Tensor({2, 3})));
+  EXPECT_FALSE(SameShape(Tensor({2, 3}), Tensor({3, 2})));
+}
+
+}  // namespace
+}  // namespace goggles

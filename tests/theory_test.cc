@@ -1,0 +1,135 @@
+#include "goggles/theory.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace goggles {
+namespace {
+
+TEST(TheoryTest, SingleDevExampleBinary) {
+  // K=2, d=1: class maps correctly iff the one example lands in the right
+  // cluster (ties impossible), so P = eta.
+  EXPECT_NEAR(ClassMappingProbabilityLowerBound(2, 1, 0.8), 0.8, 1e-12);
+  EXPECT_NEAR(ClassMappingProbabilityLowerBound(2, 1, 0.6), 0.6, 1e-12);
+}
+
+TEST(TheoryTest, TwoDevExamplesBinaryRequiresBothStrict) {
+  // K=2, d=2: strict majority requires both in the correct cluster
+  // (1-1 ties are excluded by the lower bound), so P_l = eta^2.
+  EXPECT_NEAR(ClassMappingProbabilityLowerBound(2, 2, 0.8), 0.64, 1e-12);
+}
+
+TEST(TheoryTest, ThreeDevExamplesBinaryMajority) {
+  // K=2, d=3: P(>=2 of 3 correct) = eta^3 + 3 eta^2 (1-eta).
+  const double eta = 0.7;
+  const double expected =
+      std::pow(eta, 3) + 3 * eta * eta * (1 - eta);
+  EXPECT_NEAR(ClassMappingProbabilityLowerBound(2, 3, eta), expected, 1e-12);
+}
+
+TEST(TheoryTest, PerfectAccuracyAlwaysMaps) {
+  EXPECT_NEAR(ClassMappingProbabilityLowerBound(2, 1, 1.0), 1.0, 1e-12);
+  EXPECT_NEAR(ClassMappingProbabilityLowerBound(4, 3, 1.0), 1.0, 1e-12);
+  EXPECT_NEAR(CorrectMappingProbabilityLowerBound(4, 3, 1.0), 1.0, 1e-12);
+}
+
+TEST(TheoryTest, ZeroDevExamplesGivesZero) {
+  EXPECT_DOUBLE_EQ(ClassMappingProbabilityLowerBound(2, 0, 0.9), 0.0);
+}
+
+TEST(TheoryTest, BoundsAreProbabilities) {
+  for (int k = 2; k <= 5; ++k) {
+    for (int d = 1; d <= 20; d += 3) {
+      for (double eta : {0.3, 0.5, 0.8, 0.95}) {
+        const double p = ClassMappingProbabilityLowerBound(k, d, eta);
+        ASSERT_GE(p, 0.0);
+        ASSERT_LE(p, 1.0);
+      }
+    }
+  }
+}
+
+/// The DP must agree with exhaustive enumeration for small instances.
+class TheoryBruteForceSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, double>> {};
+
+TEST_P(TheoryBruteForceSweep, DpMatchesBruteForce) {
+  const int k = std::get<0>(GetParam());
+  const int d = std::get<1>(GetParam());
+  const double eta = std::get<2>(GetParam());
+  const double dp = ClassMappingProbabilityLowerBound(k, d, eta);
+  const double brute = ClassMappingProbabilityBruteForce(k, d, eta);
+  EXPECT_NEAR(dp, brute, 1e-10) << "K=" << k << " d=" << d << " eta=" << eta;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SmallInstances, TheoryBruteForceSweep,
+    ::testing::Combine(::testing::Values(2, 3, 4),
+                       ::testing::Values(1, 2, 3, 5, 7),
+                       ::testing::Values(0.5, 0.7, 0.9)));
+
+TEST(TheoryTest, MonotoneInAccuracy) {
+  for (int d : {3, 9, 15}) {
+    double prev = 0.0;
+    for (double eta = 0.5; eta <= 0.96; eta += 0.05) {
+      const double p = CorrectMappingProbabilityLowerBound(2, d, eta);
+      ASSERT_GE(p, prev - 1e-12) << "d=" << d << " eta=" << eta;
+      prev = p;
+    }
+  }
+}
+
+TEST(TheoryTest, OddDevSizesMonotoneInD) {
+  // Adding two more examples (keeping d odd, so no tie-loss artifacts)
+  // never hurts the majority-vote bound.
+  for (double eta : {0.6, 0.75, 0.9}) {
+    double prev = 0.0;
+    for (int d = 1; d <= 21; d += 2) {
+      const double p = ClassMappingProbabilityLowerBound(2, d, eta);
+      ASSERT_GE(p, prev - 1e-12) << "eta=" << eta << " d=" << d;
+      prev = p;
+    }
+  }
+}
+
+TEST(TheoryTest, Figure7ShapeEta08K2) {
+  // Figure 7 of the paper: at eta = 0.8, K = 2, around 20 dev examples
+  // (10 per class) push the correct-mapping probability close to 1
+  // (exact bound: P(Bin(10,.8) >= 6)^2 ~= 0.935).
+  const double p10 = CorrectMappingProbabilityLowerBound(2, 10, 0.8);
+  EXPECT_GT(p10, 0.9);
+  const double p15 = CorrectMappingProbabilityLowerBound(2, 15, 0.8);
+  EXPECT_GT(p15, 0.96);
+  // And small dev sets are decidedly unreliable at eta = 0.6.
+  const double p2 = CorrectMappingProbabilityLowerBound(2, 2, 0.6);
+  EXPECT_LT(p2, 0.25);
+}
+
+TEST(TheoryTest, HigherAccuracyNeedsSmallerDevSet) {
+  // The paper's observation: "datasets with higher accuracy converge at a
+  // smaller development set size."
+  const int d_low = RequiredDevPerClass(2, 0.7, 0.95);
+  const int d_high = RequiredDevPerClass(2, 0.95, 0.95);
+  ASSERT_GT(d_low, 0);
+  ASSERT_GT(d_high, 0);
+  EXPECT_LT(d_high, d_low);
+}
+
+TEST(TheoryTest, RequiredDevSizeUnreachableReturnsMinusOne) {
+  // At eta = 0.5 (random labeler) the bound cannot reach 0.999 quickly.
+  EXPECT_EQ(RequiredDevPerClass(2, 0.5, 0.999, /*max_d=*/10), -1);
+}
+
+TEST(TheoryTest, ErrorSpreadMakesPerClassMappingEasier) {
+  // With more classes, the (1-eta) error mass spreads over K-1 wrong
+  // clusters (rho = (1-eta)/(K-1)), so a strict majority in the correct
+  // cluster becomes *easier* per class — the per-class bound increases
+  // with K at fixed eta and d.
+  const double p2 = ClassMappingProbabilityLowerBound(2, 9, 0.8);
+  const double p4 = ClassMappingProbabilityLowerBound(4, 9, 0.8);
+  EXPECT_GT(p4, p2);
+}
+
+}  // namespace
+}  // namespace goggles

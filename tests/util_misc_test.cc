@@ -1,0 +1,172 @@
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "util/csv.h"
+#include "util/env.h"
+#include "util/parallel.h"
+#include "util/string_util.h"
+#include "util/table.h"
+#include "util/timer.h"
+#include "util/topk.h"
+
+namespace goggles {
+namespace {
+
+TEST(StringUtilTest, StrFormatBasics) {
+  EXPECT_EQ(StrFormat("x=%d", 42), "x=42");
+  EXPECT_EQ(StrFormat("%s-%s", "a", "b"), "a-b");
+  EXPECT_EQ(StrFormat("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(StringUtilTest, JoinAndSplitRoundTrip) {
+  std::vector<std::string> parts = {"a", "bb", "ccc"};
+  EXPECT_EQ(Join(parts, ","), "a,bb,ccc");
+  EXPECT_EQ(Split("a,bb,ccc", ','), parts);
+  EXPECT_EQ(Join({}, ","), "");
+  std::vector<std::string> with_empty = {"", "x", ""};
+  EXPECT_EQ(Split(",x,", ','), with_empty);
+}
+
+TEST(StringUtilTest, TrimAndLower) {
+  EXPECT_EQ(Trim("  hello \t\n"), "hello");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(ToLower("MiXeD"), "mixed");
+}
+
+TEST(StringUtilTest, FormatPercentAndDouble) {
+  EXPECT_EQ(FormatPercent(0.9783), "97.83");
+  EXPECT_EQ(FormatPercent(0.5, 1), "50.0");
+  EXPECT_EQ(FormatDouble(1.23456, 3), "1.235");
+}
+
+TEST(TopkTest, ArgMaxArgMin) {
+  std::vector<double> v = {3.0, 1.0, 4.0, 1.0, 5.0};
+  EXPECT_EQ(ArgMax(v), 4);
+  EXPECT_EQ(ArgMin(v), 1);
+  EXPECT_EQ(ArgMax(std::vector<double>{}), -1);
+}
+
+TEST(TopkTest, ArgSortDescendingStable) {
+  std::vector<int> v = {2, 7, 2, 9};
+  std::vector<int> idx = ArgSortDescending(v);
+  EXPECT_EQ(idx, (std::vector<int>{3, 1, 0, 2}));
+}
+
+TEST(TopkTest, ArgTopK) {
+  std::vector<double> v = {0.1, 0.9, 0.5, 0.7};
+  EXPECT_EQ(ArgTopK(v, 2), (std::vector<int>{1, 3}));
+  EXPECT_EQ(ArgTopK(v, 10).size(), 4u);
+}
+
+TEST(ParallelTest, CoversEveryIndexExactlyOnce) {
+  const int64_t n = 10007;
+  std::vector<std::atomic<int>> hits(n);
+  ParallelFor(0, n, [&](int64_t i) { hits[static_cast<size_t>(i)]++; });
+  for (int64_t i = 0; i < n; ++i) {
+    ASSERT_EQ(hits[static_cast<size_t>(i)].load(), 1) << i;
+  }
+}
+
+TEST(ParallelTest, EmptyRangeIsNoOp) {
+  bool called = false;
+  ParallelFor(5, 5, [&](int64_t) { called = true; });
+  EXPECT_FALSE(called);
+  ParallelFor(5, 3, [&](int64_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelTest, ChunkedCoversRange) {
+  std::atomic<int64_t> total{0};
+  ParallelForChunked(0, 1000, [&](int64_t lo, int64_t hi) {
+    total += hi - lo;
+  });
+  EXPECT_EQ(total.load(), 1000);
+}
+
+TEST(ParallelTest, SingleThreadFallback) {
+  std::vector<int> hits(100, 0);
+  ParallelFor(0, 100, [&](int64_t i) { hits[static_cast<size_t>(i)]++; },
+              /*num_threads=*/1);
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(TableTest, RendersAlignedColumns) {
+  AsciiTable table("Title");
+  table.SetHeader({"name", "value"});
+  table.AddRow({"alpha", "1"});
+  table.AddSeparator();
+  table.AddRow({"bb", "22"});
+  std::string s = table.ToString();
+  EXPECT_NE(s.find("Title"), std::string::npos);
+  EXPECT_NE(s.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(s.find("| bb    | 22    |"), std::string::npos);
+}
+
+TEST(TableTest, PadsShortRows) {
+  AsciiTable table;
+  table.SetHeader({"a", "b", "c"});
+  table.AddRow({"only"});
+  std::string s = table.ToString();
+  EXPECT_NE(s.find("only"), std::string::npos);
+}
+
+TEST(CsvTest, EscapesSpecialCharacters) {
+  CsvWriter csv;
+  csv.SetHeader({"x", "y"});
+  csv.AddRow({"plain", "with,comma"});
+  csv.AddRow({"with\"quote", "multi\nline"});
+  const std::string s = csv.ToString();
+  EXPECT_NE(s.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(s.find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST(CsvTest, WritesToFile) {
+  CsvWriter csv;
+  csv.SetHeader({"k", "v"});
+  csv.AddRow({"a", "1"});
+  const std::string path = ::testing::TempDir() + "/goggles_csv_test.csv";
+  ASSERT_TRUE(csv.WriteToFile(path).ok());
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "k,v");
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, WriteToBadPathFails) {
+  CsvWriter csv;
+  EXPECT_FALSE(csv.WriteToFile("/nonexistent_dir_xyz/out.csv").ok());
+}
+
+TEST(EnvTest, FallbacksWhenUnset) {
+  EXPECT_EQ(GetEnvOr("GOGGLES_SURELY_UNSET_VAR", "dflt"), "dflt");
+  EXPECT_EQ(GetEnvIntOr("GOGGLES_SURELY_UNSET_VAR", 5), 5);
+  EXPECT_DOUBLE_EQ(GetEnvDoubleOr("GOGGLES_SURELY_UNSET_VAR", 2.5), 2.5);
+}
+
+TEST(EnvTest, ParsesSetValues) {
+  ::setenv("GOGGLES_TEST_ENV_INT", "17", 1);
+  ::setenv("GOGGLES_TEST_ENV_DBL", "0.25", 1);
+  EXPECT_EQ(GetEnvIntOr("GOGGLES_TEST_ENV_INT", 0), 17);
+  EXPECT_DOUBLE_EQ(GetEnvDoubleOr("GOGGLES_TEST_ENV_DBL", 0.0), 0.25);
+  ::unsetenv("GOGGLES_TEST_ENV_INT");
+  ::unsetenv("GOGGLES_TEST_ENV_DBL");
+}
+
+TEST(TimerTest, MeasuresNonNegativeTime) {
+  WallTimer timer;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
+  EXPECT_GE(timer.ElapsedSeconds(), 0.0);
+  EXPECT_GE(timer.ElapsedMillis(), timer.ElapsedSeconds());
+  timer.Restart();
+  EXPECT_LT(timer.ElapsedSeconds(), 1.0);
+}
+
+}  // namespace
+}  // namespace goggles

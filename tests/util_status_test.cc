@@ -1,0 +1,110 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace goggles {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+  EXPECT_TRUE(st.message().empty());
+}
+
+TEST(StatusTest, FactoryFunctionsSetCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("bad").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::OutOfRange("oob").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::NotFound("nf").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("ae").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::NotImplemented("ni").code(), StatusCode::kNotImplemented);
+  EXPECT_EQ(Status::IOError("io").code(), StatusCode::kIOError);
+  EXPECT_EQ(Status::Internal("in").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Internal("in").message(), "in");
+}
+
+TEST(StatusTest, ToStringIncludesCodeAndMessage) {
+  Status st = Status::InvalidArgument("expected positive k");
+  EXPECT_EQ(st.ToString(), "InvalidArgument: expected positive k");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::OK(), Status());
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::IOError("x"));
+}
+
+TEST(StatusTest, StatusCodeToStringCoversAllCodes) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kInternal), "Internal");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kIOError), "IOError");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.ValueOrDie(), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("missing");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOnlyValueWorks) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = r.MoveValueUnsafe();
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(ResultTest, ConstructingFromOkStatusBecomesInternalError) {
+  Result<int> r = Status::OK();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Status ChainedCheck(int x) {
+  GOGGLES_RETURN_NOT_OK(FailIfNegative(x));
+  return Status::OK();
+}
+
+TEST(StatusMacroTest, ReturnNotOkPropagates) {
+  EXPECT_TRUE(ChainedCheck(1).ok());
+  EXPECT_EQ(ChainedCheck(-1).code(), StatusCode::kInvalidArgument);
+}
+
+Result<int> Doubler(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return 2 * x;
+}
+
+Result<int> UsesAssignOrReturn(int x) {
+  GOGGLES_ASSIGN_OR_RETURN(int doubled, Doubler(x));
+  return doubled + 1;
+}
+
+TEST(StatusMacroTest, AssignOrReturnBindsValue) {
+  Result<int> r = UsesAssignOrReturn(5);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 11);
+}
+
+TEST(StatusMacroTest, AssignOrReturnPropagatesError) {
+  Result<int> r = UsesAssignOrReturn(-5);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace goggles
