@@ -1,7 +1,12 @@
 #pragma once
 
+#include <cctype>
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
+#include <ctime>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "data/registry.h"
@@ -11,15 +16,25 @@
 #include "eval/tasks.h"
 #include "util/env.h"
 #include "util/string_util.h"
+#include "util/timer.h"
 
 /// \file bench_common.h
 /// \brief Shared plumbing for the experiment benches: workload scale
-/// selection, the pretrained backbone, and small formatting helpers.
+/// selection, the pretrained backbone, small formatting helpers, and the
+/// JSON perf-record hook behind the BENCH_*.json trajectory files.
 ///
 /// Scale is controlled with the GOGGLES_BENCH_SCALE environment variable:
 /// "small" (default; reduced pairs/repetitions so the full bench directory
 /// runs in minutes on a laptop) or "paper" (the paper's protocol: 10 class
 /// pairs, 10 repetitions).
+///
+/// Every bench that prints the standard Banner() also appends one
+/// machine-readable JSON record (one line per run) to
+/// `$GOGGLES_BENCH_JSON_DIR/BENCH_<name>.json` when the process exits.
+/// The record carries the bench name, scale, wall-clock seconds, a unix
+/// timestamp, and any key/value metrics published via RecordBenchMetric().
+/// Set GOGGLES_BENCH_JSON_DIR="" to disable (default: current directory);
+/// set GOGGLES_BENCH_NAME to override the name derived from the banner.
 
 namespace goggles::bench {
 
@@ -90,8 +105,125 @@ inline std::string Pct(double fraction) {
   return FormatPercent(fraction);
 }
 
-/// \brief Prints the standard bench banner.
+/// \brief Lowercase [a-z0-9_] slug for filenames and JSON string fields.
+inline std::string SanitizeBenchName(const std::string& title) {
+  std::string out;
+  for (char c : title) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      out.push_back(static_cast<char>(
+          std::tolower(static_cast<unsigned char>(c))));
+    } else if (!out.empty() && out.back() != '_') {
+      out.push_back('_');
+    }
+    if (out.size() >= 48) break;
+  }
+  while (!out.empty() && out.back() == '_') out.pop_back();
+  return out.empty() ? "unnamed" : out;
+}
+
+/// \brief Default trajectory name for this process: the binary name minus
+/// its "bench_" prefix, so direct runs and run_all.sh (which exports
+/// GOGGLES_BENCH_NAME the same way) append to the same BENCH_<name>.json.
+/// Falls back to the banner title off glibc.
+inline std::string DefaultBenchName(const std::string& banner_title) {
+#ifdef __GLIBC__
+  std::string bin = program_invocation_short_name;
+  if (!bin.empty()) {
+    if (bin.rfind("bench_", 0) == 0) bin = bin.substr(6);
+    return SanitizeBenchName(bin);
+  }
+#endif
+  return SanitizeBenchName(banner_title);
+}
+
+/// \brief Process-wide collector for the JSON perf record. Armed by
+/// Banner(); flushes one JSON line at normal process exit.
+class BenchJsonRecorder {
+ public:
+  static BenchJsonRecorder& Instance() {
+    static BenchJsonRecorder recorder;
+    return recorder;
+  }
+
+  /// \brief Arms the recorder (idempotent: the first call wins). The name
+  /// is re-sanitized even when it comes from GOGGLES_BENCH_NAME: it lands
+  /// in both a filename and a JSON string literal.
+  void Begin(const std::string& bench, const std::string& scale) {
+    if (armed_) return;
+    armed_ = true;
+    bench_ = SanitizeBenchName(GetEnvOr("GOGGLES_BENCH_NAME", bench));
+    scale_ = scale;
+    timer_.Restart();
+  }
+
+  /// \brief Publishes one numeric metric into the record (last write wins
+  /// for duplicate keys on replay; records keep insertion order). Keys are
+  /// sanitized at insert so deduplication matches what Flush() emits.
+  void RecordMetric(const std::string& key, double value) {
+    const std::string sanitized = SanitizeBenchName(key);
+    for (auto& kv : metrics_) {
+      if (kv.first == sanitized) {
+        kv.second = value;
+        return;
+      }
+    }
+    metrics_.emplace_back(sanitized, value);
+  }
+
+  ~BenchJsonRecorder() { Flush(); }
+
+ private:
+  BenchJsonRecorder() = default;
+
+  void Flush() {
+    if (!armed_) return;
+    const std::string dir = GetEnvOr("GOGGLES_BENCH_JSON_DIR", ".");
+    if (dir.empty()) return;
+    const std::string path = dir + "/BENCH_" + bench_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "a");
+    if (f == nullptr) {
+      std::fprintf(stderr, "warning: cannot append bench record to %s\n",
+                   path.c_str());
+      return;
+    }
+    std::fprintf(f,
+                 "{\"bench\":\"%s\",\"scale\":\"%s\","
+                 "\"wall_seconds\":%.3f,\"timestamp_unix\":%lld",
+                 bench_.c_str(), scale_.c_str(), timer_.ElapsedSeconds(),
+                 static_cast<long long>(std::time(nullptr)));
+    std::fprintf(f, ",\"metrics\":{");
+    for (size_t i = 0; i < metrics_.size(); ++i) {
+      // NaN/inf are not valid JSON tokens; record them as null.
+      std::fprintf(f, "%s\"%s\":", i == 0 ? "" : ",",
+                   metrics_[i].first.c_str());
+      if (std::isfinite(metrics_[i].second)) {
+        std::fprintf(f, "%.6g", metrics_[i].second);
+      } else {
+        std::fprintf(f, "null");
+      }
+    }
+    std::fprintf(f, "}}\n");
+    std::fclose(f);
+  }
+
+  bool armed_ = false;
+  std::string bench_;
+  std::string scale_;
+  std::vector<std::pair<std::string, double>> metrics_;
+  WallTimer timer_;
+};
+
+/// \brief Publishes a numeric metric into this run's JSON perf record
+/// (no-op until Banner() has armed the recorder's name/scale; the metric
+/// is still kept and flushed if Banner() runs later).
+inline void RecordBenchMetric(const std::string& key, double value) {
+  BenchJsonRecorder::Instance().RecordMetric(key, value);
+}
+
+/// \brief Prints the standard bench banner and arms the JSON perf-record
+/// hook (flushed at process exit).
 inline void Banner(const char* title, const BenchScale& scale) {
+  BenchJsonRecorder::Instance().Begin(DefaultBenchName(title), scale.name);
   std::printf("\n================================================================\n");
   std::printf("%s\n", title);
   std::printf("scale=%s (GOGGLES_BENCH_SCALE=small|paper)\n", scale.name.c_str());

@@ -56,6 +56,7 @@ void RunExperiment() {
   req.SetHeader({"eta", "required d", "required total (2d)"});
   for (double eta : etas) {
     const int d = RequiredDevPerClass(2, eta, 0.95);
+    if (d >= 0) RecordBenchMetric(StrFormat("required_d_eta_%.1f", eta), d);
     req.AddRow({StrFormat("%.1f", eta),
                 d < 0 ? "-" : StrFormat("%d", d),
                 d < 0 ? "-" : StrFormat("%d", 2 * d)});

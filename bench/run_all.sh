@@ -1,0 +1,104 @@
+#!/usr/bin/env bash
+# Runs every experiment bench and collects the JSON perf trajectory.
+#
+# Usage: bench/run_all.sh [BUILD_DIR] [BENCH...]
+#   BUILD_DIR  directory with the built bench binaries (default: build)
+#   BENCH      subset of bench names to run (default: all of them)
+#
+# Knobs (environment):
+#   GOGGLES_BENCH_SCALE     small|paper workload scale (default: small)
+#   GOGGLES_NUM_THREADS     worker threads for the parallel kernels
+#   GOGGLES_BENCH_JSON_DIR  where BENCH_<name>.json records accumulate
+#                           (default: the repo root, next to this script's
+#                           parent directory)
+#
+# Each bench appends one JSON line per run to BENCH_<name>.json via the
+# Banner() hook in bench_common.h; bench_micro_kernels (pure
+# google-benchmark) writes its JSON report through --benchmark_out.
+
+set -u -o pipefail
+
+script_dir="$(cd "$(dirname "$0")" && pwd)"
+repo_root="$(dirname "$script_dir")"
+build_dir="${1:-build}"
+shift 2>/dev/null || true
+
+if [[ ! -d "$build_dir" ]]; then
+  if [[ -d "$repo_root/$build_dir" ]]; then
+    build_dir="$repo_root/$build_dir"
+  else
+    echo "error: build dir '$build_dir' not found; run cmake first" >&2
+    exit 2
+  fi
+fi
+
+# No colon: an explicitly empty GOGGLES_BENCH_JSON_DIR disables records
+# (matching the bench_common.h contract); only an unset one defaults.
+json_dir="${GOGGLES_BENCH_JSON_DIR-$repo_root}"
+if [[ -n "$json_dir" ]]; then
+  mkdir -p "$json_dir"
+fi
+
+all_benches=(
+  bench_table1_labeling
+  bench_table2_endmodel
+  bench_fig2_affinity_dists
+  bench_fig5_affinity_heatmap
+  bench_fig7_devset_theory
+  bench_fig8_devset_size
+  bench_fig9_num_affinities
+  bench_ablation_inference
+  bench_micro_kernels
+)
+if [[ $# -gt 0 ]]; then
+  benches=("$@")
+else
+  benches=("${all_benches[@]}")
+fi
+
+echo "scale=${GOGGLES_BENCH_SCALE:-small}  json_dir=${json_dir:-<records disabled>}"
+failed=0
+for bench in "${benches[@]}"; do
+  bin="$build_dir/bench/$bench"
+  if [[ ! -x "$bin" ]]; then
+    echo "error: $bin not built (cmake --build $build_dir)" >&2
+    failed=1
+    continue
+  fi
+  name="${bench#bench_}"
+  echo
+  echo ">>> $bench"
+  if [[ "$bench" == bench_micro_kernels && -z "$json_dir" ]]; then
+    "$bin" || failed=1
+  elif [[ "$bench" == bench_micro_kernels ]]; then
+    # --benchmark_out truncates its file; stage to a temp file and append
+    # one compact line so this trajectory accumulates like the others.
+    tmp_json="$(mktemp)"
+    if "$bin" --benchmark_out="$tmp_json" --benchmark_out_format=json; then
+      if command -v python3 >/dev/null 2>&1; then
+        python3 -c 'import json,sys; print(json.dumps(json.load(open(sys.argv[1])), separators=(",",":")))' \
+            "$tmp_json" >> "$json_dir/BENCH_${name}.json" || failed=1
+      else
+        tr -d '\n' < "$tmp_json" >> "$json_dir/BENCH_${name}.json"
+        echo >> "$json_dir/BENCH_${name}.json"
+      fi
+    else
+      failed=1
+    fi
+    rm -f "$tmp_json"
+  else
+    GOGGLES_BENCH_NAME="$name" GOGGLES_BENCH_JSON_DIR="$json_dir" \
+        "$bin" || failed=1
+  fi
+done
+
+echo
+if [[ "$failed" -ne 0 ]]; then
+  echo "bench run finished with failures" >&2
+  exit 1
+fi
+if [[ -n "$json_dir" ]]; then
+  echo "all benches done; trajectory records in $json_dir/BENCH_*.json"
+else
+  echo "all benches done (JSON records disabled)"
+fi

@@ -18,7 +18,10 @@ int main() {
   using namespace goggles;
 
   std::printf("== Multi-class affinity coding (K = 4) ==\n\n");
-  auto extractor = eval::GetPretrainedExtractor();
+  // Named options object: GCC 12 -O3 false-fires -Wmaybe-uninitialized on
+  // the defaulted `const BackboneOptions& = {}` temporary.
+  eval::BackboneOptions backbone_options;
+  auto extractor = eval::GetPretrainedExtractor(backbone_options);
   extractor.status().Abort("backbone");
 
   // A 4-class task from the SynthBirds corpus.

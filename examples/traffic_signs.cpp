@@ -16,7 +16,10 @@ int main() {
   using namespace goggles;
 
   std::printf("== Reusing one affinity library across traffic-sign tasks ==\n\n");
-  auto extractor = eval::GetPretrainedExtractor();
+  // Named options object: GCC 12 -O3 false-fires -Wmaybe-uninitialized on
+  // the defaulted `const BackboneOptions& = {}` temporary.
+  eval::BackboneOptions backbone_options;
+  auto extractor = eval::GetPretrainedExtractor(backbone_options);
   extractor.status().Abort("backbone");
   eval::RunnerContext ctx;
   ctx.extractor = *extractor;

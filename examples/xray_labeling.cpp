@@ -17,7 +17,10 @@ int main() {
   using namespace goggles;
 
   std::printf("== GOGGLES on chest X-rays (TB screening) ==\n\n");
-  auto extractor = eval::GetPretrainedExtractor();
+  // Named options object: GCC 12 -O3 false-fires -Wmaybe-uninitialized on
+  // the defaulted `const BackboneOptions& = {}` temporary.
+  eval::BackboneOptions backbone_options;
+  auto extractor = eval::GetPretrainedExtractor(backbone_options);
   extractor.status().Abort("backbone");
   eval::RunnerContext ctx;
   ctx.extractor = *extractor;

@@ -1,5 +1,7 @@
 #include "util/env.h"
 
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 
 namespace goggles {
@@ -13,8 +15,11 @@ int64_t GetEnvIntOr(const std::string& name, int64_t fallback) {
   const char* v = std::getenv(name.c_str());
   if (v == nullptr) return fallback;
   char* end = nullptr;
+  errno = 0;
   long long parsed = std::strtoll(v, &end, 10);
-  if (end == v) return fallback;
+  // Reject empty values, trailing garbage ("12abc"), and out-of-range
+  // values rather than silently truncating the parse.
+  if (end == v || *end != '\0' || errno == ERANGE) return fallback;
   return static_cast<int64_t>(parsed);
 }
 
@@ -23,7 +28,11 @@ double GetEnvDoubleOr(const std::string& name, double fallback) {
   if (v == nullptr) return fallback;
   char* end = nullptr;
   double parsed = std::strtod(v, &end);
-  if (end == v) return fallback;
+  if (end == v || *end != '\0') return fallback;
+  // Non-finite covers overflow ("1e999" -> +-HUGE_VAL) and literal
+  // "inf"/"nan"; underflow ("1e-400" -> denormal or zero) stays accepted,
+  // the user meant ~0.
+  if (!std::isfinite(parsed)) return fallback;
   return parsed;
 }
 

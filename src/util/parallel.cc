@@ -1,21 +1,28 @@
 #include "util/parallel.h"
 
 #include <algorithm>
-#include <cstdlib>
+#include <limits>
 #include <thread>
 #include <vector>
 
+#include "util/env.h"
+
 namespace goggles {
 
+int ComputeDefaultNumThreads() {
+  unsigned hw = std::thread::hardware_concurrency();
+  int64_t fallback = hw == 0 ? 1 : static_cast<int64_t>(hw);
+  int64_t n = GetEnvIntOr("GOGGLES_NUM_THREADS", fallback);
+  // Zero and negative requests mean "auto", as before this knob was
+  // strictly parsed; the >= 1 floor covers hardware_concurrency() == 0.
+  if (n < 1) n = fallback;
+  n = std::max<int64_t>(n, 1);
+  n = std::min<int64_t>(n, std::numeric_limits<int>::max());
+  return static_cast<int>(n);
+}
+
 int DefaultNumThreads() {
-  static int cached = [] {
-    if (const char* env = std::getenv("GOGGLES_NUM_THREADS")) {
-      int n = std::atoi(env);
-      if (n > 0) return n;
-    }
-    unsigned hw = std::thread::hardware_concurrency();
-    return hw == 0 ? 1 : static_cast<int>(hw);
-  }();
+  static int cached = ComputeDefaultNumThreads();
   return cached;
 }
 

@@ -10,9 +10,16 @@ namespace goggles {
 
 /// \brief Number of worker threads to use by default.
 ///
-/// Resolves, in order: the `GOGGLES_NUM_THREADS` environment variable, then
-/// `std::thread::hardware_concurrency()`, with a floor of 1.
+/// Resolves, in order: the `GOGGLES_NUM_THREADS` environment variable
+/// (strictly parsed; malformed values are ignored), then
+/// `std::thread::hardware_concurrency()`, with a floor of 1. The result is
+/// computed once and cached for the lifetime of the process.
 int DefaultNumThreads();
+
+/// \brief Uncached variant of DefaultNumThreads(): re-reads the
+/// environment on every call. Intended for tests; production code should
+/// use DefaultNumThreads().
+int ComputeDefaultNumThreads();
 
 /// \brief Runs `fn(i)` for every i in [begin, end) across worker threads.
 ///

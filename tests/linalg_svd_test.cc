@@ -73,7 +73,9 @@ TEST(SvdTest, SingularValuesDescendingAndNonNegative) {
   ASSERT_TRUE(svd.ok());
   for (size_t i = 0; i < svd->s.size(); ++i) {
     EXPECT_GE(svd->s[i], 0.0);
-    if (i > 0) EXPECT_LE(svd->s[i], svd->s[i - 1] + 1e-9);
+    if (i > 0) {
+      EXPECT_LE(svd->s[i], svd->s[i - 1] + 1e-9);
+    }
   }
 }
 

@@ -1,4 +1,5 @@
 #include <atomic>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 
@@ -156,6 +157,75 @@ TEST(EnvTest, ParsesSetValues) {
   EXPECT_DOUBLE_EQ(GetEnvDoubleOr("GOGGLES_TEST_ENV_DBL", 0.0), 0.25);
   ::unsetenv("GOGGLES_TEST_ENV_INT");
   ::unsetenv("GOGGLES_TEST_ENV_DBL");
+}
+
+TEST(EnvTest, RejectsTrailingGarbage) {
+  ::setenv("GOGGLES_TEST_ENV_INT", "12abc", 1);
+  ::setenv("GOGGLES_TEST_ENV_DBL", "0.25xyz", 1);
+  EXPECT_EQ(GetEnvIntOr("GOGGLES_TEST_ENV_INT", 7), 7);
+  EXPECT_DOUBLE_EQ(GetEnvDoubleOr("GOGGLES_TEST_ENV_DBL", 1.5), 1.5);
+  // Fully non-numeric and empty values also fall back.
+  ::setenv("GOGGLES_TEST_ENV_INT", "paper", 1);
+  EXPECT_EQ(GetEnvIntOr("GOGGLES_TEST_ENV_INT", 7), 7);
+  ::setenv("GOGGLES_TEST_ENV_INT", "", 1);
+  EXPECT_EQ(GetEnvIntOr("GOGGLES_TEST_ENV_INT", 7), 7);
+  ::setenv("GOGGLES_TEST_ENV_DBL", "", 1);
+  EXPECT_DOUBLE_EQ(GetEnvDoubleOr("GOGGLES_TEST_ENV_DBL", 1.5), 1.5);
+  ::unsetenv("GOGGLES_TEST_ENV_INT");
+  ::unsetenv("GOGGLES_TEST_ENV_DBL");
+}
+
+TEST(EnvTest, RejectsOutOfRangeValues) {
+  ::setenv("GOGGLES_TEST_ENV_INT", "99999999999999999999999999", 1);
+  EXPECT_EQ(GetEnvIntOr("GOGGLES_TEST_ENV_INT", -3), -3);
+  ::setenv("GOGGLES_TEST_ENV_INT", "-99999999999999999999999999", 1);
+  EXPECT_EQ(GetEnvIntOr("GOGGLES_TEST_ENV_INT", -3), -3);
+  ::setenv("GOGGLES_TEST_ENV_DBL", "1e999", 1);
+  EXPECT_DOUBLE_EQ(GetEnvDoubleOr("GOGGLES_TEST_ENV_DBL", 0.5), 0.5);
+  ::setenv("GOGGLES_TEST_ENV_DBL", "-1e999", 1);
+  EXPECT_DOUBLE_EQ(GetEnvDoubleOr("GOGGLES_TEST_ENV_DBL", 0.5), 0.5);
+  // Underflow is not an error: the user meant "effectively zero".
+  ::setenv("GOGGLES_TEST_ENV_DBL", "1e-400", 1);
+  EXPECT_LT(std::abs(GetEnvDoubleOr("GOGGLES_TEST_ENV_DBL", 0.5)), 1e-300);
+  // Literal non-finite values are rejected like overflow.
+  ::setenv("GOGGLES_TEST_ENV_DBL", "nan", 1);
+  EXPECT_DOUBLE_EQ(GetEnvDoubleOr("GOGGLES_TEST_ENV_DBL", 0.5), 0.5);
+  ::setenv("GOGGLES_TEST_ENV_DBL", "-inf", 1);
+  EXPECT_DOUBLE_EQ(GetEnvDoubleOr("GOGGLES_TEST_ENV_DBL", 0.5), 0.5);
+  ::unsetenv("GOGGLES_TEST_ENV_INT");
+  ::unsetenv("GOGGLES_TEST_ENV_DBL");
+}
+
+TEST(EnvTest, ParsesSignsAndWhitespacePrefix) {
+  // strtoll/strtod accept leading whitespace and an explicit sign; the
+  // full-string rule still applies after the number.
+  ::setenv("GOGGLES_TEST_ENV_INT", "  -42", 1);
+  EXPECT_EQ(GetEnvIntOr("GOGGLES_TEST_ENV_INT", 0), -42);
+  ::setenv("GOGGLES_TEST_ENV_INT", "  -42 ", 1);
+  EXPECT_EQ(GetEnvIntOr("GOGGLES_TEST_ENV_INT", 0), 0);
+  ::setenv("GOGGLES_TEST_ENV_DBL", "+0.5", 1);
+  EXPECT_DOUBLE_EQ(GetEnvDoubleOr("GOGGLES_TEST_ENV_DBL", 0.0), 0.5);
+  ::unsetenv("GOGGLES_TEST_ENV_INT");
+  ::unsetenv("GOGGLES_TEST_ENV_DBL");
+}
+
+TEST(ParallelTest, NumThreadsEnvOverride) {
+  ::setenv("GOGGLES_NUM_THREADS", "3", 1);
+  EXPECT_EQ(ComputeDefaultNumThreads(), 3);
+  // Malformed values fall back to hardware concurrency (>= 1).
+  ::setenv("GOGGLES_NUM_THREADS", "4cores", 1);
+  const int hw_fallback = ComputeDefaultNumThreads();
+  ::unsetenv("GOGGLES_NUM_THREADS");
+  EXPECT_EQ(hw_fallback, ComputeDefaultNumThreads());
+  EXPECT_GE(hw_fallback, 1);
+  // Zero or negative requests mean "auto": hardware concurrency again.
+  ::setenv("GOGGLES_NUM_THREADS", "0", 1);
+  EXPECT_EQ(ComputeDefaultNumThreads(), hw_fallback);
+  ::setenv("GOGGLES_NUM_THREADS", "-8", 1);
+  EXPECT_EQ(ComputeDefaultNumThreads(), hw_fallback);
+  ::unsetenv("GOGGLES_NUM_THREADS");
+  // The cached entry point agrees with the floor.
+  EXPECT_GE(DefaultNumThreads(), 1);
 }
 
 TEST(TimerTest, MeasuresNonNegativeTime) {
