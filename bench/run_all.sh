@@ -48,6 +48,7 @@ all_benches=(
   bench_fig8_devset_size
   bench_fig9_num_affinities
   bench_ablation_inference
+  bench_serve_latency
   bench_micro_kernels
 )
 if [[ $# -gt 0 ]]; then

@@ -47,4 +47,10 @@ void ClampImage(Image* img);
 /// \brief Mean pixel value across all channels.
 float ImageMean(const Image& img);
 
+/// \brief Order-sensitive FNV-1a content fingerprint over the images'
+/// shapes and pixel bytes. Lets caches key idempotence on dataset
+/// *content* rather than image count (two same-sized datasets collide on
+/// count but not, in practice, on this fingerprint).
+uint64_t FingerprintImages(const std::vector<Image>& images);
+
 }  // namespace goggles::data

@@ -12,10 +12,35 @@ std::vector<int> BatchIndices(int64_t begin, int64_t end) {
   return idx;
 }
 
+/// Extraction stacks images into [N, C, H, W] batches, which requires a
+/// uniform shape — a mixed-shape batch would index past the stacked
+/// tensor's per-image stride.
+Status CheckUniformShapes(const std::vector<data::Image>& images) {
+  if (images.empty()) {
+    return Status::InvalidArgument("FeatureExtractor: no images");
+  }
+  const data::Image& first = images[0];
+  if (first.channels < 1 || first.height < 1 || first.width < 1) {
+    return Status::InvalidArgument(
+        "FeatureExtractor: images must have positive dimensions");
+  }
+  for (const data::Image& img : images) {
+    if (img.channels != first.channels || img.height != first.height ||
+        img.width != first.width ||
+        static_cast<int64_t>(img.pixels.size()) != first.NumElements()) {
+      return Status::InvalidArgument(
+          "FeatureExtractor: all images in a batch must share one shape");
+    }
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 Result<std::vector<std::vector<Tensor>>> FeatureExtractor::PoolFeatureMaps(
     const std::vector<data::Image>& images, int batch_size) const {
+  GOGGLES_RETURN_NOT_OK(CheckUniformShapes(images));
+  std::lock_guard<std::mutex> lock(forward_mutex_);
   const int num_layers = num_pool_layers();
   std::vector<std::vector<Tensor>> maps(static_cast<size_t>(num_layers));
   for (auto& per_layer : maps) per_layer.reserve(images.size());
@@ -47,6 +72,8 @@ Result<std::vector<std::vector<Tensor>>> FeatureExtractor::PoolFeatureMaps(
 
 Result<Matrix> FeatureExtractor::Logits(const std::vector<data::Image>& images,
                                         int batch_size) const {
+  GOGGLES_RETURN_NOT_OK(CheckUniformShapes(images));
+  std::lock_guard<std::mutex> lock(forward_mutex_);
   const int64_t n = static_cast<int64_t>(images.size());
   Matrix out;
   for (int64_t start = 0; start < n; start += batch_size) {
@@ -65,6 +92,8 @@ Result<Matrix> FeatureExtractor::Logits(const std::vector<data::Image>& images,
 
 Result<Matrix> FeatureExtractor::PenultimateFeatures(
     const std::vector<data::Image>& images, int batch_size) const {
+  GOGGLES_RETURN_NOT_OK(CheckUniformShapes(images));
+  std::lock_guard<std::mutex> lock(forward_mutex_);
   const int64_t n = static_cast<int64_t>(images.size());
   const std::vector<int> taps = {backbone_.flatten_layer_index};
   Matrix out;

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "data/image.h"
@@ -19,6 +20,11 @@
 namespace goggles::features {
 
 /// \brief Wraps a (pre-trained) VggMini and extracts intermediate features.
+///
+/// Extraction entry points are thread-safe: the backbone's layers cache
+/// activations during Forward, so every forward pass is serialized on an
+/// internal mutex (one extractor is typically shared by many consumers —
+/// e.g. several serving sessions fitted from the same backbone).
 class FeatureExtractor {
  public:
   /// Takes ownership of the backbone.
@@ -49,8 +55,10 @@ class FeatureExtractor {
 
  private:
   // Mutable because Layer::Forward caches activations; extraction is
-  // logically const.
+  // logically const. forward_mutex_ serializes those cache mutations
+  // across threads sharing this extractor.
   mutable nn::VggMini backbone_;
+  mutable std::mutex forward_mutex_;
 };
 
 }  // namespace goggles::features

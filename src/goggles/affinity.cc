@@ -8,10 +8,48 @@
 #include "util/string_util.h"
 
 namespace goggles {
+namespace {
+
+/// Position vectors of one filter map, transposed to position-major and
+/// L2-normalized — the shared representation of Prepare() (pool side) and
+/// ExtractQueryFeatures() (query side).
+std::vector<float> NormalizedPositions(const Tensor& fmap, int channels,
+                                       int area) {
+  std::vector<float> pos(static_cast<size_t>(area) * channels);
+  for (int p = 0; p < area; ++p) {
+    float* row = pos.data() + static_cast<size_t>(p) * channels;
+    for (int ch = 0; ch < channels; ++ch) {
+      row[ch] = fmap[static_cast<int64_t>(ch) * area + p];
+    }
+    NormalizeF(row, channels);
+  }
+  return pos;
+}
+
+/// Eq. 2 core: max cosine between `proto` and each of `area` normalized
+/// position rows.
+float MaxCosineOverPositions(const std::vector<float>& positions,
+                             const float* proto, int channels) {
+  const int area = static_cast<int>(positions.size()) /
+                   std::max(channels, 1);
+  float best = -1.0f;
+  for (int p = 0; p < area; ++p) {
+    const float dot =
+        DotF(positions.data() + static_cast<size_t>(p) * channels, proto,
+             channels);
+    if (dot > best) best = dot;
+  }
+  return best;
+}
+
+}  // namespace
 
 Status PrototypeAffinitySource::Prepare(const std::vector<data::Image>& images) {
   const int n = static_cast<int>(images.size());
-  if (n == num_images_) return Status::OK();  // already prepared
+  const uint64_t fingerprint = data::FingerprintImages(images);
+  if (n == num_images_ && fingerprint == fingerprint_) {
+    return Status::OK();  // already prepared for this exact dataset
+  }
 
   GOGGLES_ASSIGN_OR_RETURN(std::vector<std::vector<Tensor>> maps,
                            extractor_->PoolFeatureMaps(images));
@@ -32,16 +70,8 @@ Status PrototypeAffinitySource::Prepare(const std::vector<data::Image>& images) 
       const int c = data.channels;
       const int area = data.area;
 
-      // Position vectors, transposed to position-major and L2-normalized.
-      auto& pos = data.positions[static_cast<size_t>(i)];
-      pos.resize(static_cast<size_t>(area) * c);
-      for (int p = 0; p < area; ++p) {
-        float* row = pos.data() + static_cast<size_t>(p) * c;
-        for (int ch = 0; ch < c; ++ch) {
-          row[ch] = fmap[static_cast<int64_t>(ch) * area + p];
-        }
-        NormalizeF(row, c);
-      }
+      data.positions[static_cast<size_t>(i)] =
+          NormalizedPositions(fmap, c, area);
 
       // Top-Z prototypes, L2-normalized.
       std::vector<features::Prototype> protos =
@@ -58,6 +88,33 @@ Status PrototypeAffinitySource::Prepare(const std::vector<data::Image>& images) 
     });
   }
   num_images_ = n;
+  fingerprint_ = fingerprint;
+  return Status::OK();
+}
+
+Status PrototypeAffinitySource::Restore(std::vector<LayerData> layers,
+                                        int num_images, uint64_t fingerprint) {
+  if (num_images <= 0) {
+    return Status::InvalidArgument(
+        "PrototypeAffinitySource::Restore: need a positive pool size");
+  }
+  if (static_cast<int>(layers.size()) != num_layers()) {
+    return Status::InvalidArgument(StrFormat(
+        "PrototypeAffinitySource::Restore: %zu layers in artifact vs %d "
+        "pool layers in the extractor",
+        layers.size(), num_layers()));
+  }
+  for (const LayerData& data : layers) {
+    if (static_cast<int>(data.prototypes.size()) != num_images ||
+        static_cast<int>(data.num_prototypes.size()) != num_images) {
+      return Status::InvalidArgument(
+          "PrototypeAffinitySource::Restore: per-image cache size does not "
+          "match the pool size");
+    }
+  }
+  layers_ = std::move(layers);
+  num_images_ = num_images;
+  fingerprint_ = fingerprint;
   return Status::OK();
 }
 
@@ -71,13 +128,63 @@ float PrototypeAffinitySource::Score(int layer, int z, int i, int j) const {
   const float* proto =
       data.prototypes[static_cast<size_t>(j)].data() +
       static_cast<size_t>(zz) * c;
-  const auto& pos = data.positions[static_cast<size_t>(i)];
-  float best = -1.0f;
-  for (int p = 0; p < data.area; ++p) {
-    const float dot = DotF(pos.data() + static_cast<size_t>(p) * c, proto, c);
-    if (dot > best) best = dot;
+  return MaxCosineOverPositions(data.positions[static_cast<size_t>(i)], proto,
+                                c);
+}
+
+Result<std::vector<PrototypeAffinitySource::QueryFeatures>>
+PrototypeAffinitySource::ExtractQueryFeatures(
+    const std::vector<data::Image>& images) const {
+  if (num_images_ <= 0) {
+    return Status::Internal(
+        "PrototypeAffinitySource::ExtractQueryFeatures: source not prepared");
   }
-  return best;
+  if (images.empty()) {
+    return Status::InvalidArgument(
+        "PrototypeAffinitySource::ExtractQueryFeatures: no images");
+  }
+  GOGGLES_ASSIGN_OR_RETURN(std::vector<std::vector<Tensor>> maps,
+                           extractor_->PoolFeatureMaps(images));
+  const int n = static_cast<int>(images.size());
+  std::vector<QueryFeatures> out(static_cast<size_t>(n));
+  for (int layer = 0; layer < num_layers(); ++layer) {
+    const auto& layer_maps = maps[static_cast<size_t>(layer)];
+    const int channels = static_cast<int>(layer_maps[0].dim(0));
+    if (channels != layers_[static_cast<size_t>(layer)].channels) {
+      return Status::InvalidArgument(StrFormat(
+          "ExtractQueryFeatures: layer %d channel mismatch (query %d vs "
+          "pool %d)",
+          layer, channels, layers_[static_cast<size_t>(layer)].channels));
+    }
+  }
+  ParallelFor(0, n, [&](int64_t i) {
+    QueryFeatures& q = out[static_cast<size_t>(i)];
+    q.positions.resize(static_cast<size_t>(num_layers()));
+    for (int layer = 0; layer < num_layers(); ++layer) {
+      const Tensor& fmap =
+          maps[static_cast<size_t>(layer)][static_cast<size_t>(i)];
+      const int c = static_cast<int>(fmap.dim(0));
+      const int area = static_cast<int>(fmap.dim(1) * fmap.dim(2));
+      q.positions[static_cast<size_t>(layer)] =
+          NormalizedPositions(fmap, c, area);
+    }
+  });
+  return out;
+}
+
+float PrototypeAffinitySource::ScoreQuery(int layer, int z,
+                                          const QueryFeatures& query,
+                                          int j) const {
+  const LayerData& data = layers_[static_cast<size_t>(layer)];
+  const int c = data.channels;
+  const int num_protos = data.num_prototypes[static_cast<size_t>(j)];
+  if (num_protos == 0) return 0.0f;
+  const int zz = z % num_protos;
+  const float* proto =
+      data.prototypes[static_cast<size_t>(j)].data() +
+      static_cast<size_t>(zz) * c;
+  return MaxCosineOverPositions(query.positions[static_cast<size_t>(layer)],
+                                proto, c);
 }
 
 PrototypeAffinityFunction::PrototypeAffinityFunction(

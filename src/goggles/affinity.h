@@ -44,27 +44,8 @@ class AffinityFunction {
 /// per layer. One instance is shared by all functions of one library.
 class PrototypeAffinitySource {
  public:
-  PrototypeAffinitySource(std::shared_ptr<features::FeatureExtractor> extractor,
-                          int top_z)
-      : extractor_(std::move(extractor)), top_z_(top_z) {}
-
-  /// \brief Extracts and normalizes features for `images` (idempotent per
-  /// dataset: re-preparing with a different image count re-runs).
-  Status Prepare(const std::vector<data::Image>& images);
-
-  int num_layers() const { return extractor_->num_pool_layers(); }
-  int top_z() const { return top_z_; }
-  int num_images() const { return num_images_; }
-
-  /// \brief Eq. 2: max_{h,w} cos(v^z_j, v^{(h,w)}_i) at `layer`.
-  ///
-  /// When image j has fewer than Z unique prototypes at this layer, the
-  /// prototype index wraps around (documented deviation: the paper drops
-  /// duplicates, leaving some functions undefined for that image; wrapping
-  /// keeps the affinity matrix rectangular).
-  float Score(int layer, int z, int i, int j) const;
-
- private:
+  /// \brief Cached per-layer state for one prepared pool. Public so the
+  /// serving artifact store can persist and restore a fitted session.
   struct LayerData {
     int channels = 0;
     int area = 0;  // H * W
@@ -75,9 +56,65 @@ class PrototypeAffinitySource {
     std::vector<int> num_prototypes;
   };
 
+  /// \brief Query-side state for an image *outside* the prepared pool:
+  /// its normalized position vectors at every layer. Prototypes are not
+  /// needed on the query side — Eq. 2 takes the prototype from the pool
+  /// image and searches over the query image's positions.
+  struct QueryFeatures {
+    std::vector<std::vector<float>> positions;  // [layer] -> area x channels
+  };
+
+  PrototypeAffinitySource(std::shared_ptr<features::FeatureExtractor> extractor,
+                          int top_z)
+      : extractor_(std::move(extractor)), top_z_(top_z) {}
+
+  /// \brief Extracts and normalizes features for `images`. Idempotent per
+  /// dataset: re-preparing with the same images is a no-op, keyed on a
+  /// content fingerprint (not just the image count) so a different
+  /// same-sized dataset re-runs extraction instead of reusing stale caches.
+  Status Prepare(const std::vector<data::Image>& images);
+
+  int num_layers() const { return extractor_->num_pool_layers(); }
+  int top_z() const { return top_z_; }
+  int num_images() const { return num_images_; }
+
+  /// \brief Content fingerprint of the prepared pool (0 until prepared).
+  uint64_t fingerprint() const { return fingerprint_; }
+
+  /// \brief The prepared per-layer caches (serving artifact export).
+  const std::vector<LayerData>& layers() const { return layers_; }
+
+  /// \brief Restores a prepared state previously captured via layers(),
+  /// bypassing feature extraction (serving artifact import). The layer
+  /// count must match the extractor's pool-layer count.
+  Status Restore(std::vector<LayerData> layers, int num_images,
+                 uint64_t fingerprint);
+
+  /// \brief Eq. 2: max_{h,w} cos(v^z_j, v^{(h,w)}_i) at `layer`.
+  ///
+  /// When image j has fewer than Z unique prototypes at this layer, the
+  /// prototype index wraps around (documented deviation: the paper drops
+  /// duplicates, leaving some functions undefined for that image; wrapping
+  /// keeps the affinity matrix rectangular).
+  float Score(int layer, int z, int i, int j) const;
+
+  /// \brief Extracts query-side features for images outside the pool,
+  /// using the exact normalization applied by Prepare() so query scores
+  /// are bit-identical to pool scores for the same image. Thread-safe:
+  /// the backbone forward pass serializes inside FeatureExtractor.
+  Result<std::vector<QueryFeatures>> ExtractQueryFeatures(
+      const std::vector<data::Image>& images) const;
+
+  /// \brief Eq. 2 for the ordered pair (query, pool image j): the
+  /// prototype comes from pool image j, the max runs over the query's
+  /// position vectors at `layer`.
+  float ScoreQuery(int layer, int z, const QueryFeatures& query, int j) const;
+
+ private:
   std::shared_ptr<features::FeatureExtractor> extractor_;
   int top_z_;
   int num_images_ = -1;
+  uint64_t fingerprint_ = 0;
   std::vector<LayerData> layers_;
 };
 

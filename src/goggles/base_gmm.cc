@@ -127,6 +127,48 @@ GmmState InitState(const Matrix& x, int k, Rng* rng, double var_floor) {
 
 }  // namespace
 
+Status DiagonalGmm::SetParameters(Matrix means, Matrix variances,
+                                  std::vector<double> weights) {
+  if (means.rows() < 1 || means.cols() < 1) {
+    return Status::InvalidArgument("DiagonalGmm::SetParameters: empty means");
+  }
+  if (variances.rows() != means.rows() || variances.cols() != means.cols()) {
+    return Status::InvalidArgument(
+        "DiagonalGmm::SetParameters: means/variances shape mismatch");
+  }
+  if (static_cast<int64_t>(weights.size()) != means.rows()) {
+    return Status::InvalidArgument(
+        "DiagonalGmm::SetParameters: weights length must equal K");
+  }
+  for (int64_t c = 0; c < variances.rows(); ++c) {
+    for (int64_t j = 0; j < variances.cols(); ++j) {
+      if (!(variances(c, j) > 0.0) || !std::isfinite(variances(c, j)) ||
+          !std::isfinite(means(c, j))) {
+        return Status::InvalidArgument(
+            "DiagonalGmm::SetParameters: means must be finite and variances "
+            "finite and positive");
+      }
+    }
+  }
+  double weight_sum = 0.0;
+  for (double w : weights) {
+    if (!std::isfinite(w) || w < 0.0) {
+      return Status::InvalidArgument(
+          "DiagonalGmm::SetParameters: weights must be finite and "
+          "non-negative");
+    }
+    weight_sum += w;
+  }
+  if (!(weight_sum > 0.0)) {
+    return Status::InvalidArgument(
+        "DiagonalGmm::SetParameters: weights must not all be zero");
+  }
+  means_ = std::move(means);
+  variances_ = std::move(variances);
+  weights_ = std::move(weights);
+  return Status::OK();
+}
+
 Status DiagonalGmm::Fit(const Matrix& x) {
   if (x.rows() < config_.num_components) {
     return Status::InvalidArgument(

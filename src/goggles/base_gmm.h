@@ -29,10 +29,19 @@ struct GmmConfig {
 /// \brief Diagonal-covariance Gaussian mixture fit with EM.
 class DiagonalGmm {
  public:
+  /// Default-constructs an unfitted model (for SetParameters restore).
+  DiagonalGmm() = default;
+
   explicit DiagonalGmm(GmmConfig config) : config_(config) {}
 
   /// \brief Fits the mixture to `x` (rows = samples).
   Status Fit(const Matrix& x);
+
+  /// \brief Installs externally-stored parameters (serving artifacts),
+  /// making PredictProba available without a Fit() call. `means` and
+  /// `variances` are K x D; `weights` has K entries.
+  Status SetParameters(Matrix means, Matrix variances,
+                       std::vector<double> weights);
 
   /// \brief Posterior responsibilities P(y = k | s) for each row (Eq. 8).
   Result<Matrix> PredictProba(const Matrix& x) const;

@@ -75,6 +75,45 @@ void MStep(const Matrix& b, const Matrix& log_resp, double smoothing,
 
 }  // namespace
 
+Status BernoulliMixture::SetParameters(Matrix params,
+                                       std::vector<double> weights,
+                                       double final_log_likelihood) {
+  if (params.rows() < 1 || params.cols() < 1) {
+    return Status::InvalidArgument(
+        "BernoulliMixture::SetParameters: empty parameter matrix");
+  }
+  if (static_cast<int64_t>(weights.size()) != params.rows()) {
+    return Status::InvalidArgument(
+        "BernoulliMixture::SetParameters: weights length must equal K");
+  }
+  for (int64_t c = 0; c < params.rows(); ++c) {
+    for (int64_t j = 0; j < params.cols(); ++j) {
+      if (!(params(c, j) > 0.0) || !(params(c, j) < 1.0)) {
+        return Status::InvalidArgument(
+            "BernoulliMixture::SetParameters: parameters must lie strictly "
+            "inside (0, 1)");
+      }
+    }
+  }
+  double weight_sum = 0.0;
+  for (double w : weights) {
+    if (!std::isfinite(w) || w < 0.0) {
+      return Status::InvalidArgument(
+          "BernoulliMixture::SetParameters: weights must be finite and "
+          "non-negative");
+    }
+    weight_sum += w;
+  }
+  if (!(weight_sum > 0.0)) {
+    return Status::InvalidArgument(
+        "BernoulliMixture::SetParameters: weights must not all be zero");
+  }
+  params_ = std::move(params);
+  weights_ = std::move(weights);
+  final_ll_ = final_log_likelihood;
+  return Status::OK();
+}
+
 Status BernoulliMixture::Fit(const Matrix& b) {
   const int64_t n = b.rows();
   if (n < config_.num_components) {

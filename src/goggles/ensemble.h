@@ -27,11 +27,21 @@ struct BernoulliMixtureConfig {
 /// \brief Multivariate Bernoulli mixture (Eq. 7) fit with EM (Eq. 11).
 class BernoulliMixture {
  public:
+  /// Default-constructs an unfitted model (for SetParameters restore).
+  BernoulliMixture() = default;
+
   explicit BernoulliMixture(BernoulliMixtureConfig config) : config_(config) {}
 
   /// \brief Fits to binary matrix `b` (values in [0, 1]; fractional values
   /// are treated as soft memberships, used by the no-one-hot ablation).
   Status Fit(const Matrix& b);
+
+  /// \brief Installs externally-stored parameters (serving artifacts),
+  /// making PredictProba available without a Fit() call. `params` is
+  /// K x L with entries strictly inside (0, 1); `final_log_likelihood`
+  /// restores the recorded training log-likelihood for reporting.
+  Status SetParameters(Matrix params, std::vector<double> weights,
+                       double final_log_likelihood = 0.0);
 
   /// \brief Posterior responsibilities per row.
   Result<Matrix> PredictProba(const Matrix& b) const;

@@ -45,6 +45,42 @@ struct LabelingResult {
   double ensemble_log_likelihood = 0.0;
 };
 
+/// \brief The fitted state of one labeling run: every base GMM, the
+/// Bernoulli ensemble, and the development-set cluster-to-class mappings
+/// of both layers. Captured by HierarchicalLabeler::Fit so the expensive
+/// EM fits can be persisted (serve/ artifacts) and reused to label new
+/// instances online via Infer() — evaluation only, no refit.
+struct FittedHierarchicalModel {
+  int num_classes = 0;
+  /// Pool size N the model was fitted on; new affinity rows must have
+  /// num_functions() * pool_size columns.
+  int64_t pool_size = 0;
+  /// Design-choice flags the model was fitted under (see
+  /// HierarchicalConfig).
+  bool one_hot_lp = true;
+  bool use_ensemble = true;
+  /// One fitted diagonal GMM per affinity function, paired with its
+  /// development-set cluster-to-class mapping.
+  std::vector<DiagonalGmm> base_models;
+  std::vector<std::vector<int>> base_mappings;
+  /// Fitted ensemble + its mapping (unused when !use_ensemble).
+  BernoulliMixture ensemble;
+  std::vector<int> ensemble_mapping;
+
+  int64_t num_functions() const {
+    return static_cast<int64_t>(base_models.size());
+  }
+  bool fitted() const { return !base_models.empty(); }
+
+  /// \brief Evaluates the fitted stack on new instances without refitting.
+  ///
+  /// \param affinity_rows M x (alpha * pool_size): one row per new
+  ///        instance in the §2.2 layout, scored against the *fitted pool*.
+  /// For rows taken from the fitted affinity matrix this reproduces the
+  /// Fit-time labels bit-for-bit (posterior evaluation is deterministic).
+  Result<LabelingResult> Infer(const Matrix& affinity_rows) const;
+};
+
 /// \brief Runs the full §4 inference stack on an affinity matrix.
 class HierarchicalLabeler {
  public:
@@ -57,10 +93,14 @@ class HierarchicalLabeler {
   /// \param dev_indices  rows with known labels (the development set).
   /// \param dev_labels   their classes.
   /// \param num_classes  K.
+  /// \param fitted_out   optional: receives the fitted model state for
+  ///        persistence / online inference.
   Result<LabelingResult> Fit(const Matrix& affinity,
                              const std::vector<int>& dev_indices,
                              const std::vector<int>& dev_labels,
-                             int num_classes) const;
+                             int num_classes,
+                             FittedHierarchicalModel* fitted_out = nullptr)
+      const;
 
   const HierarchicalConfig& config() const { return config_; }
 

@@ -34,8 +34,16 @@ Result<Matrix> GogglesPipeline::BuildAffinity(
   if (fns.empty()) {
     return Status::InvalidArgument("GogglesPipeline: no affinity functions");
   }
-  for (AffinityFunction* f : fns) {
-    GOGGLES_RETURN_NOT_OK(f->Prepare(images));
+  // ActiveFunctions() lists the prototype-library functions first; they
+  // all delegate Prepare to the one shared source, whose idempotence
+  // check fingerprints the dataset — prepare it once instead of once per
+  // function.
+  const size_t num_library = std::min(fns.size(), library_.functions.size());
+  if (num_library > 0) {
+    GOGGLES_RETURN_NOT_OK(library_.source->Prepare(images));
+  }
+  for (size_t i = num_library; i < fns.size(); ++i) {
+    GOGGLES_RETURN_NOT_OK(fns[i]->Prepare(images));
   }
   return BuildAffinityMatrix(fns, static_cast<int>(images.size()));
 }
@@ -43,14 +51,15 @@ Result<Matrix> GogglesPipeline::BuildAffinity(
 Result<LabelingResult> GogglesPipeline::Label(
     const std::vector<data::Image>& images,
     const std::vector<int>& dev_indices, const std::vector<int>& dev_labels,
-    int num_classes) const {
+    int num_classes, FittedHierarchicalModel* fitted_out) const {
   if (dev_indices.size() != dev_labels.size()) {
     return Status::InvalidArgument(
         "GogglesPipeline::Label: dev indices/labels size mismatch");
   }
   GOGGLES_ASSIGN_OR_RETURN(Matrix affinity, BuildAffinity(images));
   HierarchicalLabeler labeler(config_.inference);
-  return labeler.Fit(affinity, dev_indices, dev_labels, num_classes);
+  return labeler.Fit(affinity, dev_indices, dev_labels, num_classes,
+                     fitted_out);
 }
 
 }  // namespace goggles

@@ -46,10 +46,14 @@ class GogglesPipeline {
   /// \param dev_indices positions of development examples within `images`.
   /// \param dev_labels  their classes.
   /// \param num_classes K.
+  /// \param fitted_out  optional: receives the fitted hierarchical model
+  ///        (persisted by serve/ sessions for online labeling).
   Result<LabelingResult> Label(const std::vector<data::Image>& images,
                                const std::vector<int>& dev_indices,
                                const std::vector<int>& dev_labels,
-                               int num_classes) const;
+                               int num_classes,
+                               FittedHierarchicalModel* fitted_out = nullptr)
+      const;
 
   /// \brief Registers an additional user-supplied affinity function,
   /// appended after the prototype library (see examples/custom_affinity).
@@ -57,6 +61,10 @@ class GogglesPipeline {
 
   /// \brief Number of affinity functions the pipeline will use.
   int num_functions() const;
+
+  /// \brief The prototype affinity library (its shared source holds the
+  /// prepared pool caches once Label/BuildAffinity has run).
+  const AffinityLibrary& library() const { return library_; }
 
   const GogglesConfig& config() const { return config_; }
 

@@ -3,24 +3,17 @@
 #include <cstdint>
 #include <fstream>
 
+#include "util/binary_io.h"
 #include "util/string_util.h"
 
 namespace goggles::nn {
 namespace {
 
+using io::ReadPod;
+using io::WritePod;
+
 constexpr char kMagic[4] = {'G', 'G', 'L', 'W'};
 constexpr uint32_t kVersion = 1;
-
-template <typename T>
-void WritePod(std::ofstream& out, const T& value) {
-  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
-}
-
-template <typename T>
-bool ReadPod(std::ifstream& in, T* value) {
-  in.read(reinterpret_cast<char*>(value), sizeof(T));
-  return in.good();
-}
 
 }  // namespace
 

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "goggles/affinity.h"
+#include "goggles/hierarchical.h"
+#include "linalg/matrix.h"
+#include "util/status.h"
+
+/// \file artifact.h
+/// \brief Persistent labeling artifacts: the versioned binary format that
+/// captures one fitted labeling session so it can be served without
+/// refitting.
+///
+/// An artifact bundles (1) the prototype/position caches of the prepared
+/// pool (`PrototypeAffinitySource::LayerData`), (2) every fitted base GMM
+/// and the Bernoulli ensemble with their development-set cluster-to-class
+/// mappings (`FittedHierarchicalModel`), and (3) the pool's probabilistic
+/// labels.
+///
+/// ## On-disk format (version 1)
+///
+/// ```
+/// magic "GGSA" | u32 version | u32 section_count
+/// per section: u32 tag | u64 payload_bytes | u32 crc32(payload) | payload
+/// ```
+///
+/// Sections are CRC-32 checked individually, so truncation and corruption
+/// are detected before any payload is interpreted. Versioning policy:
+/// unknown section tags are skipped on load (forward-compatible additions);
+/// a new `version` is only minted when an existing section's payload
+/// layout changes (breaking), and loaders reject versions they don't know.
+
+namespace goggles::serve {
+
+/// \brief In-memory form of a persisted labeling session.
+struct Artifact {
+  static constexpr uint32_t kFormatVersion = 1;
+
+  /// Prototype library shape: Z and the backbone's pool-layer count.
+  int top_z = 0;
+  int num_layers = 0;
+  /// Content fingerprint of the fitted pool (staleness detection).
+  uint64_t pool_fingerprint = 0;
+
+  /// Fitted inference stack (includes num_classes / pool_size / flags).
+  FittedHierarchicalModel model;
+
+  /// Prepared pool caches of the shared affinity source.
+  std::vector<PrototypeAffinitySource::LayerData> source_layers;
+
+  /// The pool's labels from the fitting run (serving stats / warm reads).
+  Matrix pool_soft_labels;
+  std::vector<int> pool_hard_labels;
+
+  /// \brief Writes the artifact to `path` (atomic at the filesystem's
+  /// rename granularity is NOT attempted; callers own tmp-file dances).
+  Status Save(const std::string& path) const;
+
+  /// \brief Loads and validates an artifact. Corrupt input (bad magic,
+  /// unsupported version, bad CRC, truncated sections) returns an error
+  /// Status — never crashes.
+  static Result<Artifact> Load(const std::string& path);
+};
+
+/// \brief Serializes a fitted session's state directly from the caller's
+/// storage — no copying into an Artifact first (the source caches are
+/// the dominant state; Session::Save streams them from its own members).
+Status SaveArtifactFile(
+    const std::string& path, int top_z, int num_layers,
+    uint64_t pool_fingerprint, const FittedHierarchicalModel& model,
+    const std::vector<PrototypeAffinitySource::LayerData>& source_layers,
+    const Matrix& pool_soft_labels,
+    const std::vector<int>& pool_hard_labels);
+
+}  // namespace goggles::serve

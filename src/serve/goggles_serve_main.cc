@@ -1,0 +1,133 @@
+/// \file goggles_serve_main.cc
+/// \brief The `goggles_serve` binary: loads a labeling artifact and
+/// answers newline-delimited JSON requests on stdin/stdout.
+///
+/// Usage:
+///   goggles_serve --artifact PATH [--workers N] [--queue N]
+///
+/// The backbone extractor is the pretrained VggMini (cached under
+/// $GOGGLES_CACHE_DIR, default /tmp/goggles_cache) — the same backbone
+/// the artifact was fitted with. Startup prints one `{"ok":true,...}`
+/// ready line to stderr; every request line then gets exactly one
+/// response line on stdout, in input order (see serve/service.h for the
+/// protocol).
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "eval/backbone.h"
+#include "serve/service.h"
+#include "serve/session.h"
+#include "util/timer.h"
+
+namespace {
+
+/// Strict positive-integer parse (no trailing garbage, no overflow) —
+/// same policy as the repo's env-knob parsing in util/env.cc.
+bool ParsePositiveInt(const char* text, long long max_value,
+                      long long* out) {
+  if (text == nullptr || *text == '\0') return false;
+  char* end = nullptr;
+  errno = 0;
+  const long long value = std::strtoll(text, &end, 10);
+  if (errno != 0 || end == text || *end != '\0' || value < 1 ||
+      value > max_value) {
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
+void PrintUsage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --artifact PATH [--workers N] [--queue N]\n"
+               "Serves newline-delimited JSON labeling requests on "
+               "stdin/stdout.\n"
+               "Ops: {\"op\":\"stats\"} | {\"op\":\"label\",\"image\":{...}} "
+               "| {\"op\":\"label_batch\",\"images\":[...]}\n",
+               argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace goggles;
+
+  std::string artifact_path;
+  serve::ServiceConfig config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (arg == "--artifact" && has_value) {
+      artifact_path = argv[++i];
+    } else if (arg == "--workers" && has_value) {
+      long long workers = 0;
+      if (!ParsePositiveInt(argv[++i], 1024, &workers)) {
+        std::fprintf(stderr, "error: --workers expects 1..1024, got '%s'\n",
+                     argv[i]);
+        return 2;
+      }
+      config.num_workers = static_cast<int>(workers);
+    } else if (arg == "--queue" && has_value) {
+      long long queue = 0;
+      if (!ParsePositiveInt(argv[++i], 1 << 20, &queue)) {
+        std::fprintf(stderr, "error: --queue expects 1..%d, got '%s'\n",
+                     1 << 20, argv[i]);
+        return 2;
+      }
+      config.queue_capacity = static_cast<size_t>(queue);
+    } else if (arg == "--help" || arg == "-h") {
+      PrintUsage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "error: unknown or incomplete argument '%s'\n",
+                   arg.c_str());
+      PrintUsage(argv[0]);
+      return 2;
+    }
+  }
+  if (artifact_path.empty()) {
+    std::fprintf(stderr, "error: --artifact is required\n");
+    PrintUsage(argv[0]);
+    return 2;
+  }
+
+  WallTimer timer;
+  eval::BackboneOptions backbone_options;
+  auto extractor = eval::GetPretrainedExtractor(backbone_options);
+  if (!extractor.ok()) {
+    std::fprintf(stderr, "error: backbone unavailable: %s\n",
+                 extractor.status().ToString().c_str());
+    return 1;
+  }
+
+  auto session = serve::Session::Load(artifact_path, *extractor);
+  if (!session.ok()) {
+    std::fprintf(stderr, "error: cannot load artifact: %s\n",
+                 session.status().ToString().c_str());
+    return 1;
+  }
+
+  std::fprintf(stderr,
+               "{\"ok\":true,\"ready\":true,\"artifact\":\"%s\","
+               "\"pool_size\":%lld,\"num_classes\":%d,"
+               "\"num_functions\":%lld,\"startup_seconds\":%.2f}\n",
+               artifact_path.c_str(),
+               static_cast<long long>(session->pool_size()),
+               session->num_classes(),
+               static_cast<long long>(session->num_functions()),
+               timer.ElapsedSeconds());
+
+  serve::Service service(
+      std::make_shared<const serve::Session>(std::move(*session)), config);
+  goggles::Status status = service.Run(std::cin, std::cout);
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

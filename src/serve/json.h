@@ -1,0 +1,87 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+/// \file json.h
+/// \brief Minimal JSON value type for the serving front-end's
+/// newline-delimited request/response protocol. Supports the full JSON
+/// grammar (objects, arrays, strings with escapes, numbers, bool, null)
+/// with a recursion-depth guard; numbers are doubles throughout.
+
+namespace goggles::serve {
+
+/// \brief A parsed JSON value (tagged union).
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;  // null
+  JsonValue(bool b) : type_(Type::kBool), bool_(b) {}          // NOLINT
+  JsonValue(double d) : type_(Type::kNumber), number_(d) {}    // NOLINT
+  JsonValue(int i)                                             // NOLINT
+      : type_(Type::kNumber), number_(static_cast<double>(i)) {}
+  JsonValue(int64_t i)                                         // NOLINT
+      : type_(Type::kNumber), number_(static_cast<double>(i)) {}
+  JsonValue(std::string s)                                     // NOLINT
+      : type_(Type::kString), string_(std::move(s)) {}
+  JsonValue(const char* s) : type_(Type::kString), string_(s) {}  // NOLINT
+
+  static JsonValue MakeArray() {
+    JsonValue v;
+    v.type_ = Type::kArray;
+    return v;
+  }
+  static JsonValue MakeObject() {
+    JsonValue v;
+    v.type_ = Type::kObject;
+    return v;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool bool_value() const { return bool_; }
+  double number() const { return number_; }
+  const std::string& str() const { return string_; }
+  const std::vector<JsonValue>& items() const { return items_; }
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+
+  /// \brief Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+
+  /// \brief Appends an array element (converts a null value to an array).
+  void Append(JsonValue v);
+
+  /// \brief Sets an object member, replacing an existing key (converts a
+  /// null value to an object). Insertion order is preserved by Dump().
+  void Set(const std::string& key, JsonValue v);
+
+  /// \brief Compact JSON serialization.
+  std::string Dump() const;
+
+  /// \brief Parses a complete JSON document (trailing garbage is an
+  /// error).
+  static Result<JsonValue> Parse(const std::string& text);
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+}  // namespace goggles::serve

@@ -1,0 +1,260 @@
+#include "serve/service.h"
+
+#include <cmath>
+#include <map>
+#include <thread>
+#include <vector>
+
+namespace goggles::serve {
+namespace {
+
+JsonValue ErrorResponse(const std::string& message) {
+  JsonValue response = JsonValue::MakeObject();
+  response.Set("ok", JsonValue(false));
+  response.Set("error", JsonValue(message));
+  return response;
+}
+
+/// Decodes {"channels":C,"height":H,"width":W,"pixels":[...]}.
+Result<data::Image> ParseImage(const JsonValue& value) {
+  if (!value.is_object()) {
+    return Status::InvalidArgument("image must be a JSON object");
+  }
+  const JsonValue* channels = value.Find("channels");
+  const JsonValue* height = value.Find("height");
+  const JsonValue* width = value.Find("width");
+  const JsonValue* pixels = value.Find("pixels");
+  if (channels == nullptr || !channels->is_number() || height == nullptr ||
+      !height->is_number() || width == nullptr || !width->is_number() ||
+      pixels == nullptr || !pixels->is_array()) {
+    return Status::InvalidArgument(
+        "image needs numeric channels/height/width and a pixels array");
+  }
+  // Dimensions arrive as doubles: reject non-integral / out-of-range
+  // values before casting (float->int overflow is undefined behavior).
+  constexpr double kMaxDim = 65536.0;
+  auto as_dim = [](double v) -> int {
+    if (!std::isfinite(v) || v < 1.0 || v > kMaxDim || v != std::floor(v)) {
+      return -1;
+    }
+    return static_cast<int>(v);
+  };
+  const int c = as_dim(channels->number());
+  const int h = as_dim(height->number());
+  const int w = as_dim(width->number());
+  if (c < 1 || h < 1 || w < 1) {
+    return Status::InvalidArgument(
+        "image dimensions must be positive integers (at most 65536)");
+  }
+  const size_t expected = static_cast<size_t>(c) * static_cast<size_t>(h) *
+                          static_cast<size_t>(w);
+  if (pixels->items().size() != expected) {
+    return Status::InvalidArgument(
+        "pixels array length must equal channels*height*width");
+  }
+  data::Image image(c, h, w);
+  for (size_t i = 0; i < expected; ++i) {
+    const JsonValue& px = pixels->items()[i];
+    if (!px.is_number()) {
+      return Status::InvalidArgument("pixels must all be numbers");
+    }
+    image.pixels[i] = static_cast<float>(px.number());
+  }
+  return image;
+}
+
+JsonValue SoftRowToJson(const Matrix& soft, int64_t row) {
+  JsonValue arr = JsonValue::MakeArray();
+  for (int64_t k = 0; k < soft.cols(); ++k) arr.Append(JsonValue(soft(row, k)));
+  return arr;
+}
+
+}  // namespace
+
+Service::Service(std::shared_ptr<const Session> session, ServiceConfig config)
+    : session_(std::move(session)), config_(config) {
+  if (config_.num_workers < 1) config_.num_workers = 1;
+  if (config_.queue_capacity < 1) config_.queue_capacity = 1;
+}
+
+JsonValue Service::HandleRequest(const JsonValue& request) const {
+  requests_served_.fetch_add(1);
+  if (!request.is_object()) {
+    errors_.fetch_add(1);
+    return ErrorResponse("request must be a JSON object");
+  }
+  const JsonValue* op = request.Find("op");
+  if (op == nullptr || !op->is_string()) {
+    errors_.fetch_add(1);
+    return ErrorResponse("request needs a string 'op'");
+  }
+
+  if (op->str() == "stats") {
+    JsonValue response = JsonValue::MakeObject();
+    response.Set("ok", JsonValue(true));
+    response.Set("pool_size", JsonValue(session_->pool_size()));
+    response.Set("num_classes", JsonValue(session_->num_classes()));
+    response.Set("num_functions", JsonValue(session_->num_functions()));
+    response.Set("requests_served",
+                 JsonValue(static_cast<double>(requests_served_.load())));
+    response.Set("errors", JsonValue(static_cast<double>(errors_.load())));
+    return response;
+  }
+
+  if (op->str() == "label") {
+    const JsonValue* image_json = request.Find("image");
+    if (image_json == nullptr) {
+      errors_.fetch_add(1);
+      return ErrorResponse("label request needs an 'image'");
+    }
+    Result<data::Image> image = ParseImage(*image_json);
+    if (!image.ok()) {
+      errors_.fetch_add(1);
+      return ErrorResponse(image.status().message());
+    }
+    Result<OnlineLabel> label = session_->LabelOne(*image);
+    if (!label.ok()) {
+      errors_.fetch_add(1);
+      return ErrorResponse(label.status().message());
+    }
+    JsonValue response = JsonValue::MakeObject();
+    response.Set("ok", JsonValue(true));
+    response.Set("label", JsonValue(label->hard));
+    JsonValue soft = JsonValue::MakeArray();
+    for (double p : label->soft) soft.Append(JsonValue(p));
+    response.Set("soft", std::move(soft));
+    return response;
+  }
+
+  if (op->str() == "label_batch") {
+    const JsonValue* images_json = request.Find("images");
+    if (images_json == nullptr || !images_json->is_array() ||
+        images_json->items().empty()) {
+      errors_.fetch_add(1);
+      return ErrorResponse("label_batch request needs a non-empty 'images'");
+    }
+    std::vector<data::Image> images;
+    images.reserve(images_json->items().size());
+    for (const JsonValue& item : images_json->items()) {
+      Result<data::Image> image = ParseImage(item);
+      if (!image.ok()) {
+        errors_.fetch_add(1);
+        return ErrorResponse(image.status().message());
+      }
+      images.push_back(std::move(*image));
+    }
+    Result<LabelingResult> result = session_->LabelBatch(images);
+    if (!result.ok()) {
+      errors_.fetch_add(1);
+      return ErrorResponse(result.status().message());
+    }
+    JsonValue response = JsonValue::MakeObject();
+    response.Set("ok", JsonValue(true));
+    JsonValue labels = JsonValue::MakeArray();
+    JsonValue soft = JsonValue::MakeArray();
+    for (int64_t i = 0; i < result->soft_labels.rows(); ++i) {
+      labels.Append(JsonValue(result->hard_labels[static_cast<size_t>(i)]));
+      soft.Append(SoftRowToJson(result->soft_labels, i));
+    }
+    response.Set("labels", std::move(labels));
+    response.Set("soft", std::move(soft));
+    return response;
+  }
+
+  errors_.fetch_add(1);
+  return ErrorResponse("unknown op '" + op->str() + "'");
+}
+
+std::string Service::HandleLine(const std::string& line) const {
+  Result<JsonValue> request = JsonValue::Parse(line);
+  if (!request.ok()) {
+    requests_served_.fetch_add(1);
+    errors_.fetch_add(1);
+    return ErrorResponse(request.status().message()).Dump();
+  }
+  return HandleRequest(*request).Dump();
+}
+
+Status Service::Run(std::istream& in, std::ostream& out) {
+  struct WorkItem {
+    uint64_t seq = 0;
+    std::string line;
+  };
+  BoundedQueue<WorkItem> queue(config_.queue_capacity);
+
+  // Completed responses, reassembled into input order by the writer.
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  std::map<uint64_t, std::string> done;
+  bool producers_finished = false;
+  uint64_t total_enqueued = 0;
+
+  // The reorder buffer is bounded too: a worker won't take new work
+  // while `done` holds queue_capacity finished responses (e.g. when the
+  // stdout consumer stalls), so total buffered responses stay at
+  // queue_capacity + num_workers. Blocking before Pop — never before the
+  // insert — keeps the writer's next-in-order response reachable.
+  const size_t max_done = config_.queue_capacity;
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(config_.num_workers));
+  for (int w = 0; w < config_.num_workers; ++w) {
+    workers.emplace_back([this, &queue, &done_mu, &done_cv, &done,
+                          max_done] {
+      while (true) {
+        {
+          std::unique_lock<std::mutex> lock(done_mu);
+          done_cv.wait(lock, [&] { return done.size() < max_done; });
+        }
+        std::optional<WorkItem> item = queue.Pop();
+        if (!item.has_value()) break;
+        std::string response = HandleLine(item->line);
+        {
+          std::lock_guard<std::mutex> lock(done_mu);
+          done.emplace(item->seq, std::move(response));
+        }
+        done_cv.notify_all();
+      }
+    });
+  }
+
+  std::thread writer([&] {
+    uint64_t next = 0;
+    std::unique_lock<std::mutex> lock(done_mu);
+    while (true) {
+      done_cv.wait(lock, [&] {
+        return done.count(next) > 0 ||
+               (producers_finished && next >= total_enqueued);
+      });
+      if (done.count(next) == 0) break;  // all input handled
+      std::string response = std::move(done[next]);
+      done.erase(next);
+      ++next;
+      done_cv.notify_all();  // frees workers blocked on the done bound
+      lock.unlock();
+      out << response << "\n" << std::flush;
+      lock.lock();
+    }
+  });
+
+  std::string line;
+  uint64_t seq = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;  // tolerate blank lines between requests
+    queue.Push(WorkItem{seq++, std::move(line)});
+    line.clear();
+  }
+  queue.Close();
+  for (std::thread& t : workers) t.join();
+  {
+    std::lock_guard<std::mutex> lock(done_mu);
+    producers_finished = true;
+    total_enqueued = seq;
+  }
+  done_cv.notify_all();
+  writer.join();
+
+  if (!out.good()) return Status::IOError("Service::Run: output write failed");
+  return Status::OK();
+}
+
+}  // namespace goggles::serve

@@ -1,0 +1,118 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <istream>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <ostream>
+#include <string>
+
+#include "serve/json.h"
+#include "serve/session.h"
+
+/// \file service.h
+/// \brief The `goggles_serve` request loop: newline-delimited JSON
+/// requests in, one JSON response line per request out (in input order),
+/// dispatched to a worker pool through a bounded queue so a flood of
+/// requests exerts backpressure on the reader instead of growing memory.
+///
+/// Protocol (one JSON object per line):
+///   {"op":"stats"}
+///   {"op":"label","image":{"channels":C,"height":H,"width":W,
+///                          "pixels":[...C*H*W floats...]}}
+///   {"op":"label_batch","images":[{...},{...}]}
+/// Responses always carry "ok" (true/false); errors carry "error".
+
+namespace goggles::serve {
+
+/// \brief Bounded multi-producer/multi-consumer queue. Push blocks while
+/// the queue is full (backpressure); Pop blocks while it is empty and
+/// returns nullopt once the queue is closed and drained.
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity) {}
+
+  /// \brief False iff the queue was closed before the item was accepted.
+  bool Push(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock,
+                   [this] { return closed_ || queue_.size() < capacity_; });
+    if (closed_) return false;
+    queue_.push_back(std::move(item));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+    if (queue_.empty()) return std::nullopt;  // closed and drained
+    T item = std::move(queue_.front());
+    queue_.pop_front();
+    not_full_.notify_one();
+    return item;
+  }
+
+  void Close() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable not_full_, not_empty_;
+  std::deque<T> queue_;
+  size_t capacity_;
+  bool closed_ = false;
+};
+
+/// \brief Service tuning knobs.
+struct ServiceConfig {
+  /// Worker threads handling requests. Each worker's labeling call
+  /// already fans out over ParallelFor internally, so a small pool
+  /// suffices to keep the pipeline busy while hiding per-request latency.
+  int num_workers = 2;
+  /// Bounded request-queue capacity (backpressure threshold).
+  size_t queue_capacity = 64;
+};
+
+/// \brief Serves labeling requests against one fitted Session.
+class Service {
+ public:
+  explicit Service(std::shared_ptr<const Session> session,
+                   ServiceConfig config = {});
+
+  /// \brief Handles one parsed request (also the unit tests' entry
+  /// point). Thread-safe.
+  JsonValue HandleRequest(const JsonValue& request) const;
+
+  /// \brief Handles one raw request line: parse + dispatch + serialize.
+  std::string HandleLine(const std::string& line) const;
+
+  /// \brief Pumps `in` to exhaustion: reads request lines, fans them out
+  /// over the worker pool, writes responses to `out` in input order.
+  /// Returns after every response is flushed.
+  Status Run(std::istream& in, std::ostream& out);
+
+  uint64_t requests_served() const { return requests_served_.load(); }
+
+ private:
+  std::shared_ptr<const Session> session_;
+  ServiceConfig config_;
+  mutable std::atomic<uint64_t> requests_served_{0};
+  mutable std::atomic<uint64_t> errors_{0};
+};
+
+}  // namespace goggles::serve

@@ -129,8 +129,42 @@ TEST_F(AffinityTest, PrepareIsIdempotent) {
   AffinityLibrary library = BuildPrototypeAffinityLibrary(extractor_, 2);
   ASSERT_TRUE(library.source->Prepare(images_).ok());
   const float before = library.source->Score(0, 0, 0, 1);
+  const uint64_t fingerprint = library.source->fingerprint();
   ASSERT_TRUE(library.source->Prepare(images_).ok());
   EXPECT_FLOAT_EQ(library.source->Score(0, 0, 0, 1), before);
+  EXPECT_EQ(library.source->fingerprint(), fingerprint);
+}
+
+// Regression test: Prepare() idempotence used to be keyed on image count
+// only, so re-preparing with a *different* same-sized dataset silently
+// reused the stale caches. It is now keyed on a content fingerprint.
+TEST_F(AffinityTest, PrepareDetectsSameCountContentChange) {
+  AffinityLibrary library = BuildPrototypeAffinityLibrary(extractor_, 2);
+  ASSERT_TRUE(library.source->Prepare(images_).ok());
+  const uint64_t first_fingerprint = library.source->fingerprint();
+
+  // Same image count, shifted content: variant i+1 instead of i.
+  std::vector<data::Image> shifted;
+  for (size_t i = 0; i < images_.size(); ++i) {
+    shifted.push_back(PatternImage(static_cast<int>(i) + 1));
+  }
+  ASSERT_TRUE(library.source->Prepare(shifted).ok());
+  EXPECT_NE(library.source->fingerprint(), first_fingerprint);
+
+  // The re-prepared source must agree with a source prepared on the
+  // shifted dataset from scratch — not with the stale caches.
+  AffinityLibrary fresh = BuildPrototypeAffinityLibrary(extractor_, 2);
+  ASSERT_TRUE(fresh.source->Prepare(shifted).ok());
+  for (int layer = 0; layer < library.source->num_layers(); ++layer) {
+    for (int i = 0; i < 3; ++i) {
+      for (int j = 0; j < 3; ++j) {
+        EXPECT_FLOAT_EQ(library.source->Score(layer, 1, i, j),
+                        fresh.source->Score(layer, 1, i, j))
+            << "stale cache at layer " << layer << " pair (" << i << ", "
+            << j << ")";
+      }
+    }
+  }
 }
 
 TEST(VectorCosineAffinityTest, MatchesCosine) {

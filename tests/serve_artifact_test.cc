@@ -1,0 +1,259 @@
+#include "serve/artifact.h"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "data/raster.h"
+#include "nn/vgg.h"
+#include "serve/session.h"
+
+/// Artifact round-trip and corruption handling: save -> load -> label
+/// must be bit-identical to the in-memory session; corrupt files must
+/// fail with a clean Status (never crash).
+
+namespace goggles {
+namespace {
+
+data::Image PatternImage(int variant) {
+  data::Image img(3, 32, 32, 0.1f);
+  switch (variant % 3) {
+    case 0:
+      data::DrawFilledCircle(&img, 16, 16, 6 + variant % 5, {1.0f, 0.2f, 0.2f});
+      break;
+    case 1:
+      data::DrawFilledRect(&img, 6, 6, 26, 26, {0.2f, 1.0f, 0.2f});
+      break;
+    default:
+      data::DrawCross(&img, 16, 16, 14, 3, {0.2f, 0.2f, 1.0f});
+      break;
+  }
+  return img;
+}
+
+std::shared_ptr<features::FeatureExtractor> MakeExtractor() {
+  nn::VggMiniConfig config;
+  config.stage_channels = {4, 8, 8, 8, 8};
+  config.num_classes = 4;
+  Result<nn::VggMini> model = nn::BuildVggMini(config);
+  model.status().Abort("vgg");
+  return std::make_shared<features::FeatureExtractor>(std::move(*model));
+}
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFile(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+class ServeArtifactTest : public ::testing::Test {
+ protected:
+  // One shared fitted session for the whole suite: fitting is the
+  // expensive part and every test only reads from it.
+  static void SetUpTestSuite() {
+    extractor_ = new std::shared_ptr<features::FeatureExtractor>(
+        MakeExtractor());
+    auto* pool = new std::vector<data::Image>();
+    for (int i = 0; i < 12; ++i) pool->push_back(PatternImage(i));
+    pool_ = pool;
+    auto* held_out = new std::vector<data::Image>();
+    for (int i = 12; i < 16; ++i) held_out->push_back(PatternImage(i));
+    held_out_ = held_out;
+    GogglesConfig config;
+    config.top_z = 3;
+    auto session = serve::Session::Fit(*extractor_, *pool_, {0, 1, 2, 3},
+                                       {0, 1, 0, 1}, 2, config);
+    session.status().Abort("Session::Fit");
+    session_ = new serve::Session(std::move(*session));
+  }
+
+  static void TearDownTestSuite() {
+    delete session_;
+    delete held_out_;
+    delete pool_;
+    delete extractor_;
+  }
+
+  static std::shared_ptr<features::FeatureExtractor>* extractor_;
+  static std::vector<data::Image>* pool_;
+  static std::vector<data::Image>* held_out_;
+  static serve::Session* session_;
+};
+
+std::shared_ptr<features::FeatureExtractor>* ServeArtifactTest::extractor_ =
+    nullptr;
+std::vector<data::Image>* ServeArtifactTest::pool_ = nullptr;
+std::vector<data::Image>* ServeArtifactTest::held_out_ = nullptr;
+serve::Session* ServeArtifactTest::session_ = nullptr;
+
+TEST_F(ServeArtifactTest, RoundTripLabelsAreBitIdentical) {
+  const std::string path = TempPath("roundtrip.ggsa");
+  ASSERT_TRUE(session_->Save(path).ok());
+
+  auto loaded = serve::Session::Load(path, *extractor_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->pool_size(), session_->pool_size());
+  EXPECT_EQ(loaded->num_classes(), session_->num_classes());
+  EXPECT_EQ(loaded->num_functions(), session_->num_functions());
+  EXPECT_EQ(loaded->pool_fingerprint(), session_->pool_fingerprint());
+
+  // Held-out labeling through the loaded artifact must be bit-identical
+  // to the in-memory session.
+  auto from_memory = session_->LabelBatch(*held_out_);
+  auto from_disk = loaded->LabelBatch(*held_out_);
+  ASSERT_TRUE(from_memory.ok()) << from_memory.status();
+  ASSERT_TRUE(from_disk.ok()) << from_disk.status();
+  ASSERT_EQ(from_memory->soft_labels.rows(), from_disk->soft_labels.rows());
+  ASSERT_EQ(from_memory->soft_labels.cols(), from_disk->soft_labels.cols());
+  for (int64_t i = 0; i < from_memory->soft_labels.rows(); ++i) {
+    for (int64_t k = 0; k < from_memory->soft_labels.cols(); ++k) {
+      EXPECT_EQ(from_memory->soft_labels(i, k), from_disk->soft_labels(i, k))
+          << "round-trip label mismatch at (" << i << ", " << k << ")";
+    }
+  }
+  EXPECT_EQ(from_memory->hard_labels, from_disk->hard_labels);
+  EXPECT_EQ(from_memory->ensemble_log_likelihood,
+            from_disk->ensemble_log_likelihood);
+
+  // The persisted pool labels survive too.
+  const Matrix& pool_soft = loaded->pool_result().soft_labels;
+  ASSERT_EQ(pool_soft.rows(), session_->pool_result().soft_labels.rows());
+  for (int64_t i = 0; i < pool_soft.rows(); ++i) {
+    for (int64_t k = 0; k < pool_soft.cols(); ++k) {
+      EXPECT_EQ(pool_soft(i, k), session_->pool_result().soft_labels(i, k));
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(ServeArtifactTest, MissingFileIsNotFound) {
+  auto loaded = serve::Session::Load(TempPath("does_not_exist.ggsa"),
+                                     *extractor_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(ServeArtifactTest, BadMagicIsRejected) {
+  const std::string path = TempPath("bad_magic.ggsa");
+  ASSERT_TRUE(session_->Save(path).ok());
+  std::string bytes = ReadFile(path);
+  ASSERT_GE(bytes.size(), 4u);
+  bytes[0] = 'X';
+  WriteFile(path, bytes);
+  auto loaded = serve::Artifact::Load(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+  EXPECT_NE(loaded.status().message().find("magic"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST_F(ServeArtifactTest, TruncationIsDetectedAtEveryPrefix) {
+  const std::string path = TempPath("truncated.ggsa");
+  ASSERT_TRUE(session_->Save(path).ok());
+  const std::string bytes = ReadFile(path);
+  ASSERT_GT(bytes.size(), 64u);
+  // A spread of truncation points: mid-header, mid-section-header,
+  // mid-payload, and one byte short of complete.
+  const size_t cuts[] = {0,  2,  4,  7,  11, 12, 20, bytes.size() / 4,
+                         bytes.size() / 2, bytes.size() - 1};
+  for (size_t cut : cuts) {
+    WriteFile(path, bytes.substr(0, cut));
+    auto loaded = serve::Artifact::Load(path);
+    EXPECT_FALSE(loaded.ok()) << "truncation at " << cut << " not detected";
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(ServeArtifactTest, BitFlipsFailTheCrc) {
+  const std::string path = TempPath("bitflip.ggsa");
+  ASSERT_TRUE(session_->Save(path).ok());
+  const std::string bytes = ReadFile(path);
+  // Flip one payload byte in several spots past the 12-byte file header;
+  // every section is CRC-checked, so each flip must be caught (either as
+  // a CRC mismatch or as a now-invalid section header).
+  for (size_t pos : {bytes.size() / 5, bytes.size() / 3, bytes.size() / 2,
+                     bytes.size() - 9}) {
+    std::string corrupted = bytes;
+    corrupted[pos] = static_cast<char>(corrupted[pos] ^ 0x5A);
+    WriteFile(path, corrupted);
+    auto loaded = serve::Artifact::Load(path);
+    EXPECT_FALSE(loaded.ok()) << "bit flip at " << pos << " not detected";
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(ServeArtifactTest, CorruptedSectionSizeFieldIsRejectedCleanly) {
+  const std::string path = TempPath("huge_size.ggsa");
+  ASSERT_TRUE(session_->Save(path).ok());
+  std::string bytes = ReadFile(path);
+  // First section header starts at offset 12 (magic + version + count):
+  // u32 tag, then the u64 payload size at offsets 16..23. Blow it up;
+  // the loader must reject it against the file length instead of
+  // attempting a ~2^64-byte allocation.
+  ASSERT_GT(bytes.size(), 24u);
+  for (size_t i = 16; i < 24; ++i) bytes[i] = static_cast<char>(0xFF);
+  WriteFile(path, bytes);
+  auto loaded = serve::Artifact::Load(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+  std::remove(path.c_str());
+}
+
+TEST_F(ServeArtifactTest, OutOfRangeMappingsAreRejected) {
+  // Craft artifacts whose cluster-to-class mappings are not permutations
+  // of [0, K): Load must reject them (ApplyMapping would otherwise index
+  // out of bounds).
+  const std::string good_path = TempPath("good_mapping.ggsa");
+  ASSERT_TRUE(session_->Save(good_path).ok());
+  auto artifact = serve::Artifact::Load(good_path);
+  ASSERT_TRUE(artifact.ok()) << artifact.status();
+
+  const std::string bad_path = TempPath("bad_mapping.ggsa");
+  {
+    serve::Artifact tampered = *artifact;
+    tampered.model.base_mappings[0] = {5, 7};  // out of [0, 2)
+    ASSERT_TRUE(tampered.Save(bad_path).ok());
+    EXPECT_FALSE(serve::Artifact::Load(bad_path).ok());
+  }
+  {
+    serve::Artifact tampered = *artifact;
+    tampered.model.ensemble_mapping = {1, 1};  // duplicate target
+    ASSERT_TRUE(tampered.Save(bad_path).ok());
+    EXPECT_FALSE(serve::Artifact::Load(bad_path).ok());
+  }
+  std::remove(good_path.c_str());
+  std::remove(bad_path.c_str());
+}
+
+TEST_F(ServeArtifactTest, UnsupportedVersionIsRejected) {
+  const std::string path = TempPath("bad_version.ggsa");
+  ASSERT_TRUE(session_->Save(path).ok());
+  std::string bytes = ReadFile(path);
+  bytes[4] = 99;  // version field follows the 4-byte magic
+  WriteFile(path, bytes);
+  auto loaded = serve::Artifact::Load(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("version"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST_F(ServeArtifactTest, SavingAnUnfittedSessionIsRejected) {
+  serve::Session unfitted;
+  EXPECT_FALSE(unfitted.Save(TempPath("unfitted.ggsa")).ok());
+  serve::Artifact empty;
+  EXPECT_FALSE(empty.Save(TempPath("empty.ggsa")).ok());
+}
+
+}  // namespace
+}  // namespace goggles

@@ -1,0 +1,297 @@
+#include "serve/service.h"
+
+#include <atomic>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/raster.h"
+#include "nn/vgg.h"
+#include "serve/json.h"
+
+/// The NDJSON front-end: JSON round-trips, bounded-queue semantics, and
+/// the request loop end-to-end against a fitted session.
+
+namespace goggles {
+namespace {
+
+using serve::BoundedQueue;
+using serve::JsonValue;
+
+// ---- JSON -----------------------------------------------------------------
+
+TEST(JsonTest, ParsesScalarsAndContainers) {
+  auto v = JsonValue::Parse(
+      R"({"a":1.5,"b":[true,null,"x"],"nested":{"k":-2e3}})");
+  ASSERT_TRUE(v.ok()) << v.status();
+  ASSERT_TRUE(v->is_object());
+  EXPECT_DOUBLE_EQ(v->Find("a")->number(), 1.5);
+  const JsonValue* b = v->Find("b");
+  ASSERT_TRUE(b != nullptr && b->is_array());
+  ASSERT_EQ(b->items().size(), 3u);
+  EXPECT_TRUE(b->items()[0].bool_value());
+  EXPECT_TRUE(b->items()[1].is_null());
+  EXPECT_EQ(b->items()[2].str(), "x");
+  EXPECT_DOUBLE_EQ(v->Find("nested")->Find("k")->number(), -2000.0);
+}
+
+TEST(JsonTest, ParsesStringEscapes) {
+  auto v = JsonValue::Parse(R"(["a\"b\\c\n\t", "\u0041\u00e9\u20ac"])");
+  ASSERT_TRUE(v.ok()) << v.status();
+  EXPECT_EQ(v->items()[0].str(), "a\"b\\c\n\t");
+  EXPECT_EQ(v->items()[1].str(), "A\xC3\xA9\xE2\x82\xAC");  // A é €
+}
+
+TEST(JsonTest, DumpParseRoundTrip) {
+  JsonValue obj = JsonValue::MakeObject();
+  obj.Set("op", JsonValue("label"));
+  obj.Set("count", JsonValue(3.25));
+  obj.Set("flag", JsonValue(true));
+  JsonValue arr = JsonValue::MakeArray();
+  arr.Append(JsonValue(1.0));
+  arr.Append(JsonValue("two\nlines"));
+  obj.Set("items", std::move(arr));
+
+  auto reparsed = JsonValue::Parse(obj.Dump());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  EXPECT_EQ(reparsed->Dump(), obj.Dump());
+  EXPECT_EQ(reparsed->Find("items")->items()[1].str(), "two\nlines");
+}
+
+TEST(JsonTest, MalformedInputsAreRejectedNotCrashed) {
+  const char* bad[] = {
+      "",           "{",        "[1,",        "{\"a\":}",  "tru",
+      "\"unterminated", "{\"a\":1}extra", "[\"\\u12\"]", "nan", "{1:2}",
+  };
+  for (const char* text : bad) {
+    EXPECT_FALSE(JsonValue::Parse(text).ok()) << "accepted: " << text;
+  }
+}
+
+TEST(JsonTest, DeepNestingHitsTheDepthGuard) {
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  EXPECT_FALSE(JsonValue::Parse(deep).ok());
+}
+
+// ---- BoundedQueue ---------------------------------------------------------
+
+TEST(BoundedQueueTest, FifoAndCloseDrain) {
+  BoundedQueue<int> queue(4);
+  EXPECT_TRUE(queue.Push(1));
+  EXPECT_TRUE(queue.Push(2));
+  queue.Close();
+  EXPECT_FALSE(queue.Push(3));  // closed
+  EXPECT_EQ(queue.Pop(), std::optional<int>(1));
+  EXPECT_EQ(queue.Pop(), std::optional<int>(2));
+  EXPECT_EQ(queue.Pop(), std::nullopt);  // drained
+}
+
+TEST(BoundedQueueTest, PushBlocksUntilCapacityFrees) {
+  BoundedQueue<int> queue(1);
+  ASSERT_TRUE(queue.Push(1));
+  std::atomic<bool> second_pushed{false};
+  std::thread producer([&] {
+    queue.Push(2);  // blocks until the consumer pops
+    second_pushed.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(second_pushed.load());
+  EXPECT_EQ(queue.Pop(), std::optional<int>(1));
+  producer.join();
+  EXPECT_TRUE(second_pushed.load());
+  EXPECT_EQ(queue.Pop(), std::optional<int>(2));
+}
+
+TEST(BoundedQueueTest, ManyProducersManyConsumers) {
+  BoundedQueue<int> queue(8);
+  constexpr int kPerProducer = 200;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 3; ++p) {
+    producers.emplace_back([&queue] {
+      for (int i = 0; i < kPerProducer; ++i) queue.Push(i);
+    });
+  }
+  std::atomic<int> consumed{0};
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 3; ++c) {
+    consumers.emplace_back([&] {
+      while (queue.Pop().has_value()) consumed.fetch_add(1);
+    });
+  }
+  for (auto& t : producers) t.join();
+  queue.Close();
+  for (auto& t : consumers) t.join();
+  EXPECT_EQ(consumed.load(), 3 * kPerProducer);
+}
+
+// ---- Service --------------------------------------------------------------
+
+data::Image PatternImage(int variant) {
+  data::Image img(3, 32, 32, 0.1f);
+  switch (variant % 3) {
+    case 0:
+      data::DrawFilledCircle(&img, 16, 16, 6 + variant % 5, {1.0f, 0.2f, 0.2f});
+      break;
+    case 1:
+      data::DrawFilledRect(&img, 6, 6, 26, 26, {0.2f, 1.0f, 0.2f});
+      break;
+    default:
+      data::DrawCross(&img, 16, 16, 14, 3, {0.2f, 0.2f, 1.0f});
+      break;
+  }
+  return img;
+}
+
+std::string ImageToJson(const data::Image& img) {
+  JsonValue obj = JsonValue::MakeObject();
+  obj.Set("channels", JsonValue(img.channels));
+  obj.Set("height", JsonValue(img.height));
+  obj.Set("width", JsonValue(img.width));
+  JsonValue pixels = JsonValue::MakeArray();
+  for (float v : img.pixels) pixels.Append(JsonValue(static_cast<double>(v)));
+  obj.Set("pixels", std::move(pixels));
+  return obj.Dump();
+}
+
+class ServeServiceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    nn::VggMiniConfig config;
+    config.stage_channels = {4, 8, 8, 8, 8};
+    config.num_classes = 4;
+    Result<nn::VggMini> model = nn::BuildVggMini(config);
+    model.status().Abort("vgg");
+    auto extractor = std::make_shared<features::FeatureExtractor>(
+        std::move(*model));
+    std::vector<data::Image> pool;
+    for (int i = 0; i < 12; ++i) pool.push_back(PatternImage(i));
+    GogglesConfig goggles_config;
+    goggles_config.top_z = 3;
+    auto session = serve::Session::Fit(extractor, pool, {0, 1, 2, 3},
+                                       {0, 1, 0, 1}, 2, goggles_config);
+    session.status().Abort("Session::Fit");
+    session_ = new std::shared_ptr<const serve::Session>(
+        std::make_shared<const serve::Session>(std::move(*session)));
+  }
+
+  static void TearDownTestSuite() { delete session_; }
+
+  static std::shared_ptr<const serve::Session>* session_;
+};
+
+std::shared_ptr<const serve::Session>* ServeServiceTest::session_ = nullptr;
+
+TEST_F(ServeServiceTest, StatsOp) {
+  serve::Service service(*session_);
+  auto response = JsonValue::Parse(service.HandleLine(R"({"op":"stats"})"));
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_TRUE(response->Find("ok")->bool_value());
+  EXPECT_DOUBLE_EQ(response->Find("pool_size")->number(), 12.0);
+  EXPECT_DOUBLE_EQ(response->Find("num_classes")->number(), 2.0);
+  EXPECT_DOUBLE_EQ(response->Find("num_functions")->number(), 15.0);
+}
+
+TEST_F(ServeServiceTest, LabelOpMatchesDirectSession) {
+  serve::Service service(*session_);
+  const data::Image query = PatternImage(13);
+  const std::string line =
+      std::string(R"({"op":"label","image":)") + ImageToJson(query) + "}";
+  auto response = JsonValue::Parse(service.HandleLine(line));
+  ASSERT_TRUE(response.ok()) << response.status();
+  ASSERT_TRUE(response->Find("ok")->bool_value())
+      << response->Find("error")->str();
+
+  auto direct = (*session_)->LabelOne(query);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(static_cast<int>(response->Find("label")->number()), direct->hard);
+  const JsonValue* soft = response->Find("soft");
+  ASSERT_EQ(soft->items().size(), direct->soft.size());
+  for (size_t k = 0; k < direct->soft.size(); ++k) {
+    EXPECT_NEAR(soft->items()[k].number(), direct->soft[k], 1e-15);
+  }
+}
+
+TEST_F(ServeServiceTest, MalformedRequestsReturnErrorsNotCrashes) {
+  serve::Service service(*session_);
+  const char* lines[] = {
+      "not json at all",
+      R"({"op":"unknown"})",
+      R"({"no_op":true})",
+      R"({"op":"label"})",
+      R"({"op":"label","image":{"channels":3,"height":2,"width":2,"pixels":[1]}})",
+      R"({"op":"label","image":{"channels":1e300,"height":1,"width":1,"pixels":[0]}})",
+      R"({"op":"label","image":{"channels":1.5,"height":1,"width":1,"pixels":[0,0]}})",
+      // Overflowing numeric literal: must be a parse error, not inf.
+      R"({"op":"label","image":{"channels":1,"height":1,"width":1,"pixels":[1e999]}})",
+      R"({"op":"label_batch","images":[]})",
+  };
+  for (const char* line : lines) {
+    auto response = JsonValue::Parse(service.HandleLine(line));
+    ASSERT_TRUE(response.ok()) << "response not JSON for: " << line;
+    EXPECT_FALSE(response->Find("ok")->bool_value()) << "accepted: " << line;
+    EXPECT_TRUE(response->Find("error")->is_string());
+  }
+
+  // Mixed image shapes within one batch must be rejected (stacking them
+  // into one tensor would otherwise index out of bounds).
+  const std::string mixed =
+      std::string(R"({"op":"label_batch","images":[)") +
+      ImageToJson(data::Image(3, 32, 32, 0.5f)) + "," +
+      ImageToJson(data::Image(3, 16, 16, 0.5f)) + "]}";
+  auto response = JsonValue::Parse(service.HandleLine(mixed));
+  ASSERT_TRUE(response.ok());
+  EXPECT_FALSE(response->Find("ok")->bool_value())
+      << "mixed-shape batch accepted";
+}
+
+TEST_F(ServeServiceTest, RunPreservesInputOrderAcrossWorkers) {
+  serve::ServiceConfig config;
+  config.num_workers = 3;
+  config.queue_capacity = 2;  // force backpressure
+  serve::Service service(*session_, config);
+
+  std::ostringstream input;
+  std::vector<data::Image> queries;
+  for (int i = 0; i < 8; ++i) {
+    if (i % 3 == 0) {
+      input << R"({"op":"stats"})" << "\n";
+    } else {
+      queries.push_back(PatternImage(20 + i));
+      input << R"({"op":"label","image":)" << ImageToJson(queries.back())
+            << "}\n";
+    }
+  }
+  std::istringstream in(input.str());
+  std::ostringstream out;
+  ASSERT_TRUE(service.Run(in, out).ok());
+
+  std::istringstream lines(out.str());
+  std::string line;
+  int line_no = 0;
+  size_t query_idx = 0;
+  while (std::getline(lines, line)) {
+    auto response = JsonValue::Parse(line);
+    ASSERT_TRUE(response.ok()) << line;
+    ASSERT_TRUE(response->Find("ok")->bool_value());
+    if (line_no % 3 == 0) {
+      EXPECT_TRUE(response->Find("pool_size") != nullptr)
+          << "line " << line_no << " should be a stats response";
+    } else {
+      ASSERT_LT(query_idx, queries.size());
+      auto direct = (*session_)->LabelOne(queries[query_idx++]);
+      ASSERT_TRUE(direct.ok());
+      EXPECT_EQ(static_cast<int>(response->Find("label")->number()),
+                direct->hard)
+          << "line " << line_no << " out of order";
+    }
+    ++line_no;
+  }
+  EXPECT_EQ(line_no, 8);
+  EXPECT_EQ(service.requests_served(), 8u);
+}
+
+}  // namespace
+}  // namespace goggles
