@@ -31,10 +31,18 @@
 /// Every bench that prints the standard Banner() also appends one
 /// machine-readable JSON record (one line per run) to
 /// `$GOGGLES_BENCH_JSON_DIR/BENCH_<name>.json` when the process exits.
-/// The record carries the bench name, scale, wall-clock seconds, a unix
-/// timestamp, and any key/value metrics published via RecordBenchMetric().
-/// Set GOGGLES_BENCH_JSON_DIR="" to disable (default: current directory);
-/// set GOGGLES_BENCH_NAME to override the name derived from the banner.
+/// The record carries the bench name, scale, build type, wall-clock
+/// seconds, a unix timestamp, and any key/value metrics published via
+/// RecordBenchMetric(). Set GOGGLES_BENCH_JSON_DIR="" to disable
+/// (default: current directory); set GOGGLES_BENCH_NAME to override the
+/// name derived from the banner.
+///
+/// Build-type policy: perf records from non-Release builds are
+/// meaningless for the trajectory, so every record is tagged with the
+/// build type this header was compiled under ("release" when NDEBUG is
+/// set, "debug" otherwise; GOGGLES_BENCH_BUILD_TYPE overrides with the
+/// exact CMake build type). bench/run_all.sh refuses to run against a
+/// non-Release build dir unless GOGGLES_BENCH_ALLOW_NONRELEASE=1.
 
 namespace goggles::bench {
 
@@ -103,6 +111,20 @@ inline std::vector<eval::LabelingTask> MakeDatasetTasks(
 inline std::string Pct(double fraction) {
   if (fraction < 0.0) return "-";
   return FormatPercent(fraction);
+}
+
+/// \brief Build type this translation unit was compiled under, for the
+/// perf-record build_type tag. GOGGLES_BENCH_BUILD_TYPE (set by
+/// run_all.sh from the CMake cache) takes precedence; the NDEBUG-derived
+/// fallback distinguishes release-family builds from plain Debug.
+inline std::string BenchBuildType() {
+  const std::string from_env = GetEnvOr("GOGGLES_BENCH_BUILD_TYPE", "");
+  if (!from_env.empty()) return from_env;
+#ifdef NDEBUG
+  return "release";
+#else
+  return "debug";
+#endif
 }
 
 /// \brief Lowercase [a-z0-9_] slug for filenames and JSON string fields.
@@ -188,8 +210,11 @@ class BenchJsonRecorder {
     }
     std::fprintf(f,
                  "{\"bench\":\"%s\",\"scale\":\"%s\","
+                 "\"build_type\":\"%s\","
                  "\"wall_seconds\":%.3f,\"timestamp_unix\":%lld",
-                 bench_.c_str(), scale_.c_str(), timer_.ElapsedSeconds(),
+                 bench_.c_str(), scale_.c_str(),
+                 SanitizeBenchName(BenchBuildType()).c_str(),
+                 timer_.ElapsedSeconds(),
                  static_cast<long long>(std::time(nullptr)));
     std::fprintf(f, ",\"metrics\":{");
     for (size_t i = 0; i < metrics_.size(); ++i) {

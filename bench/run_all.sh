@@ -11,6 +11,12 @@
 #   GOGGLES_BENCH_JSON_DIR  where BENCH_<name>.json records accumulate
 #                           (default: the repo root, next to this script's
 #                           parent directory)
+#   GOGGLES_BENCH_ALLOW_NONRELEASE=1
+#                           run against a non-Release build dir anyway
+#                           (loudly warned; records are tagged with the
+#                           offending build type). By default the script
+#                           REFUSES non-Release builds: debug-build perf
+#                           records poison the BENCH_*.json trajectory.
 #
 # Each bench appends one JSON line per run to BENCH_<name>.json via the
 # Banner() hook in bench_common.h; bench_micro_kernels (pure
@@ -31,6 +37,34 @@ if [[ ! -d "$build_dir" ]]; then
     exit 2
   fi
 fi
+
+# Build-type gate: perf records only mean something from an optimized
+# build. Read the authoritative CMAKE_BUILD_TYPE from the build dir's
+# cache; refuse anything but Release unless explicitly overridden, and
+# tag every record with the build type either way.
+build_type="unknown"
+if [[ -f "$build_dir/CMakeCache.txt" ]]; then
+  build_type="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' \
+      "$build_dir/CMakeCache.txt" | head -n 1)"
+  build_type="${build_type:-unknown}"
+fi
+if [[ "$build_type" != "Release" ]]; then
+  if [[ "${GOGGLES_BENCH_ALLOW_NONRELEASE:-0}" != "1" ]]; then
+    echo "error: build dir '$build_dir' is CMAKE_BUILD_TYPE='$build_type'," >&2
+    echo "       not Release — its timings would poison the BENCH_*.json" >&2
+    echo "       perf trajectory. Rebuild with -DCMAKE_BUILD_TYPE=Release" >&2
+    echo "       (cmake --preset release), or set" >&2
+    echo "       GOGGLES_BENCH_ALLOW_NONRELEASE=1 to run anyway with" >&2
+    echo "       records tagged \"build_type\":\"$(echo "$build_type" \
+        | tr '[:upper:]' '[:lower:]')\"." >&2
+    exit 2
+  fi
+  echo "WARNING: benching a '$build_type' build; records are tagged and" >&2
+  echo "         must not be compared against Release records." >&2
+fi
+# Exact CMake build type (lowercased) for the JSON build_type tag.
+export GOGGLES_BENCH_BUILD_TYPE="$(echo "$build_type" \
+    | tr '[:upper:]' '[:lower:]')"
 
 # No colon: an explicitly empty GOGGLES_BENCH_JSON_DIR disables records
 # (matching the bench_common.h contract); only an unset one defaults.
@@ -70,12 +104,14 @@ for bench in "${benches[@]}"; do
   echo
   echo ">>> $bench"
   if [[ "$bench" == bench_micro_kernels && -z "$json_dir" ]]; then
-    "$bin" || failed=1
+    "$bin" "--benchmark_context=goggles_build_type=$GOGGLES_BENCH_BUILD_TYPE" \
+        || failed=1
   elif [[ "$bench" == bench_micro_kernels ]]; then
     # --benchmark_out truncates its file; stage to a temp file and append
     # one compact line so this trajectory accumulates like the others.
     tmp_json="$(mktemp)"
-    if "$bin" --benchmark_out="$tmp_json" --benchmark_out_format=json; then
+    if "$bin" --benchmark_out="$tmp_json" --benchmark_out_format=json \
+        "--benchmark_context=goggles_build_type=$GOGGLES_BENCH_BUILD_TYPE"; then
       if command -v python3 >/dev/null 2>&1; then
         python3 -c 'import json,sys; print(json.dumps(json.load(open(sys.argv[1])), separators=(",",":")))' \
             "$tmp_json" >> "$json_dir/BENCH_${name}.json" || failed=1

@@ -40,7 +40,6 @@ Status CheckUniformShapes(const std::vector<data::Image>& images) {
 Result<std::vector<std::vector<Tensor>>> FeatureExtractor::PoolFeatureMaps(
     const std::vector<data::Image>& images, int batch_size) const {
   GOGGLES_RETURN_NOT_OK(CheckUniformShapes(images));
-  std::lock_guard<std::mutex> lock(forward_mutex_);
   const int num_layers = num_pool_layers();
   std::vector<std::vector<Tensor>> maps(static_cast<size_t>(num_layers));
   for (auto& per_layer : maps) per_layer.reserve(images.size());
@@ -50,11 +49,11 @@ Result<std::vector<std::vector<Tensor>>> FeatureExtractor::PoolFeatureMaps(
     const int64_t end = std::min<int64_t>(n, start + batch_size);
     Tensor batch = data::StackImageSubset(images, BatchIndices(start, end));
     std::vector<Tensor> taps;
-    GOGGLES_ASSIGN_OR_RETURN(
-        Tensor logits,
-        backbone_.net.ForwardWithTaps(batch, backbone_.pool_layer_indices,
-                                      &taps));
-    (void)logits;
+    // Taps-only forward: skips the classifier head (whose output is
+    // unused here) and therefore accepts any image resolution the
+    // conv/pool prefix supports.
+    GOGGLES_RETURN_NOT_OK(backbone_.net.ForwardTaps(
+        batch, backbone_.pool_layer_indices, &taps));
     for (int layer = 0; layer < num_layers; ++layer) {
       const Tensor& tap = taps[static_cast<size_t>(layer)];
       const int64_t c = tap.dim(1), h = tap.dim(2), w = tap.dim(3);
@@ -73,7 +72,6 @@ Result<std::vector<std::vector<Tensor>>> FeatureExtractor::PoolFeatureMaps(
 Result<Matrix> FeatureExtractor::Logits(const std::vector<data::Image>& images,
                                         int batch_size) const {
   GOGGLES_RETURN_NOT_OK(CheckUniformShapes(images));
-  std::lock_guard<std::mutex> lock(forward_mutex_);
   const int64_t n = static_cast<int64_t>(images.size());
   Matrix out;
   for (int64_t start = 0; start < n; start += batch_size) {
@@ -93,7 +91,6 @@ Result<Matrix> FeatureExtractor::Logits(const std::vector<data::Image>& images,
 Result<Matrix> FeatureExtractor::PenultimateFeatures(
     const std::vector<data::Image>& images, int batch_size) const {
   GOGGLES_RETURN_NOT_OK(CheckUniformShapes(images));
-  std::lock_guard<std::mutex> lock(forward_mutex_);
   const int64_t n = static_cast<int64_t>(images.size());
   const std::vector<int> taps = {backbone_.flatten_layer_index};
   Matrix out;
@@ -101,9 +98,7 @@ Result<Matrix> FeatureExtractor::PenultimateFeatures(
     const int64_t end = std::min<int64_t>(n, start + batch_size);
     Tensor batch = data::StackImageSubset(images, BatchIndices(start, end));
     std::vector<Tensor> captured;
-    GOGGLES_ASSIGN_OR_RETURN(
-        Tensor logits, backbone_.net.ForwardWithTaps(batch, taps, &captured));
-    (void)logits;
+    GOGGLES_RETURN_NOT_OK(backbone_.net.ForwardTaps(batch, taps, &captured));
     const Tensor& features = captured[0];
     if (out.rows() == 0) out = Matrix(n, features.dim(1));
     for (int64_t i = 0; i < end - start; ++i) {

@@ -1,7 +1,6 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "data/image.h"
@@ -21,10 +20,14 @@ namespace goggles::features {
 
 /// \brief Wraps a (pre-trained) VggMini and extracts intermediate features.
 ///
-/// Extraction entry points are thread-safe: the backbone's layers cache
-/// activations during Forward, so every forward pass is serialized on an
-/// internal mutex (one extractor is typically shared by many consumers —
-/// e.g. several serving sessions fitted from the same backbone).
+/// Extraction entry points are thread-safe and run concurrently: they go
+/// through the backbone's const inference path
+/// (Sequential::ForwardWithTaps const), which keeps all scratch state in
+/// the call instead of in the layers. N serving sessions sharing one
+/// extractor therefore scale with cores — there is no forward mutex — and
+/// concurrent extraction is bit-identical to a serial run. Mutating the
+/// backbone (mutable_backbone(), training) must not overlap with
+/// extraction calls.
 class FeatureExtractor {
  public:
   /// Takes ownership of the backbone.
@@ -54,11 +57,7 @@ class FeatureExtractor {
   nn::VggMini* mutable_backbone() { return &backbone_; }
 
  private:
-  // Mutable because Layer::Forward caches activations; extraction is
-  // logically const. forward_mutex_ serializes those cache mutations
-  // across threads sharing this extractor.
-  mutable nn::VggMini backbone_;
-  mutable std::mutex forward_mutex_;
+  nn::VggMini backbone_;
 };
 
 }  // namespace goggles::features

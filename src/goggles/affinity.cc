@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <mutex>
 
 #include "linalg/kernels.h"
+#include "tensor/gemm.h"
 #include "util/parallel.h"
 #include "util/string_util.h"
 
@@ -89,6 +91,7 @@ Status PrototypeAffinitySource::Prepare(const std::vector<data::Image>& images) 
   }
   num_images_ = n;
   fingerprint_ = fingerprint;
+  BuildPackedPrototypes();
   return Status::OK();
 }
 
@@ -115,7 +118,186 @@ Status PrototypeAffinitySource::Restore(std::vector<LayerData> layers,
   layers_ = std::move(layers);
   num_images_ = num_images;
   fingerprint_ = fingerprint;
+  BuildPackedPrototypes();
   return Status::OK();
+}
+
+void PrototypeAffinitySource::BuildPackedPrototypes() {
+  const int64_t n = num_images_;
+  packed_.assign(layers_.size(), PackedPrototypes());
+  for (size_t layer = 0; layer < layers_.size(); ++layer) {
+    const LayerData& data = layers_[layer];
+    PackedPrototypes& pack = packed_[layer];
+    pack.offsets.assign(static_cast<size_t>(n) + 1, 0);
+    for (int64_t j = 0; j < n; ++j) {
+      pack.offsets[static_cast<size_t>(j) + 1] =
+          pack.offsets[static_cast<size_t>(j)] +
+          data.num_prototypes[static_cast<size_t>(j)];
+    }
+    const int64_t total = pack.offsets.back();
+    pack.data.resize(static_cast<size_t>(total * data.channels));
+    for (int64_t j = 0; j < n; ++j) {
+      // Per-image prototype rows are already L2-normalized and contiguous.
+      std::copy(data.prototypes[static_cast<size_t>(j)].begin(),
+                data.prototypes[static_cast<size_t>(j)].end(),
+                pack.data.begin() + pack.offsets[static_cast<size_t>(j)] *
+                                        data.channels);
+    }
+  }
+}
+
+Status PrototypeAffinitySource::ScoreLayerInto(
+    int layer, int num_functions, int64_t m,
+    const std::function<const std::vector<float>&(int64_t)>& positions_of,
+    Matrix* out) const {
+  const LayerData& data = layers_[static_cast<size_t>(layer)];
+  const PackedPrototypes& pack = packed_[static_cast<size_t>(layer)];
+  const int64_t n = num_images_;
+  const int64_t c = data.channels;
+  const int64_t num_protos = pack.offsets.back();
+  const int num_layers_total = num_layers();
+
+  // The instances of one call share one resolution (extraction stacks
+  // them into one batch), but it need not match the pool's: a query
+  // image of a different size yields a different filter-map area, and
+  // Eq. 2 only maxes over however many positions the instance has.
+  const int64_t area = static_cast<int64_t>(positions_of(0).size()) /
+                       std::max<int64_t>(c, 1);
+
+  if (num_protos == 0) {
+    // No pool image has a prototype at this layer: every score is 0.
+    for (int64_t i = 0; i < m; ++i) {
+      double* row = out->RowPtr(i);
+      for (int f = layer; f < num_functions; f += num_layers_total) {
+        std::fill(row + static_cast<int64_t>(f) * n,
+                  row + static_cast<int64_t>(f) * n + n, 0.0);
+      }
+    }
+    return Status::OK();
+  }
+
+  // Bound the per-worker buffers — both the stacked positions
+  // (block * area * c floats) and the score matrix (block * area *
+  // num_protos floats) — to keep the working set cache- and
+  // memory-friendly.
+  constexpr int64_t kScoreBufferFloats = int64_t{1} << 21;  // 8 MiB
+  const int64_t floats_per_image =
+      std::max<int64_t>(1, area * std::max(c, num_protos));
+  const int64_t block_images =
+      std::max<int64_t>(1, kScoreBufferFloats / floats_per_image);
+
+  Status status = Status::OK();
+  std::mutex status_mutex;
+  ParallelForChunked(0, m, [&](int64_t lo, int64_t hi) {
+    std::vector<float> stacked, scores, best;
+    for (int64_t b0 = lo; b0 < hi; b0 += block_images) {
+      const int64_t mb = std::min(block_images, hi - b0);
+      stacked.resize(static_cast<size_t>(mb * area * c));
+      for (int64_t i = 0; i < mb; ++i) {
+        const std::vector<float>& pos = positions_of(b0 + i);
+        if (static_cast<int64_t>(pos.size()) != area * c) {
+          std::lock_guard<std::mutex> guard(status_mutex);
+          status = Status::InvalidArgument(StrFormat(
+              "ScoreLayerInto: layer %d instance %lld position size %zu != "
+              "area*channels %lld — all instances of one call must share "
+              "one resolution",
+              layer, static_cast<long long>(b0 + i), pos.size(),
+              static_cast<long long>(area * c)));
+          return;
+        }
+        std::copy(pos.begin(), pos.end(),
+                  stacked.begin() + static_cast<size_t>(i * area * c));
+      }
+      // scores[(i*area + p), q] = <position p of instance i, prototype q>:
+      // one GEMM over the packed prototype panel. Serial inside — the
+      // instance loop above is already the parallel axis.
+      scores.resize(static_cast<size_t>(mb * area * num_protos));
+      SGemmWithThreads(false, true, mb * area, num_protos, c, 1.0f,
+                       stacked.data(), c, pack.data.data(), c, 0.0f,
+                       scores.data(), num_protos, /*num_threads=*/1);
+      // Eq. 2 max over positions, in ascending-position order (the exact
+      // reduction order of the scalar Score()/ScoreQuery() path).
+      best.assign(static_cast<size_t>(mb * num_protos), -1.0f);
+      for (int64_t i = 0; i < mb; ++i) {
+        float* bi = best.data() + i * num_protos;
+        const float* srows = scores.data() + i * area * num_protos;
+        for (int64_t p = 0; p < area; ++p) {
+          const float* srow = srows + p * num_protos;
+          for (int64_t q = 0; q < num_protos; ++q) {
+            if (srow[q] > bi[q]) bi[q] = srow[q];
+          }
+        }
+      }
+      // Scatter into A[i, f*N + j] with the z-wrap for images that have
+      // fewer than Z unique prototypes.
+      for (int64_t i = 0; i < mb; ++i) {
+        const float* bi = best.data() + i * num_protos;
+        double* row = out->RowPtr(b0 + i);
+        for (int f = layer; f < num_functions; f += num_layers_total) {
+          const int z = f / num_layers_total;
+          double* dst = row + static_cast<int64_t>(f) * n;
+          for (int64_t j = 0; j < n; ++j) {
+            const int np = data.num_prototypes[static_cast<size_t>(j)];
+            dst[j] = np == 0
+                         ? 0.0
+                         : static_cast<double>(
+                               bi[pack.offsets[static_cast<size_t>(j)] +
+                                  z % np]);
+          }
+        }
+      }
+    }
+  });
+  return status;
+}
+
+Status PrototypeAffinitySource::ScorePoolRowsInto(int num_functions,
+                                                 Matrix* a) const {
+  if (num_images_ <= 0) {
+    return Status::Internal(
+        "PrototypeAffinitySource::ScorePoolRowsInto: source not prepared");
+  }
+  if (a->rows() < num_images_ ||
+      a->cols() < static_cast<int64_t>(num_functions) * num_images_) {
+    return Status::InvalidArgument(
+        "ScorePoolRowsInto: output matrix too small");
+  }
+  for (int layer = 0; layer < num_layers() && layer < num_functions;
+       ++layer) {
+    const auto& positions = layers_[static_cast<size_t>(layer)].positions;
+    GOGGLES_RETURN_NOT_OK(ScoreLayerInto(
+        layer, num_functions, num_images_,
+        [&positions](int64_t i) -> const std::vector<float>& {
+          return positions[static_cast<size_t>(i)];
+        },
+        a));
+  }
+  return Status::OK();
+}
+
+Result<Matrix> PrototypeAffinitySource::ScoreQueryRowsBatched(
+    const std::vector<QueryFeatures>& queries, int num_functions) const {
+  if (num_images_ <= 0) {
+    return Status::Internal(
+        "PrototypeAffinitySource::ScoreQueryRowsBatched: source not prepared");
+  }
+  if (queries.empty() || num_functions <= 0) {
+    return Status::InvalidArgument(
+        "ScoreQueryRowsBatched: need queries and functions");
+  }
+  const int64_t m = static_cast<int64_t>(queries.size());
+  Matrix rows(m, static_cast<int64_t>(num_functions) * num_images_);
+  for (int layer = 0; layer < num_layers() && layer < num_functions;
+       ++layer) {
+    GOGGLES_RETURN_NOT_OK(ScoreLayerInto(
+        layer, num_functions, m,
+        [&queries, layer](int64_t i) -> const std::vector<float>& {
+          return queries[static_cast<size_t>(i)]
+              .positions[static_cast<size_t>(layer)];
+        },
+        &rows));
+  }
+  return rows;
 }
 
 float PrototypeAffinitySource::Score(int layer, int z, int i, int j) const {
@@ -245,6 +427,24 @@ AffinityLibrary BuildPrototypeAffinityLibrary(
   return library;
 }
 
+void FillAffinityMatrixColumns(
+    const std::vector<AffinityFunction*>& functions, size_t first_function,
+    int num_images, Matrix* a) {
+  if (first_function >= functions.size()) return;
+  const int64_t n = num_images;
+  ParallelFor(0, n, [&](int64_t i) {
+    double* row = a->RowPtr(i);
+    for (size_t f = first_function; f < functions.size(); ++f) {
+      const AffinityFunction* fn = functions[f];
+      double* dst = row + static_cast<int64_t>(f) * n;
+      for (int64_t j = 0; j < n; ++j) {
+        dst[j] = static_cast<double>(
+            fn->Score(static_cast<int>(i), static_cast<int>(j)));
+      }
+    }
+  });
+}
+
 Result<Matrix> BuildAffinityMatrix(
     const std::vector<AffinityFunction*>& functions, int num_images) {
   if (functions.empty()) {
@@ -253,16 +453,7 @@ Result<Matrix> BuildAffinityMatrix(
   const int64_t n = num_images;
   const int64_t alpha = static_cast<int64_t>(functions.size());
   Matrix a(n, alpha * n);
-  ParallelFor(0, n, [&](int64_t i) {
-    double* row = a.RowPtr(i);
-    for (int64_t f = 0; f < alpha; ++f) {
-      const AffinityFunction* fn = functions[static_cast<size_t>(f)];
-      for (int64_t j = 0; j < n; ++j) {
-        row[f * n + j] = static_cast<double>(
-            fn->Score(static_cast<int>(i), static_cast<int>(j)));
-      }
-    }
-  });
+  FillAffinityMatrixColumns(functions, 0, num_images, &a);
   return a;
 }
 

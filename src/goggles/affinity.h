@@ -1,5 +1,6 @@
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -110,12 +111,49 @@ class PrototypeAffinitySource {
   /// position vectors at `layer`.
   float ScoreQuery(int layer, int z, const QueryFeatures& query, int j) const;
 
+  /// \brief Batched pool-side scoring: fills columns f < `num_functions`
+  /// of the affinity matrix `a` (layout A[i, f*N + j], §2.2) for the
+  /// round-robin library ordering (function f = layer f % L, prototype
+  /// rank f / L). Instead of one dot product per (position, prototype)
+  /// pair, each layer runs one GEMM of the stacked position vectors
+  /// against the packed prototype panel followed by a max-reduction over
+  /// positions — and duplicate prototypes (the z-wrap for images with
+  /// fewer than Z unique prototypes) are scored once instead of once per
+  /// wrapped z. `a` must be pre-sized to at least num_functions * N cols.
+  Status ScorePoolRowsInto(int num_functions, Matrix* a) const;
+
+  /// \brief Batched query-side scoring: the M x (num_functions * N) row
+  /// block for `queries` in the same layout (and with the same
+  /// float->double cast) as ScorePoolRowsInto. Both sides run the same
+  /// GEMM kernel with the same per-element accumulation order, so a query
+  /// identical to a pool image reproduces its fit-time scores bit for bit.
+  Result<Matrix> ScoreQueryRowsBatched(
+      const std::vector<QueryFeatures>& queries, int num_functions) const;
+
  private:
+  /// Per-layer prototypes of all pool images packed into one contiguous
+  /// panel (GEMM right-hand side). Derived from `layers_` by Prepare() and
+  /// Restore(); never persisted.
+  struct PackedPrototypes {
+    std::vector<float> data;       ///< total_protos x channels, row-major
+    std::vector<int64_t> offsets;  ///< n+1; image j owns [offsets[j], offsets[j+1])
+  };
+
+  void BuildPackedPrototypes();
+
+  /// Scores one layer of the library for `m` instances (pool or query
+  /// side, selected by `positions_of`) into rows [0, m) of `out`.
+  Status ScoreLayerInto(
+      int layer, int num_functions, int64_t m,
+      const std::function<const std::vector<float>&(int64_t)>& positions_of,
+      Matrix* out) const;
+
   std::shared_ptr<features::FeatureExtractor> extractor_;
   int top_z_;
   int num_images_ = -1;
   uint64_t fingerprint_ = 0;
   std::vector<LayerData> layers_;
+  std::vector<PackedPrototypes> packed_;
 };
 
 /// \brief One (layer, z) prototype affinity function (Eq. 2).
@@ -180,5 +218,14 @@ AffinityLibrary BuildPrototypeAffinityLibrary(
 /// All functions must already be Prepare()d for `num_images` images.
 Result<Matrix> BuildAffinityMatrix(
     const std::vector<AffinityFunction*>& functions, int num_images);
+
+/// \brief Fills columns [first_function, functions.size()) of `a` via the
+/// generic pairwise Score() interface, in the layout above. The single
+/// authoritative implementation of that layout/cast for functions without
+/// a batched scorer — used by BuildAffinityMatrix (whole matrix) and by
+/// GogglesPipeline::BuildAffinity (extra-function tail columns).
+void FillAffinityMatrixColumns(
+    const std::vector<AffinityFunction*>& functions, size_t first_function,
+    int num_images, Matrix* a);
 
 }  // namespace goggles

@@ -39,13 +39,23 @@ Result<Matrix> GogglesPipeline::BuildAffinity(
   // check fingerprints the dataset — prepare it once instead of once per
   // function.
   const size_t num_library = std::min(fns.size(), library_.functions.size());
+  const int64_t n = static_cast<int64_t>(images.size());
+  Matrix a(n, static_cast<int64_t>(fns.size()) * n);
   if (num_library > 0) {
     GOGGLES_RETURN_NOT_OK(library_.source->Prepare(images));
+    // The library block goes through the batched GEMM scorer — the same
+    // kernel (and accumulation order) the serving path uses for query
+    // rows, so a served image reproduces its fit-time scores bit for bit.
+    GOGGLES_RETURN_NOT_OK(library_.source->ScorePoolRowsInto(
+        static_cast<int>(num_library), &a));
   }
   for (size_t i = num_library; i < fns.size(); ++i) {
     GOGGLES_RETURN_NOT_OK(fns[i]->Prepare(images));
   }
-  return BuildAffinityMatrix(fns, static_cast<int>(images.size()));
+  // User-supplied extra functions only expose the pairwise Score()
+  // interface; fill their columns the generic way.
+  FillAffinityMatrixColumns(fns, num_library, static_cast<int>(n), &a);
+  return a;
 }
 
 Result<LabelingResult> GogglesPipeline::Label(

@@ -31,6 +31,18 @@ class Layer {
   /// \brief Computes the layer output for `x`.
   virtual Result<Tensor> Forward(const Tensor& x) = 0;
 
+  /// \brief Inference-only forward pass: same output as Forward but no
+  /// cached state, so it is const and safe to call concurrently from many
+  /// threads on one shared layer. Backward must not follow this call.
+  ///
+  /// The default fails loudly so a subclass without a stateless path can
+  /// never be silently raced through the concurrent extraction entry
+  /// points.
+  virtual Result<Tensor> ForwardInference(const Tensor& x) const {
+    (void)x;
+    return Status::Internal(name() + ": no const inference path implemented");
+  }
+
   /// \brief Given d(loss)/d(output), accumulates parameter gradients and
   /// returns d(loss)/d(input). Must follow a Forward call.
   virtual Result<Tensor> Backward(const Tensor& grad_output) = 0;

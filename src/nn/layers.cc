@@ -24,6 +24,10 @@ Result<Tensor> Conv2D::Forward(const Tensor& x) {
   return Conv2dForward(x, weight_.value, bias_.value, params_);
 }
 
+Result<Tensor> Conv2D::ForwardInference(const Tensor& x) const {
+  return Conv2dForward(x, weight_.value, bias_.value, params_);
+}
+
 Result<Tensor> Conv2D::Backward(const Tensor& grad_output) {
   GOGGLES_ASSIGN_OR_RETURN(
       Conv2dGrads grads,
@@ -45,6 +49,10 @@ Result<Tensor> MaxPool2D::Backward(const Tensor& grad_output) {
   return MaxPool2dBackward(cached_argmax_, cached_input_shape_, grad_output);
 }
 
+Result<Tensor> MaxPool2D::ForwardInference(const Tensor& x) const {
+  return MaxPool2dInference(x, kernel_, stride_);
+}
+
 Result<Tensor> ReLU::Forward(const Tensor& x) {
   cached_input_ = x;
   return ReluForward(x);
@@ -52,6 +60,10 @@ Result<Tensor> ReLU::Forward(const Tensor& x) {
 
 Result<Tensor> ReLU::Backward(const Tensor& grad_output) {
   return ReluBackward(cached_input_, grad_output);
+}
+
+Result<Tensor> ReLU::ForwardInference(const Tensor& x) const {
+  return ReluForward(x);
 }
 
 Result<Tensor> Flatten::Forward(const Tensor& x) {
@@ -68,6 +80,13 @@ Result<Tensor> Flatten::Backward(const Tensor& grad_output) {
   return dx;
 }
 
+Result<Tensor> Flatten::ForwardInference(const Tensor& x) const {
+  Tensor y = x;
+  const int64_t n = x.dim(0);
+  GOGGLES_RETURN_NOT_OK(y.Reshape({n, x.NumElements() / n}));
+  return y;
+}
+
 Linear::Linear(int64_t in_features, int64_t out_features, Rng* rng) {
   const float stddev = std::sqrt(2.0f / static_cast<float>(in_features));
   weight_.name = "linear.weight";
@@ -80,6 +99,10 @@ Linear::Linear(int64_t in_features, int64_t out_features, Rng* rng) {
 
 Result<Tensor> Linear::Forward(const Tensor& x) {
   cached_input_ = x;
+  return LinearForward(x, weight_.value, bias_.value);
+}
+
+Result<Tensor> Linear::ForwardInference(const Tensor& x) const {
   return LinearForward(x, weight_.value, bias_.value);
 }
 

@@ -25,6 +25,7 @@ class Conv2D : public Layer {
          int64_t stride, int64_t pad, Rng* rng);
 
   Result<Tensor> Forward(const Tensor& x) override;
+  Result<Tensor> ForwardInference(const Tensor& x) const override;
   Result<Tensor> Backward(const Tensor& grad_output) override;
   std::vector<Parameter*> Params() override { return {&weight_, &bias_}; }
   std::string name() const override { return "Conv2D"; }
@@ -44,6 +45,7 @@ class MaxPool2D : public Layer {
   MaxPool2D(int64_t kernel, int64_t stride) : kernel_(kernel), stride_(stride) {}
 
   Result<Tensor> Forward(const Tensor& x) override;
+  Result<Tensor> ForwardInference(const Tensor& x) const override;
   Result<Tensor> Backward(const Tensor& grad_output) override;
   std::string name() const override { return "MaxPool2D"; }
 
@@ -58,6 +60,7 @@ class MaxPool2D : public Layer {
 class ReLU : public Layer {
  public:
   Result<Tensor> Forward(const Tensor& x) override;
+  Result<Tensor> ForwardInference(const Tensor& x) const override;
   Result<Tensor> Backward(const Tensor& grad_output) override;
   std::string name() const override { return "ReLU"; }
 
@@ -69,6 +72,7 @@ class ReLU : public Layer {
 class Flatten : public Layer {
  public:
   Result<Tensor> Forward(const Tensor& x) override;
+  Result<Tensor> ForwardInference(const Tensor& x) const override;
   Result<Tensor> Backward(const Tensor& grad_output) override;
   std::string name() const override { return "Flatten"; }
 
@@ -82,6 +86,7 @@ class Linear : public Layer {
   Linear(int64_t in_features, int64_t out_features, Rng* rng);
 
   Result<Tensor> Forward(const Tensor& x) override;
+  Result<Tensor> ForwardInference(const Tensor& x) const override;
   Result<Tensor> Backward(const Tensor& grad_output) override;
   std::vector<Parameter*> Params() override { return {&weight_, &bias_}; }
   std::string name() const override { return "Linear"; }

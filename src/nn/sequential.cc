@@ -15,6 +15,14 @@ Result<Tensor> Sequential::Forward(const Tensor& x) {
   return cur;
 }
 
+Result<Tensor> Sequential::Forward(const Tensor& x) const {
+  Tensor cur = x;
+  for (const auto& layer : layers_) {
+    GOGGLES_ASSIGN_OR_RETURN(cur, layer->ForwardInference(cur));
+  }
+  return cur;
+}
+
 Result<Tensor> Sequential::ForwardWithTaps(const Tensor& x,
                                            const std::vector<int>& tap_layers,
                                            std::vector<Tensor>* taps) {
@@ -34,6 +42,32 @@ Result<Tensor> Sequential::ForwardWithTaps(const Tensor& x,
         "ForwardWithTaps: tap_layers must be ascending valid layer indices");
   }
   return cur;
+}
+
+Status Sequential::ForwardTaps(const Tensor& x,
+                               const std::vector<int>& tap_layers,
+                               std::vector<Tensor>* taps) const {
+  taps->clear();
+  if (tap_layers.empty()) return Status::OK();
+  for (size_t t = 0; t < tap_layers.size(); ++t) {
+    if (tap_layers[t] < 0 || tap_layers[t] >= num_layers() ||
+        (t > 0 && tap_layers[t] <= tap_layers[t - 1])) {
+      return Status::InvalidArgument(
+          "ForwardTaps: tap_layers must be ascending valid layer indices");
+    }
+  }
+  taps->reserve(tap_layers.size());
+  size_t next_tap = 0;
+  Tensor cur = x;
+  for (int i = 0; i <= tap_layers.back(); ++i) {
+    GOGGLES_ASSIGN_OR_RETURN(
+        cur, layers_[static_cast<size_t>(i)]->ForwardInference(cur));
+    if (next_tap < tap_layers.size() && tap_layers[next_tap] == i) {
+      taps->push_back(cur);
+      ++next_tap;
+    }
+  }
+  return Status::OK();
 }
 
 Result<Tensor> Sequential::ForwardUpTo(const Tensor& x, int upto_layer) {

@@ -34,8 +34,15 @@ class Sequential {
   Layer* layer(int i) { return layers_[static_cast<size_t>(i)].get(); }
   const Layer* layer(int i) const { return layers_[static_cast<size_t>(i)].get(); }
 
-  /// \brief Full forward pass.
+  /// \brief Full forward pass (training path: layers cache activations
+  /// for a subsequent Backward).
   Result<Tensor> Forward(const Tensor& x);
+
+  /// \brief Thread-safe inference forward pass. Routed through the
+  /// layers' const ForwardInference path, so no layer state is mutated and
+  /// any number of threads may forward through one shared network
+  /// concurrently. Backward must not follow this call.
+  Result<Tensor> Forward(const Tensor& x) const;
 
   /// \brief Forward pass that also captures the outputs of `tap_layers`
   /// (indices into the layer stack, ascending). `taps[i]` receives the
@@ -43,6 +50,15 @@ class Sequential {
   Result<Tensor> ForwardWithTaps(const Tensor& x,
                                  const std::vector<int>& tap_layers,
                                  std::vector<Tensor>* taps);
+
+  /// \brief Thread-safe taps-only inference: runs layers [0, last tap]
+  /// and captures the requested outputs, skipping everything after the
+  /// last tap. Besides saving the unused tail compute (feature extraction
+  /// discards the classifier head's output), this accepts any input
+  /// resolution the tapped prefix supports — e.g. conv/pool filter maps
+  /// for images larger than the classifier head was sized for.
+  Status ForwardTaps(const Tensor& x, const std::vector<int>& tap_layers,
+                     std::vector<Tensor>* taps) const;
 
   /// \brief Forward only through layers [0, upto_layer] inclusive.
   Result<Tensor> ForwardUpTo(const Tensor& x, int upto_layer);

@@ -2,8 +2,11 @@
 
 #include <cmath>
 #include <map>
+#include <optional>
 #include <thread>
 #include <vector>
+
+#include "util/parallel.h"
 
 namespace goggles::serve {
 namespace {
@@ -200,6 +203,13 @@ Status Service::Run(std::istream& in, std::ostream& out) {
   for (int w = 0; w < config_.num_workers; ++w) {
     workers.emplace_back([this, &queue, &done_mu, &done_cv, &done,
                           max_done] {
+      // Once the worker pool alone covers the cores, the per-request
+      // kernels (backbone GEMMs, batched scoring) would only
+      // oversubscribe — pin them to this thread. With fewer workers than
+      // cores the kernels keep their internal parallelism so a single
+      // in-flight request can still use the whole machine.
+      std::optional<ScopedSerialKernels> serial_kernels;
+      if (config_.num_workers >= DefaultNumThreads()) serial_kernels.emplace();
       while (true) {
         {
           std::unique_lock<std::mutex> lock(done_mu);

@@ -34,34 +34,16 @@ Result<Session> Session::Fit(
 
 Result<Matrix> Session::BuildQueryRows(
     const std::vector<data::Image>& images) const {
-  const int64_t pool = model_.pool_size;
-  const int64_t alpha = model_.num_functions();
-  const int num_layers = source_->num_layers();
-
-  // The forward pass serializes inside the (possibly shared) extractor;
-  // the scoring below runs lock-free.
+  // The backbone forwards run concurrently (const inference path inside
+  // the possibly shared extractor); the batched scorer then labels the
+  // whole request batch with one GEMM per pool layer against the packed
+  // prototype panel — the same kernel the fitting run used, so scores for
+  // pool-identical images reproduce bit for bit.
   GOGGLES_ASSIGN_OR_RETURN(
       std::vector<PrototypeAffinitySource::QueryFeatures> queries,
       source_->ExtractQueryFeatures(images));
-
-  const int64_t m = static_cast<int64_t>(images.size());
-  Matrix rows(m, alpha * pool);
-  ParallelFor(0, m, [&](int64_t i) {
-    double* row = rows.RowPtr(i);
-    const auto& q = queries[static_cast<size_t>(i)];
-    for (int64_t f = 0; f < alpha; ++f) {
-      // The prototype library is ordered round-robin across layers
-      // (BuildPrototypeAffinityLibrary): function f is (layer f % L,
-      // prototype rank f / L).
-      const int layer = static_cast<int>(f % num_layers);
-      const int z = static_cast<int>(f / num_layers);
-      for (int64_t j = 0; j < pool; ++j) {
-        row[f * pool + j] = static_cast<double>(
-            source_->ScoreQuery(layer, z, q, static_cast<int>(j)));
-      }
-    }
-  });
-  return rows;
+  return source_->ScoreQueryRowsBatched(
+      queries, static_cast<int>(model_.num_functions()));
 }
 
 Result<LabelingResult> Session::LabelBatch(

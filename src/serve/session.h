@@ -36,10 +36,11 @@ struct OnlineLabel {
 /// \brief A fitted, servable labeling session.
 ///
 /// Labeling entry points are const and may be called from multiple
-/// threads: the backbone forward pass (which caches activations) is
-/// serialized inside FeatureExtractor — correctly even when several
-/// sessions share one extractor — while affinity scoring and posterior
-/// evaluation run lock-free in parallel.
+/// threads: the backbone forward pass goes through the extractor's
+/// lock-free const inference path — N sessions sharing one backbone scale
+/// with cores — and affinity scoring (one GEMM per pool layer against the
+/// packed prototype panel) and posterior evaluation also run lock-free in
+/// parallel.
 class Session {
  public:
   Session() = default;
@@ -89,8 +90,8 @@ class Session {
 
  private:
   /// Builds the M x (alpha * pool_size) affinity rows for new images, in
-  /// the same layout (and with the same float->double cast) as
-  /// BuildAffinityMatrix.
+  /// the same layout (and with the same float->double cast) as the
+  /// fitting run's affinity matrix, via the batched GEMM scorer.
   Result<Matrix> BuildQueryRows(const std::vector<data::Image>& images) const;
 
   std::shared_ptr<features::FeatureExtractor> extractor_;

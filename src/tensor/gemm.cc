@@ -1,21 +1,157 @@
 #include "tensor/gemm.h"
 
+#include <algorithm>
 #include <vector>
 
 #include "util/parallel.h"
 
 namespace goggles {
+namespace {
 
-void SGemm(bool transpose_a, bool transpose_b, int64_t m, int64_t n, int64_t k,
-           float alpha, const float* a, int64_t lda, const float* b,
-           int64_t ldb, float beta, float* c, int64_t ldc) {
-  auto a_at = [&](int64_t i, int64_t p) -> float {
-    return transpose_a ? a[p * lda + i] : a[i * lda + p];
-  };
+// Micro-kernel register tile, sized so the kMR x kNR accumulator block
+// fits the vector register file of the target ISA with room for the A
+// broadcasts and B loads (8 x 16 would spill to the stack on 16-register
+// AVX2/SSE, costing ~3x).
+#if defined(__AVX512F__)
+constexpr int64_t kMR = 8;   // 8 zmm accumulators of 16 floats
+constexpr int64_t kNR = 16;
+#elif defined(__AVX__)
+constexpr int64_t kMR = 4;   // 8 ymm accumulators of 8 floats
+constexpr int64_t kNR = 16;
+#else
+constexpr int64_t kMR = 4;   // 8 xmm accumulators of 4 floats
+constexpr int64_t kNR = 8;
+#endif
 
-  // Only parallelize when there is enough work to amortize thread startup.
-  const bool parallel = m * n * k > (1 << 16);
+// Cache blocking: a KC x NR B micro-panel stays in L1 across one macro
+// column sweep, the MC x KC packed A block stays in L2, and the KC x NC
+// packed B block stays in L3.
+constexpr int64_t kKC = 256;
+constexpr int64_t kMC = 64;
+constexpr int64_t kNC = 1024;
 
+inline int64_t CeilDiv(int64_t a, int64_t b) { return (a + b - 1) / b; }
+
+/// Packs op(A)[ic:ic+mc, pc:pc+kc] into column-major MR-row micro-panels:
+/// panel p holds rows [p*MR, p*MR+MR), laid out k-major (ap[k*MR + i]).
+/// Rows past `mc` are zero-padded so the micro-kernel never reads garbage;
+/// alpha is folded in here, once per element.
+void PackA(bool transpose_a, const float* a, int64_t lda, int64_t ic,
+           int64_t pc, int64_t mc, int64_t kc, float alpha, float* ap) {
+  const int64_t panels = CeilDiv(mc, kMR);
+  for (int64_t p = 0; p < panels; ++p) {
+    const int64_t i0 = p * kMR;
+    const int64_t rows = std::min(kMR, mc - i0);
+    float* dst = ap + p * kMR * kc;
+    for (int64_t k = 0; k < kc; ++k) {
+      for (int64_t i = 0; i < rows; ++i) {
+        const int64_t row = ic + i0 + i, col = pc + k;
+        const float v = transpose_a ? a[col * lda + row] : a[row * lda + col];
+        dst[k * kMR + i] = alpha * v;
+      }
+      for (int64_t i = rows; i < kMR; ++i) dst[k * kMR + i] = 0.0f;
+    }
+  }
+}
+
+/// Packs op(B)[pc:pc+kc, jc:jc+nc] into NR-column micro-panels laid out
+/// k-major (bp[k*NR + j]), zero-padding columns past `nc`.
+void PackB(bool transpose_b, const float* b, int64_t ldb, int64_t pc,
+           int64_t jc, int64_t kc, int64_t nc, float* bp) {
+  const int64_t panels = CeilDiv(nc, kNR);
+  for (int64_t p = 0; p < panels; ++p) {
+    const int64_t j0 = p * kNR;
+    const int64_t cols = std::min(kNR, nc - j0);
+    float* dst = bp + p * kNR * kc;
+    if (!transpose_b && cols == kNR) {
+      // Fast path: contiguous row segments of B.
+      for (int64_t k = 0; k < kc; ++k) {
+        const float* src = b + (pc + k) * ldb + jc + j0;
+        for (int64_t j = 0; j < kNR; ++j) dst[k * kNR + j] = src[j];
+      }
+      continue;
+    }
+    for (int64_t k = 0; k < kc; ++k) {
+      for (int64_t j = 0; j < cols; ++j) {
+        const int64_t row = pc + k, col = jc + j0 + j;
+        dst[k * kNR + j] =
+            transpose_b ? b[col * ldb + row] : b[row * ldb + col];
+      }
+      for (int64_t j = cols; j < kNR; ++j) dst[k * kNR + j] = 0.0f;
+    }
+  }
+}
+
+/// MR x NR register micro-kernel over packed panels: computes the full
+/// tile Ap * Bp in local accumulators (kept in vector registers — they
+/// are local to this frame, so no aliasing analysis can force them to
+/// memory), then adds the valid rows/cols into C. The k loop is strictly
+/// ascending with one fused multiply-add per (i, j, k), which fixes the
+/// accumulation order for every C element independent of tile position,
+/// problem shape and thread count.
+void MicroKernel(int64_t kc, const float* __restrict ap,
+                 const float* __restrict bp, float* __restrict c, int64_t ldc,
+                 int64_t rows, int64_t cols) {
+  float acc[kMR][kNR] = {};
+  for (int64_t k = 0; k < kc; ++k) {
+    const float* __restrict brow = bp + k * kNR;
+    const float* __restrict acol = ap + k * kMR;
+    // Fully unroll the row loop so every acc row lives in one or two
+    // vector registers across the whole k loop (without the pragma GCC
+    // leaves the i-indexed accumulators in memory).
+#pragma GCC unroll 8
+    for (int64_t i = 0; i < kMR; ++i) {
+      const float av = acol[i];
+#pragma omp simd
+      for (int64_t j = 0; j < kNR; ++j) acc[i][j] += av * brow[j];
+    }
+  }
+  if (rows == kMR && cols == kNR) {
+    for (int64_t i = 0; i < kMR; ++i) {
+      float* __restrict crow = c + i * ldc;
+      for (int64_t j = 0; j < kNR; ++j) crow[j] += acc[i][j];
+    }
+    return;
+  }
+  for (int64_t i = 0; i < rows; ++i) {
+    float* crow = c + i * ldc;
+    for (int64_t j = 0; j < cols; ++j) crow[j] += acc[i][j];
+  }
+}
+
+/// Runs every micro-tile of rows [ir_begin, ir_end) x the packed B block.
+/// Each worker packs its own A micro-panels into `ap` (thread-local to the
+/// chunk), so the whole body is lock-free.
+void RunRowTiles(bool transpose_a, const float* a, int64_t lda, float alpha,
+                 const float* bp, int64_t ic_base, int64_t m, int64_t pc,
+                 int64_t kc, int64_t jc, int64_t nc, float* c, int64_t ldc,
+                 int64_t ir_begin, int64_t ir_end) {
+  std::vector<float> ap(static_cast<size_t>(kMC * kc));
+  for (int64_t ir = ir_begin; ir < ir_end; ++ir) {
+    const int64_t ic = ic_base + ir * kMC;
+    const int64_t mc = std::min(kMC, m - ic);
+    PackA(transpose_a, a, lda, ic, pc, mc, kc, alpha, ap.data());
+    const int64_t mr_panels = CeilDiv(mc, kMR);
+    const int64_t nr_panels = CeilDiv(nc, kNR);
+    for (int64_t jp = 0; jp < nr_panels; ++jp) {
+      const int64_t j0 = jp * kNR;
+      const int64_t cols = std::min(kNR, nc - j0);
+      const float* bpanel = bp + jp * kNR * kc;
+      for (int64_t ip = 0; ip < mr_panels; ++ip) {
+        const int64_t i0 = ip * kMR;
+        const int64_t rows = std::min(kMR, mc - i0);
+        MicroKernel(kc, ap.data() + ip * kMR * kc, bpanel,
+                    c + (ic + i0) * ldc + jc + j0, ldc, rows, cols);
+      }
+    }
+  }
+}
+
+/// Scales C by beta up front (so the block loops can always accumulate).
+/// beta == 0 overwrites without reading C, per BLAS.
+void ScaleC(float* c, int64_t ldc, int64_t m, int64_t n, float beta,
+            int num_threads) {
+  if (beta == 1.0f) return;
   ParallelForChunked(
       0, m,
       [&](int64_t row_begin, int64_t row_end) {
@@ -23,22 +159,51 @@ void SGemm(bool transpose_a, bool transpose_b, int64_t m, int64_t n, int64_t k,
           float* crow = c + i * ldc;
           if (beta == 0.0f) {
             for (int64_t j = 0; j < n; ++j) crow[j] = 0.0f;
-          } else if (beta != 1.0f) {
+          } else {
             for (int64_t j = 0; j < n; ++j) crow[j] *= beta;
-          }
-          for (int64_t p = 0; p < k; ++p) {
-            const float av = alpha * a_at(i, p);
-            if (av == 0.0f) continue;
-            if (!transpose_b) {
-              const float* brow = b + p * ldb;
-              for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-            } else {
-              for (int64_t j = 0; j < n; ++j) crow[j] += av * b[j * ldb + p];
-            }
           }
         }
       },
-      parallel ? 0 : 1);
+      num_threads);
+}
+
+}  // namespace
+
+void SGemmWithThreads(bool transpose_a, bool transpose_b, int64_t m, int64_t n,
+                      int64_t k, float alpha, const float* a, int64_t lda,
+                      const float* b, int64_t ldb, float beta, float* c,
+                      int64_t ldc, int num_threads) {
+  if (m <= 0 || n <= 0) return;
+  // Only parallelize when there is enough work to amortize thread startup.
+  if (m * n * k <= (1 << 16)) num_threads = 1;
+  ScaleC(c, ldc, m, n, beta, num_threads);
+  if (alpha == 0.0f || k <= 0) return;  // BLAS: A and B are not referenced.
+
+  std::vector<float> bp;
+  for (int64_t jc = 0; jc < n; jc += kNC) {
+    const int64_t nc = std::min(kNC, n - jc);
+    const int64_t nc_padded = CeilDiv(nc, kNR) * kNR;
+    for (int64_t pc = 0; pc < k; pc += kKC) {
+      const int64_t kc = std::min(kKC, k - pc);
+      bp.resize(static_cast<size_t>(nc_padded * kc));
+      PackB(transpose_b, b, ldb, pc, jc, kc, nc, bp.data());
+      const int64_t row_tiles = CeilDiv(m, kMC);
+      ParallelForChunked(
+          0, row_tiles,
+          [&](int64_t ir_begin, int64_t ir_end) {
+            RunRowTiles(transpose_a, a, lda, alpha, bp.data(), /*ic_base=*/0,
+                        m, pc, kc, jc, nc, c, ldc, ir_begin, ir_end);
+          },
+          num_threads);
+    }
+  }
+}
+
+void SGemm(bool transpose_a, bool transpose_b, int64_t m, int64_t n, int64_t k,
+           float alpha, const float* a, int64_t lda, const float* b,
+           int64_t ldb, float beta, float* c, int64_t ldc) {
+  SGemmWithThreads(transpose_a, transpose_b, m, n, k, alpha, a, lda, b, ldb,
+                   beta, c, ldc, /*num_threads=*/0);
 }
 
 }  // namespace goggles

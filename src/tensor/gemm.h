@@ -3,16 +3,49 @@
 #include <cstdint>
 
 /// \file gemm.h
-/// \brief Single-precision GEMM used by the conv (im2col) and linear layers.
+/// \brief Single-precision GEMM used by the conv (im2col) and linear layers
+/// and the batched prototype-affinity scorer.
+///
+/// The implementation is a cache-blocked, register-tiled, panel-packing
+/// kernel (BLIS-style): op(A) and op(B) are repacked into contiguous
+/// micro-panels once per cache block, and an MR x NR register micro-kernel
+/// runs over the packed data. Macro row-tiles are distributed across worker
+/// threads with ParallelForChunked; all scratch state is per-call, so
+/// concurrent SGemm calls from different threads are safe and lock-free.
+///
+/// Numerical contract: every C element is accumulated in a fixed order
+/// (ascending k), independent of the blocking geometry, the total problem
+/// shape and the number of worker threads — the same (i, j) dot product
+/// yields bit-identical results at 1 and N threads and whether it is
+/// computed inside a large or a small GEMM. The serving path relies on
+/// this to reproduce fit-time affinity scores exactly. The guarantee is
+/// per build + host ISA: with GOGGLES_NATIVE_ARCH the kernels use FMA
+/// where available, whose rounding differs from mul+add, so results are
+/// not bit-portable across machines with different vector ISAs.
 
 namespace goggles {
 
 /// \brief C = alpha * op(A) * op(B) + beta * C.
 ///
 /// A is (m x k) after optional transpose, B is (k x n) after optional
-/// transpose, C is (m x n) row-major. Parallelized over rows of C.
+/// transpose, C is (m x n) row-major. BLAS semantics: when alpha == 0,
+/// A and B are not referenced and C = beta * C; when beta == 0, C is
+/// overwritten without being read (NaN/Inf already in C do not propagate).
+/// Non-zero elements of A never short-circuit the accumulation, so NaN/Inf
+/// in A or B propagate into C exactly as in reference BLAS.
 void SGemm(bool transpose_a, bool transpose_b, int64_t m, int64_t n, int64_t k,
            float alpha, const float* a, int64_t lda, const float* b,
            int64_t ldb, float beta, float* c, int64_t ldc);
+
+/// \brief SGemm with an explicit worker-thread count.
+///
+/// `num_threads <= 0` resolves to DefaultNumThreads(). Pass 1 to force a
+/// serial run — e.g. from code that already parallelizes at a coarser
+/// granularity (per-image conv batching) and must not oversubscribe.
+/// Results are bit-identical for every thread count.
+void SGemmWithThreads(bool transpose_a, bool transpose_b, int64_t m, int64_t n,
+                      int64_t k, float alpha, const float* a, int64_t lda,
+                      const float* b, int64_t ldb, float beta, float* c,
+                      int64_t ldc, int num_threads);
 
 }  // namespace goggles

@@ -21,13 +21,29 @@ void Im2Col(const float* x, int64_t channels, int64_t height, int64_t width,
     for (int64_t dh = 0; dh < kh; ++dh) {
       for (int64_t dw = 0; dw < kw; ++dw, ++row) {
         float* dst = col + row * out_area;
+        // For stride 1 the in-bounds output positions form one contiguous
+        // span copied straight from the input row; only the pad fringe is
+        // written element-free. xo maps to in_x = xo - pad + dw, valid for
+        // xo in [pad - dw, width + pad - dw).
+        const int64_t x0 =
+            stride == 1 ? std::min(std::max<int64_t>(0, pad - dw), ow) : 0;
+        const int64_t x1 =
+            stride == 1 ? std::max(x0, std::min(ow, width + pad - dw)) : 0;
         for (int64_t y = 0; y < oh; ++y) {
           const int64_t in_y = y * stride - pad + dh;
           if (in_y < 0 || in_y >= height) {
-            for (int64_t xo = 0; xo < ow; ++xo) dst[y * ow + xo] = 0.0f;
+            std::fill(dst + y * ow, dst + (y + 1) * ow, 0.0f);
             continue;
           }
           const float* src_row = xc + in_y * width;
+          if (stride == 1) {
+            float* out = dst + y * ow;
+            std::fill(out, out + x0, 0.0f);
+            std::copy(src_row + x0 - pad + dw, src_row + x1 - pad + dw,
+                      out + x0);
+            std::fill(out + x1, out + ow, 0.0f);
+            continue;
+          }
           for (int64_t xo = 0; xo < ow; ++xo) {
             const int64_t in_x = xo * stride - pad + dw;
             dst[y * ow + xo] =
@@ -66,6 +82,21 @@ void Col2Im(const float* col, int64_t channels, int64_t height, int64_t width,
 
 namespace {
 
+/// Reusable per-thread im2col scratch, grown to the high-water mark and
+/// never shrunk. On long-lived threads (the serving worker pool, the
+/// caller's thread in serial forwards) repeated convolutions stop
+/// allocating after the first call; short-lived ParallelFor workers
+/// still amortize it across every image of their chunk. The retained
+/// footprint is bounded by the largest conv working set the thread has
+/// run (col_rows * out_area floats, 2x for backward).
+std::vector<float>& Im2ColScratch(int64_t min_size) {
+  static thread_local std::vector<float> scratch;
+  if (static_cast<int64_t>(scratch.size()) < min_size) {
+    scratch.resize(static_cast<size_t>(min_size));
+  }
+  return scratch;
+}
+
 Status CheckConvShapes(const Tensor& x, const Tensor& w, const Tensor& b) {
   if (x.ndim() != 4) return Status::InvalidArgument("conv2d: x must be NCHW");
   if (w.ndim() != 4) {
@@ -99,19 +130,36 @@ Result<Tensor> Conv2dForward(const Tensor& x, const Tensor& w, const Tensor& b,
   const int64_t col_rows = c * kh * kw;
   const int64_t out_area = oh * ow;
 
-  std::vector<float> col(static_cast<size_t>(col_rows * out_area));
-  for (int64_t i = 0; i < n; ++i) {
-    Im2Col(x.data() + i * c * h * wd, c, h, wd, kh, kw, params.stride,
-           params.pad, col.data());
-    // y_i [oc, out_area] = w [oc, col_rows] * col [col_rows, out_area]
-    SGemm(false, false, oc, out_area, col_rows, 1.0f, w.data(), col_rows,
-          col.data(), out_area, 0.0f, y.data() + i * oc * out_area, out_area);
-    float* yi = y.data() + i * oc * out_area;
-    for (int64_t o = 0; o < oc; ++o) {
-      const float bias = b[o];
-      for (int64_t p = 0; p < out_area; ++p) yi[o * out_area + p] += bias;
-    }
-  }
+  // Pick the parallel axis by batch size: a batch at least as wide as
+  // the machine is split across image workers (serial GEMM each, one
+  // im2col scratch per worker); smaller batches keep the images serial
+  // so every image's GEMM can use all cores (nested parallelism inside
+  // an image worker would collapse to serial, see ParallelForChunked).
+  // Per-element GEMM results are thread-count-independent, so the output
+  // is bit-identical either way.
+  const int total_threads = DefaultNumThreads();
+  const bool image_parallel = total_threads > 1 && n >= total_threads;
+  const int gemm_threads = image_parallel ? 1 : 0;
+  ParallelForChunked(
+      0, n,
+      [&](int64_t begin, int64_t end) {
+        std::vector<float>& col = Im2ColScratch(col_rows * out_area);
+        for (int64_t i = begin; i < end; ++i) {
+          Im2Col(x.data() + i * c * h * wd, c, h, wd, kh, kw, params.stride,
+                 params.pad, col.data());
+          // y_i [oc, out_area] = w [oc, col_rows] * col [col_rows, out_area]
+          SGemmWithThreads(false, false, oc, out_area, col_rows, 1.0f,
+                           w.data(), col_rows, col.data(), out_area, 0.0f,
+                           y.data() + i * oc * out_area, out_area,
+                           gemm_threads);
+          float* yi = y.data() + i * oc * out_area;
+          for (int64_t o = 0; o < oc; ++o) {
+            const float bias = b[o];
+            for (int64_t p = 0; p < out_area; ++p) yi[o * out_area + p] += bias;
+          }
+        }
+      },
+      image_parallel ? total_threads : 1);
   return y;
 }
 
@@ -134,8 +182,12 @@ Result<Conv2dGrads> Conv2dBackward(const Tensor& x, const Tensor& w,
 
   const int64_t col_rows = c * kh * kw;
   const int64_t out_area = oh * ow;
-  std::vector<float> col(static_cast<size_t>(col_rows * out_area));
-  std::vector<float> dcol(static_cast<size_t>(col_rows * out_area));
+  // One per-thread scratch block holds both the im2col expansion and the
+  // column gradient; dW accumulates across images, so the image loop stays
+  // serial and the GEMMs parallelize internally instead.
+  std::vector<float>& scratch = Im2ColScratch(2 * col_rows * out_area);
+  float* col = scratch.data();
+  float* dcol = scratch.data() + col_rows * out_area;
 
   for (int64_t i = 0; i < n; ++i) {
     const float* dyi = dy.data() + i * oc * out_area;
@@ -147,13 +199,13 @@ Result<Conv2dGrads> Conv2dBackward(const Tensor& x, const Tensor& w,
     }
     // Weight gradient: dW += dy_i [oc, out_area] * col^T [out_area, col_rows].
     Im2Col(x.data() + i * c * h * wd, c, h, wd, kh, kw, params.stride,
-           params.pad, col.data());
-    SGemm(false, true, oc, col_rows, out_area, 1.0f, dyi, out_area, col.data(),
+           params.pad, col);
+    SGemm(false, true, oc, col_rows, out_area, 1.0f, dyi, out_area, col,
           out_area, 1.0f, grads.dw.data(), col_rows);
     // Input gradient: dcol = w^T [col_rows, oc] * dy_i [oc, out_area].
     SGemm(true, false, col_rows, out_area, oc, 1.0f, w.data(), col_rows, dyi,
-          out_area, 0.0f, dcol.data(), out_area);
-    Col2Im(dcol.data(), c, h, wd, kh, kw, params.stride, params.pad,
+          out_area, 0.0f, dcol, out_area);
+    Col2Im(dcol, c, h, wd, kh, kw, params.stride, params.pad,
            grads.dx.data() + i * c * h * wd);
   }
   return grads;
@@ -202,6 +254,41 @@ Result<MaxPoolResult> MaxPool2dForward(const Tensor& x, int64_t kernel,
     }
   }
   return result;
+}
+
+Result<Tensor> MaxPool2dInference(const Tensor& x, int64_t kernel,
+                                  int64_t stride) {
+  if (x.ndim() != 4) return Status::InvalidArgument("maxpool: x must be NCHW");
+  const int64_t n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const int64_t oh = ConvOutDim(h, kernel, stride, /*pad=*/0);
+  const int64_t ow = ConvOutDim(w, kernel, stride, /*pad=*/0);
+  if (oh <= 0 || ow <= 0) {
+    return Status::InvalidArgument("maxpool: output would be empty");
+  }
+  Tensor y({n, c, oh, ow});
+  ParallelForChunked(0, n * c, [&](int64_t begin, int64_t end) {
+    for (int64_t plane_idx = begin; plane_idx < end; ++plane_idx) {
+      const float* plane = x.data() + plane_idx * h * w;
+      float* out = y.data() + plane_idx * oh * ow;
+      for (int64_t yo = 0; yo < oh; ++yo) {
+        for (int64_t xo = 0; xo < ow; ++xo) {
+          float best = -std::numeric_limits<float>::infinity();
+          for (int64_t dy = 0; dy < kernel; ++dy) {
+            const int64_t in_y = yo * stride + dy;
+            if (in_y >= h) break;
+            const float* row = plane + in_y * w;
+            for (int64_t dx = 0; dx < kernel; ++dx) {
+              const int64_t in_x = xo * stride + dx;
+              if (in_x >= w) break;
+              best = std::max(best, row[in_x]);
+            }
+          }
+          out[yo * ow + xo] = best;
+        }
+      }
+    }
+  });
+  return y;
 }
 
 Result<Tensor> MaxPool2dBackward(const std::vector<int64_t>& argmax,

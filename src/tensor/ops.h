@@ -37,6 +37,12 @@ void Col2Im(const float* col, int64_t channels, int64_t height, int64_t width,
 
 /// \brief y = conv2d(x, w) + b.
 ///
+/// Lowered through im2col + GEMM. The im2col expansion runs in a reusable
+/// per-thread scratch buffer (no allocation per image once the buffer has
+/// grown to the working size), and the batch dimension is distributed
+/// across worker threads, each running a serial GEMM — so concurrent
+/// Conv2dForward calls from different threads are safe and lock-free.
+///
 /// \param x input  [N, C, H, W]
 /// \param w weight [OC, C, KH, KW]
 /// \param b bias   [OC]
@@ -65,6 +71,12 @@ struct MaxPoolResult {
 /// \brief y = maxpool2d(x) with square window `kernel` and stride `stride`.
 Result<MaxPoolResult> MaxPool2dForward(const Tensor& x, int64_t kernel,
                                        int64_t stride);
+
+/// \brief Inference-only max pool: same output values as MaxPool2dForward
+/// but no argmax bookkeeping, parallelized over the N*C planes. Used by
+/// the thread-safe (const) layer inference path.
+Result<Tensor> MaxPool2dInference(const Tensor& x, int64_t kernel,
+                                  int64_t stride);
 
 /// \brief Routes `dy` back through the recorded argmax indices.
 Result<Tensor> MaxPool2dBackward(const std::vector<int64_t>& argmax,

@@ -26,10 +26,20 @@ int DefaultNumThreads() {
   return cached;
 }
 
+namespace {
+// > 0 on threads that must not spawn nested kernel parallelism: inside a
+// ParallelFor* worker, or under a ScopedSerialKernels marker.
+thread_local int t_serial_kernel_depth = 0;
+}  // namespace
+
+ScopedSerialKernels::ScopedSerialKernels() { ++t_serial_kernel_depth; }
+ScopedSerialKernels::~ScopedSerialKernels() { --t_serial_kernel_depth; }
+
 void ParallelForChunked(int64_t begin, int64_t end,
                         const std::function<void(int64_t, int64_t)>& fn,
                         int num_threads) {
   if (end <= begin) return;
+  if (t_serial_kernel_depth > 0) num_threads = 1;
   if (num_threads <= 0) num_threads = DefaultNumThreads();
   int64_t n = end - begin;
   int64_t workers = std::min<int64_t>(num_threads, n);
@@ -44,7 +54,10 @@ void ParallelForChunked(int64_t begin, int64_t end,
     int64_t lo = begin + w * chunk;
     int64_t hi = std::min(end, lo + chunk);
     if (lo >= hi) break;
-    threads.emplace_back([&fn, lo, hi] { fn(lo, hi); });
+    threads.emplace_back([&fn, lo, hi] {
+      ScopedSerialKernels nested_guard;
+      fn(lo, hi);
+    });
   }
   for (auto& t : threads) t.join();
 }

@@ -32,8 +32,29 @@ void ParallelFor(int64_t begin, int64_t end,
 
 /// \brief Runs `fn(chunk_begin, chunk_end)` over disjoint chunks covering
 /// [begin, end). Useful when per-iteration work is tiny.
+///
+/// Nested parallelism collapses to serial: a call made from inside a
+/// ParallelFor* worker (or under a ScopedSerialKernels marker) runs the
+/// whole range on the calling thread instead of spawning another layer
+/// of threads — kernels that parallelize internally (SGemm, conv) can be
+/// called freely from already-parallel code without oversubscription.
+/// All in-repo kernels are bit-deterministic across thread counts, so
+/// the collapse never changes results.
 void ParallelForChunked(int64_t begin, int64_t end,
                         const std::function<void(int64_t, int64_t)>& fn,
                         int num_threads = 0);
+
+/// \brief RAII marker: while alive on this thread, ParallelFor* runs
+/// serially (as if num_threads == 1). For coarse-grained worker threads
+/// (e.g. the serving worker pool with num_workers > 1) that already
+/// saturate the cores — the fine-grained kernel parallelism below them
+/// would only oversubscribe.
+class ScopedSerialKernels {
+ public:
+  ScopedSerialKernels();
+  ~ScopedSerialKernels();
+  ScopedSerialKernels(const ScopedSerialKernels&) = delete;
+  ScopedSerialKernels& operator=(const ScopedSerialKernels&) = delete;
+};
 
 }  // namespace goggles

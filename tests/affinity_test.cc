@@ -167,6 +167,49 @@ TEST_F(AffinityTest, PrepareDetectsSameCountContentChange) {
   }
 }
 
+// The batched GEMM scorer must agree with the scalar ScoreQuery path —
+// including for query images whose resolution (and hence filter-map
+// area) differs from the pool's, which the scalar path always supported.
+TEST_F(AffinityTest, BatchedQueryScoringMatchesScalarAcrossResolutions) {
+  AffinityLibrary library = BuildPrototypeAffinityLibrary(extractor_, 3);
+  ASSERT_TRUE(library.source->Prepare(images_).ok());
+  const int num_functions = 15;  // 5 layers x z=3
+  const int n = static_cast<int>(images_.size());
+
+  for (int size : {32, 64}) {
+    std::vector<data::Image> queries;
+    for (int i = 0; i < 3; ++i) {
+      data::Image img(3, size, size, 0.1f);
+      data::DrawFilledCircle(&img, size / 2, size / 2, size / 4,
+                             {0.9f, 0.3f, 0.2f + 0.1f * i});
+      queries.push_back(img);
+    }
+    auto features = library.source->ExtractQueryFeatures(queries);
+    ASSERT_TRUE(features.ok()) << features.status().ToString();
+    auto rows = library.source->ScoreQueryRowsBatched(*features,
+                                                      num_functions);
+    ASSERT_TRUE(rows.ok()) << "query size " << size << ": "
+                           << rows.status().ToString();
+    ASSERT_EQ(rows->rows(), 3);
+    ASSERT_EQ(rows->cols(), static_cast<int64_t>(num_functions) * n);
+    for (int i = 0; i < 3; ++i) {
+      for (int f = 0; f < num_functions; ++f) {
+        const int layer = f % library.source->num_layers();
+        const int z = f / library.source->num_layers();
+        for (int j = 0; j < n; ++j) {
+          ASSERT_NEAR(
+              (*rows)(i, static_cast<int64_t>(f) * n + j),
+              static_cast<double>(library.source->ScoreQuery(
+                  layer, z, (*features)[static_cast<size_t>(i)], j)),
+              1e-5)
+              << "size " << size << " query " << i << " f " << f << " j "
+              << j;
+        }
+      }
+    }
+  }
+}
+
 TEST(VectorCosineAffinityTest, MatchesCosine) {
   Matrix emb = Matrix::FromRows({{1, 0}, {0, 1}, {1, 1}, {-1, 0}});
   VectorCosineAffinity affinity("test", emb);
