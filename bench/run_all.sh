@@ -83,6 +83,7 @@ all_benches=(
   bench_fig9_num_affinities
   bench_ablation_inference
   bench_serve_latency
+  bench_serve_multitask
   bench_micro_kernels
 )
 if [[ $# -gt 0 ]]; then

@@ -122,6 +122,24 @@ Status PrototypeAffinitySource::Restore(std::vector<LayerData> layers,
   return Status::OK();
 }
 
+uint64_t PrototypeAffinitySource::ApproxMemoryBytes() const {
+  uint64_t bytes = sizeof(*this);
+  for (const LayerData& layer : layers_) {
+    for (const std::vector<float>& v : layer.positions) {
+      bytes += v.capacity() * sizeof(float);
+    }
+    for (const std::vector<float>& v : layer.prototypes) {
+      bytes += v.capacity() * sizeof(float);
+    }
+    bytes += layer.num_prototypes.capacity() * sizeof(int);
+  }
+  for (const PackedPrototypes& pack : packed_) {
+    bytes += pack.data.capacity() * sizeof(float);
+    bytes += pack.offsets.capacity() * sizeof(int64_t);
+  }
+  return bytes;
+}
+
 void PrototypeAffinitySource::BuildPackedPrototypes() {
   const int64_t n = num_images_;
   packed_.assign(layers_.size(), PackedPrototypes());

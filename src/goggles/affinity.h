@@ -48,12 +48,13 @@ class PrototypeAffinitySource {
   /// \brief Cached per-layer state for one prepared pool. Public so the
   /// serving artifact store can persist and restore a fitted session.
   struct LayerData {
-    int channels = 0;
-    int area = 0;  // H * W
-    // positions[i]: area x channels row-major, rows L2-normalized.
+    int channels = 0;  ///< filter-map channels C at this layer
+    int area = 0;      ///< filter-map spatial positions H * W
+    /// positions[i]: area x channels row-major, rows L2-normalized.
     std::vector<std::vector<float>> positions;
-    // prototypes[i]: (#unique<=Z) x channels row-major, rows L2-normalized.
+    /// prototypes[i]: (#unique<=Z) x channels row-major, rows L2-normalized.
     std::vector<std::vector<float>> prototypes;
+    /// Unique prototype count per image (the z-wrap divisor).
     std::vector<int> num_prototypes;
   };
 
@@ -62,9 +63,12 @@ class PrototypeAffinitySource {
   /// needed on the query side — Eq. 2 takes the prototype from the pool
   /// image and searches over the query image's positions.
   struct QueryFeatures {
-    std::vector<std::vector<float>> positions;  // [layer] -> area x channels
+    /// positions[layer]: area x channels row-major, rows L2-normalized.
+    std::vector<std::vector<float>> positions;
   };
 
+  /// \brief Shares `extractor` across the library's functions; `top_z`
+  /// prototypes are cached per image per layer.
   PrototypeAffinitySource(std::shared_ptr<features::FeatureExtractor> extractor,
                           int top_z)
       : extractor_(std::move(extractor)), top_z_(top_z) {}
@@ -75,8 +79,11 @@ class PrototypeAffinitySource {
   /// same-sized dataset re-runs extraction instead of reusing stale caches.
   Status Prepare(const std::vector<data::Image>& images);
 
+  /// \brief Backbone pool-layer count (the library's 5).
   int num_layers() const { return extractor_->num_pool_layers(); }
+  /// \brief Prototypes per layer (Z).
   int top_z() const { return top_z_; }
+  /// \brief Prepared pool size (-1 until prepared).
   int num_images() const { return num_images_; }
 
   /// \brief Content fingerprint of the prepared pool (0 until prepared).
@@ -84,6 +91,11 @@ class PrototypeAffinitySource {
 
   /// \brief The prepared per-layer caches (serving artifact export).
   const std::vector<LayerData>& layers() const { return layers_; }
+
+  /// \brief Approximate resident size of the prepared caches in bytes
+  /// (position vectors, prototypes, and the packed GEMM panels). Feeds
+  /// the serving registry's LRU memory budget.
+  uint64_t ApproxMemoryBytes() const;
 
   /// \brief Restores a prepared state previously captured via layers(),
   /// bypassing feature extraction (serving artifact import). The layer
@@ -159,6 +171,8 @@ class PrototypeAffinitySource {
 /// \brief One (layer, z) prototype affinity function (Eq. 2).
 class PrototypeAffinityFunction : public AffinityFunction {
  public:
+  /// \brief The function scoring prototype rank `z` of `layer` over the
+  /// shared `source`.
   PrototypeAffinityFunction(std::shared_ptr<PrototypeAffinitySource> source,
                             int layer, int z);
 
@@ -193,9 +207,13 @@ class VectorCosineAffinity : public AffinityFunction {
 /// \brief The GOGGLES affinity function library: 5 layers x Z functions
 /// sharing one `PrototypeAffinitySource`.
 struct AffinityLibrary {
+  /// Shared per-pool caches behind every function of the library.
   std::shared_ptr<PrototypeAffinitySource> source;
+  /// The 5 x Z functions in round-robin layer order.
   std::vector<std::unique_ptr<AffinityFunction>> functions;
 
+  /// \brief Raw function pointers in library order (BuildAffinityMatrix
+  /// input).
   std::vector<AffinityFunction*> Pointers() const {
     std::vector<AffinityFunction*> out;
     out.reserve(functions.size());

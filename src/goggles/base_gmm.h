@@ -18,12 +18,12 @@ namespace goggles {
 
 /// \brief GMM hyper-parameters.
 struct GmmConfig {
-  int num_components = 2;
-  int max_iters = 100;
+  int num_components = 2;   ///< mixture components K
+  int max_iters = 100;      ///< EM iteration cap per restart
   double tol = 1e-6;        ///< stop when LL improves less than this
   int num_restarts = 3;     ///< keep the best of this many EM runs
   double var_floor = 1e-6;  ///< lower bound on per-dimension variance
-  uint64_t seed = 17;
+  uint64_t seed = 17;       ///< RNG seed for the restarts' initializations
 };
 
 /// \brief Diagonal-covariance Gaussian mixture fit with EM.
@@ -32,6 +32,7 @@ class DiagonalGmm {
   /// Default-constructs an unfitted model (for SetParameters restore).
   DiagonalGmm() = default;
 
+  /// \brief Constructs an unfitted model with the given hyper-parameters.
   explicit DiagonalGmm(GmmConfig config) : config_(config) {}
 
   /// \brief Fits the mixture to `x` (rows = samples).
@@ -55,8 +56,11 @@ class DiagonalGmm {
     return ll_history_;
   }
 
+  /// \brief Fitted component means (K x D).
   const Matrix& means() const { return means_; }
+  /// \brief Fitted per-dimension variances (K x D).
   const Matrix& variances() const { return variances_; }
+  /// \brief Fitted mixture weights (length K).
   const std::vector<double>& weights() const { return weights_; }
 
  private:

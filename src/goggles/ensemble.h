@@ -14,14 +14,14 @@ namespace goggles {
 
 /// \brief Bernoulli mixture hyper-parameters.
 struct BernoulliMixtureConfig {
-  int num_components = 2;
-  int max_iters = 100;
-  double tol = 1e-6;
-  int num_restarts = 4;
+  int num_components = 2;  ///< mixture components K
+  int max_iters = 100;     ///< EM iteration cap per restart
+  double tol = 1e-6;       ///< stop when LL improves less than this
+  int num_restarts = 4;    ///< keep the best of this many EM runs
   /// Laplace smoothing added in the M-step so no b_{k,l} hits exactly 0/1
   /// (the paper's "singularity problem" guard).
   double smoothing = 1e-2;
-  uint64_t seed = 19;
+  uint64_t seed = 19;  ///< RNG seed for the restarts' initializations
 };
 
 /// \brief Multivariate Bernoulli mixture (Eq. 7) fit with EM (Eq. 11).
@@ -30,6 +30,7 @@ class BernoulliMixture {
   /// Default-constructs an unfitted model (for SetParameters restore).
   BernoulliMixture() = default;
 
+  /// \brief Constructs an unfitted model with the given hyper-parameters.
   explicit BernoulliMixture(BernoulliMixtureConfig config) : config_(config) {}
 
   /// \brief Fits to binary matrix `b` (values in [0, 1]; fractional values
@@ -46,11 +47,15 @@ class BernoulliMixture {
   /// \brief Posterior responsibilities per row.
   Result<Matrix> PredictProba(const Matrix& b) const;
 
+  /// \brief Final training log-likelihood of the best restart.
   double final_log_likelihood() const { return final_ll_; }
+  /// \brief Per-iteration LL of the best restart.
   const std::vector<double>& log_likelihood_history() const {
     return ll_history_;
   }
+  /// \brief Fitted Bernoulli parameters (K x L).
   const Matrix& bernoulli_params() const { return params_; }
+  /// \brief Fitted mixture weights (length K).
   const std::vector<double>& weights() const { return weights_; }
 
  private:

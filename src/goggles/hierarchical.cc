@@ -142,6 +142,23 @@ Result<LabelingResult> HierarchicalLabeler::Fit(
   return result;
 }
 
+uint64_t FittedHierarchicalModel::ApproxMemoryBytes() const {
+  uint64_t bytes = sizeof(*this);
+  for (const DiagonalGmm& gmm : base_models) {
+    bytes += static_cast<uint64_t>(gmm.means().size()) * sizeof(double);
+    bytes += static_cast<uint64_t>(gmm.variances().size()) * sizeof(double);
+    bytes += gmm.weights().size() * sizeof(double);
+  }
+  for (const std::vector<int>& mapping : base_mappings) {
+    bytes += mapping.size() * sizeof(int);
+  }
+  bytes += static_cast<uint64_t>(ensemble.bernoulli_params().size()) *
+           sizeof(double);
+  bytes += ensemble.weights().size() * sizeof(double);
+  bytes += ensemble_mapping.size() * sizeof(int);
+  return bytes;
+}
+
 Result<LabelingResult> FittedHierarchicalModel::Infer(
     const Matrix& affinity_rows) const {
   if (!fitted()) {

@@ -19,8 +19,8 @@ namespace goggles {
 /// \brief Inference hyper-parameters, plus ablation switches (§4.1 design
 /// choices, exercised by bench_ablation_inference).
 struct HierarchicalConfig {
-  GmmConfig base;
-  BernoulliMixtureConfig ensemble;
+  GmmConfig base;                   ///< per-function base GMM knobs
+  BernoulliMixtureConfig ensemble;  ///< ensemble Bernoulli-mixture knobs
   /// One-hot encode LP before the ensemble (paper's design). Off = feed raw
   /// posteriors to the Bernoulli mixture (ablation).
   bool one_hot_lp = true;
@@ -51,26 +51,36 @@ struct LabelingResult {
 /// EM fits can be persisted (serve/ artifacts) and reused to label new
 /// instances online via Infer() — evaluation only, no refit.
 struct FittedHierarchicalModel {
-  int num_classes = 0;
+  int num_classes = 0;  ///< number of classes K
   /// Pool size N the model was fitted on; new affinity rows must have
   /// num_functions() * pool_size columns.
   int64_t pool_size = 0;
-  /// Design-choice flags the model was fitted under (see
+  /// One-hot-LP design flag the model was fitted under (see
   /// HierarchicalConfig).
   bool one_hot_lp = true;
-  bool use_ensemble = true;
+  bool use_ensemble = true;  ///< ensemble design flag (see HierarchicalConfig)
   /// One fitted diagonal GMM per affinity function, paired with its
   /// development-set cluster-to-class mapping.
   std::vector<DiagonalGmm> base_models;
+  /// Per-function cluster-to-class mappings (parallel to base_models).
   std::vector<std::vector<int>> base_mappings;
-  /// Fitted ensemble + its mapping (unused when !use_ensemble).
+  /// Fitted ensemble (unused when !use_ensemble).
   BernoulliMixture ensemble;
+  /// Ensemble-level cluster-to-class mapping.
   std::vector<int> ensemble_mapping;
 
+  /// \brief Affinity-function count alpha the model was fitted over.
   int64_t num_functions() const {
     return static_cast<int64_t>(base_models.size());
   }
+  /// \brief True once base models are present (fit or restore).
   bool fitted() const { return !base_models.empty(); }
+
+  /// \brief Approximate resident size of the fitted parameters in bytes
+  /// (GMM means/variances/weights, mappings, ensemble). Used by the
+  /// serving registry's LRU memory budget; intentionally an estimate —
+  /// container bookkeeping overhead is not counted.
+  uint64_t ApproxMemoryBytes() const;
 
   /// \brief Evaluates the fitted stack on new instances without refitting.
   ///
@@ -84,6 +94,7 @@ struct FittedHierarchicalModel {
 /// \brief Runs the full §4 inference stack on an affinity matrix.
 class HierarchicalLabeler {
  public:
+  /// \brief Builds a labeler with the given hyper-parameters.
   explicit HierarchicalLabeler(HierarchicalConfig config)
       : config_(config) {}
 
@@ -102,6 +113,7 @@ class HierarchicalLabeler {
                              FittedHierarchicalModel* fitted_out = nullptr)
       const;
 
+  /// \brief The configuration the labeler was built with.
   const HierarchicalConfig& config() const { return config_; }
 
  private:

@@ -23,6 +23,7 @@ struct GogglesConfig {
   /// Use only the first `max_functions` affinity functions (<=0 = all);
   /// drives the Figure 9 sweep.
   int max_functions = 0;
+  /// Hierarchical-model hyper-parameters and ablation switches.
   HierarchicalConfig inference;
 };
 
@@ -66,6 +67,7 @@ class GogglesPipeline {
   /// prepared pool caches once Label/BuildAffinity has run).
   const AffinityLibrary& library() const { return library_; }
 
+  /// \brief The configuration the pipeline was built with.
   const GogglesConfig& config() const { return config_; }
 
  private:

@@ -432,6 +432,13 @@ Result<Artifact> Artifact::Load(const std::string& path) {
     }
     sections.emplace_back(tag, std::move(payload));
   }
+  // Oversized files are corruption too: a well-formed artifact ends at
+  // the last section's last payload byte (e.g. a partially overwritten
+  // longer artifact would otherwise pass every per-section CRC).
+  if (in.peek() != std::char_traits<char>::eof()) {
+    return Status::IOError(
+        "Artifact::Load: trailing bytes after the last section");
+  }
 
   auto find_section = [&sections](uint32_t tag) -> const std::string* {
     for (const auto& [t, payload] : sections) {

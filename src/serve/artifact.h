@@ -28,7 +28,9 @@
 /// ```
 ///
 /// Sections are CRC-32 checked individually, so truncation and corruption
-/// are detected before any payload is interpreted. Versioning policy:
+/// are detected before any payload is interpreted; bytes past the last
+/// section (an oversized / partially overwritten file) are rejected too.
+/// Versioning policy:
 /// unknown section tags are skipped on load (forward-compatible additions);
 /// a new `version` is only minted when an existing section's payload
 /// layout changes (breaking), and loaders reject versions they don't know.
@@ -37,10 +39,12 @@ namespace goggles::serve {
 
 /// \brief In-memory form of a persisted labeling session.
 struct Artifact {
+  /// The on-disk format version this build reads and writes.
   static constexpr uint32_t kFormatVersion = 1;
 
-  /// Prototype library shape: Z and the backbone's pool-layer count.
+  /// Prototype library shape: Z prototypes per layer.
   int top_z = 0;
+  /// The backbone's pool-layer count the artifact was fitted with.
   int num_layers = 0;
   /// Content fingerprint of the fitted pool (staleness detection).
   uint64_t pool_fingerprint = 0;
@@ -51,8 +55,10 @@ struct Artifact {
   /// Prepared pool caches of the shared affinity source.
   std::vector<PrototypeAffinitySource::LayerData> source_layers;
 
-  /// The pool's labels from the fitting run (serving stats / warm reads).
+  /// The pool's soft labels from the fitting run (serving stats / warm
+  /// reads).
   Matrix pool_soft_labels;
+  /// The pool's hard labels (argmax rows of pool_soft_labels).
   std::vector<int> pool_hard_labels;
 
   /// \brief Writes the artifact to `path` (atomic at the filesystem's

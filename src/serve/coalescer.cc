@@ -1,0 +1,178 @@
+#include "serve/coalescer.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+
+namespace goggles::serve {
+
+Coalescer::Coalescer(CoalescerConfig config) : config_(config) {
+  if (config_.max_batch < 1) config_.max_batch = 1;
+  if (config_.window_micros < 0) config_.window_micros = 0;
+}
+
+namespace {
+
+/// FNV-1a over the image dimensions and raw pixel bytes, for duplicate
+/// grouping inside one batch (always confirmed by an exact compare).
+uint64_t HashImageContent(const data::Image& image) {
+  uint64_t hash = 1469598103934665603ull;
+  auto mix_bytes = [&hash](const void* data, size_t bytes) {
+    const unsigned char* p = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < bytes; ++i) {
+      hash ^= p[i];
+      hash *= 1099511628211ull;
+    }
+  };
+  const int dims[3] = {image.channels, image.height, image.width};
+  mix_bytes(dims, sizeof(dims));
+  mix_bytes(image.pixels.data(), image.pixels.size() * sizeof(float));
+  return hash;
+}
+
+bool SamePixels(const data::Image& a, const data::Image& b) {
+  return a.channels == b.channels && a.height == b.height &&
+         a.width == b.width &&
+         std::memcmp(a.pixels.data(), b.pixels.data(),
+                     a.pixels.size() * sizeof(float)) == 0;
+}
+
+}  // namespace
+
+void Coalescer::Execute(const std::shared_ptr<const Session>& session,
+                        const std::shared_ptr<Batch>& batch) {
+  const size_t n = batch->images.size();
+  batches_.fetch_add(1);
+  if (n > 1) coalesced_.fetch_add(n);
+  uint64_t seen = max_batch_size_.load();
+  while (n > seen && !max_batch_size_.compare_exchange_weak(seen, n)) {
+  }
+
+  // Duplicate requests in one window (hot content hitting the gateway
+  // concurrently) are scored once: labeling is deterministic, so every
+  // holder of the same pixels gets the same — still bit-identical —
+  // response. This is a win only coalescing can unlock: a singleton
+  // request can't see its concurrent twins.
+  std::vector<size_t> unique_of(n, 0);
+  std::vector<size_t> unique_slots;  // index of each group's first request
+  std::vector<uint64_t> hashes;
+  unique_slots.reserve(n);
+  hashes.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t hash = HashImageContent(*batch->images[i]);
+    size_t group = unique_slots.size();
+    for (size_t u = 0; u < unique_slots.size(); ++u) {
+      if (hashes[u] == hash &&
+          SamePixels(*batch->images[unique_slots[u]], *batch->images[i])) {
+        group = u;
+        break;
+      }
+    }
+    if (group == unique_slots.size()) {
+      unique_slots.push_back(i);
+      hashes.push_back(hash);
+    }
+    unique_of[i] = group;
+  }
+  deduped_.fetch_add(n - unique_slots.size());
+
+  Status status = Status::OK();
+  if (unique_slots.size() == 1) {
+    Result<OnlineLabel> one = session->LabelOne(*batch->images[0]);
+    if (one.ok()) {
+      for (size_t i = 0; i < n; ++i) *batch->outputs[i] = *one;
+    } else {
+      status = one.status();
+    }
+  } else {
+    // One batched call for the whole window: batched extraction + one
+    // GEMM per pool layer, bit-identical per row to singleton calls.
+    std::vector<data::Image> images;
+    images.reserve(unique_slots.size());
+    for (size_t slot : unique_slots) images.push_back(*batch->images[slot]);
+    Result<LabelingResult> result = session->LabelBatch(images);
+    if (result.ok()) {
+      for (size_t i = 0; i < n; ++i) {
+        const int64_t row = static_cast<int64_t>(unique_of[i]);
+        batch->outputs[i]->soft = result->soft_labels.Row(row);
+        batch->outputs[i]->hard = result->hard_labels[unique_of[i]];
+      }
+    } else {
+      status = result.status();
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    batch->status = status;
+    batch->finished = true;
+  }
+  batch->cv.notify_all();
+}
+
+Result<OnlineLabel> Coalescer::Label(
+    const std::shared_ptr<const Session>& session, const data::Image& image) {
+  if (session == nullptr) {
+    return Status::InvalidArgument("Coalescer::Label: session is null");
+  }
+  if (!config_.enabled || config_.max_batch <= 1) {
+    return session->LabelOne(image);
+  }
+  requests_.fetch_add(1);
+
+  const BatchKey key{session.get(), image.channels, image.height, image.width};
+  OnlineLabel my_label;
+  std::shared_ptr<Batch> batch;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    auto it = open_.find(key);
+    if (it != open_.end() && !it->second->closed &&
+        static_cast<int>(it->second->images.size()) < config_.max_batch) {
+      // Join the forming batch as a follower: the leader scores it and
+      // fills this request's slot.
+      batch = it->second;
+      batch->images.push_back(&image);
+      batch->outputs.push_back(&my_label);
+      if (static_cast<int>(batch->images.size()) >= config_.max_batch) {
+        batch->cv.notify_all();  // wake the leader early — batch is full
+      }
+      batch->cv.wait(lock, [&] { return batch->finished; });
+      if (!batch->status.ok()) return batch->status;
+      return my_label;
+    }
+
+    // Open a new batch and lead it: wait out the coalescing window (or
+    // until full), then take the batch out of the open set so later
+    // arrivals start the next one.
+    batch = std::make_shared<Batch>();
+    batch->images.push_back(&image);
+    batch->outputs.push_back(&my_label);
+    open_[key] = batch;
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::microseconds(config_.window_micros);
+    batch->cv.wait_until(lock, deadline, [&] {
+      return static_cast<int>(batch->images.size()) >= config_.max_batch;
+    });
+    batch->closed = true;
+    auto current = open_.find(key);
+    if (current != open_.end() && current->second == batch) {
+      open_.erase(current);
+    }
+  }
+
+  Execute(session, batch);
+  if (!batch->status.ok()) return batch->status;
+  return my_label;
+}
+
+CoalescerStats Coalescer::stats() const {
+  CoalescerStats stats;
+  stats.requests = requests_.load();
+  stats.batches = batches_.load();
+  stats.coalesced = coalesced_.load();
+  stats.deduped = deduped_.load();
+  stats.max_batch_size = max_batch_size_.load();
+  return stats;
+}
+
+}  // namespace goggles::serve

@@ -1,0 +1,135 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "data/image.h"
+#include "serve/session.h"
+#include "util/status.h"
+
+/// \file coalescer.h
+/// \brief Cross-request micro-batching for `label` requests.
+///
+/// Single-image `label` requests arriving close together on different
+/// worker threads waste the batched scorer: each one pays the per-call
+/// costs (prototype-panel packing per pool layer, posterior-evaluation
+/// setup) for a one-row GEMM. The coalescer gathers same-task,
+/// same-shape requests inside a small time/size window and scores the
+/// whole group through **one** `Session::LabelBatch` call — the same
+/// batched-extraction + `ScoreQueryRowsBatched` path `label_batch` uses.
+///
+/// Because the GEMM accumulates every output element in a fixed
+/// ascending-k order independent of the problem shape it is embedded in
+/// (see README "Performance"), a coalesced request's scores are
+/// **bit-identical** to what a singleton `LabelOne` call would have
+/// produced; coalescing changes latency, never results. Response
+/// ordering is unaffected too: the service's writer reassembles
+/// responses into input order regardless of which batch scored them.
+///
+/// Batching is leader-based: the first request to open a batch waits up
+/// to `window_micros` for more arrivals (waking early when the batch
+/// fills to `max_batch`), then executes the batch while later arrivals
+/// open the next one. Joiners block until the leader distributes their
+/// result. No extra threads are created — the price is up to one window
+/// of added latency per flush under light load.
+///
+/// Duplicate images inside one window (hot content submitted by many
+/// clients at once) are detected by content hash + exact compare and
+/// scored once; labeling is deterministic, so every duplicate receives
+/// the same bit-identical response a singleton call would have produced.
+/// This dedup is the gateway win only cross-request batching can unlock.
+
+namespace goggles::serve {
+
+/// \brief Micro-batcher tuning knobs.
+struct CoalescerConfig {
+  /// Master switch; disabled means Label() degenerates to
+  /// `session->LabelOne(image)` with zero added latency.
+  bool enabled = false;
+  /// Flush as soon as a batch holds this many requests.
+  int max_batch = 16;
+  /// Maximum microseconds a batch leader waits for co-batchable
+  /// requests before flushing what it has.
+  int64_t window_micros = 2000;
+};
+
+/// \brief Coalescer counters (monotonic over the process lifetime).
+struct CoalescerStats {
+  uint64_t requests = 0;   ///< Label() calls routed through the coalescer
+  uint64_t batches = 0;    ///< LabelBatch flushes executed
+  uint64_t coalesced = 0;  ///< requests that shared a batch with others
+  uint64_t deduped = 0;    ///< requests answered from a twin's scores
+  uint64_t max_batch_size = 0;  ///< largest batch flushed so far
+};
+
+/// \brief Gathers concurrent same-task `label` requests into batches.
+///
+/// Thread-safe; meant to be called from the service worker pool. Requests
+/// only share a batch when they target the same `Session` *and* have the
+/// same image shape (mixed shapes cannot stack into one extraction
+/// tensor), keyed automatically — callers just call Label().
+class Coalescer {
+ public:
+  /// \brief Builds a coalescer (max_batch/window clamped to sane
+  /// minimums; `enabled` false makes Label() a plain passthrough).
+  explicit Coalescer(CoalescerConfig config);
+
+  /// \brief Labels one image, possibly as part of a coalesced batch.
+  /// Blocks until the result is available (at most one coalescing window
+  /// plus the batch's scoring time). Thread-safe.
+  Result<OnlineLabel> Label(const std::shared_ptr<const Session>& session,
+                            const data::Image& image);
+
+  /// \brief Snapshot of the coalescer counters.
+  CoalescerStats stats() const;
+
+  /// \brief The configuration the coalescer was built with.
+  const CoalescerConfig& config() const { return config_; }
+
+ private:
+  /// Batches only form across requests that can stack into one
+  /// extraction call: same fitted session, same image shape.
+  struct BatchKey {
+    const Session* session = nullptr;
+    int channels = 0, height = 0, width = 0;
+    bool operator<(const BatchKey& other) const {
+      if (session != other.session) return session < other.session;
+      if (channels != other.channels) return channels < other.channels;
+      if (height != other.height) return height < other.height;
+      return width < other.width;
+    }
+  };
+
+  /// One forming/executing batch. Slot pointers stay valid because every
+  /// submitter's slot lives on its own stack until the batch finishes.
+  struct Batch {
+    std::vector<const data::Image*> images;  ///< arrival order
+    std::vector<OnlineLabel*> outputs;       ///< parallel to images
+    bool closed = false;    ///< leader took it; no more joiners
+    bool finished = false;  ///< results (or error) distributed
+    Status status = Status::OK();
+    std::condition_variable cv;
+  };
+
+  /// Runs session->LabelBatch for the whole batch and distributes
+  /// per-request results. Called by the batch leader, outside mu_.
+  void Execute(const std::shared_ptr<const Session>& session,
+               const std::shared_ptr<Batch>& batch);
+
+  CoalescerConfig config_;
+  std::mutex mu_;
+  std::map<BatchKey, std::shared_ptr<Batch>> open_;
+
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> coalesced_{0};
+  std::atomic<uint64_t> deduped_{0};
+  std::atomic<uint64_t> max_batch_size_{0};
+};
+
+}  // namespace goggles::serve

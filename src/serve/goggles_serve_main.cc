@@ -1,16 +1,40 @@
 /// \file goggles_serve_main.cc
-/// \brief The `goggles_serve` binary: loads a labeling artifact and
-/// answers newline-delimited JSON requests on stdin/stdout.
+/// \brief The `goggles_serve` binary: a labeling gateway answering
+/// newline-delimited JSON requests on stdin/stdout.
 ///
 /// Usage:
-///   goggles_serve --artifact PATH [--workers N] [--queue N]
+///   goggles_serve --artifact PATH [options]           # single-artifact
+///   goggles_serve --artifact-dir DIR [options]        # multi-task gateway
+///   goggles_serve --artifact PATH --artifact-dir DIR  # both: PATH serves
+///                                                     # task-less requests
+///
+/// Options:
+///   --workers N             worker threads (default 2)
+///   --queue N               bounded request-queue capacity (default 64)
+///   --coalesce              enable cross-request micro-batching of
+///                           `label` requests (default off; also
+///                           GOGGLES_COALESCE=1)
+///   --coalesce-window-us N  micro-batching window (default 2000; also
+///                           GOGGLES_COALESCE_WINDOW_US)
+///   --coalesce-batch N      max coalesced batch size (default 16; also
+///                           GOGGLES_COALESCE_MAX_BATCH)
+///   --task-budget-mb N      approximate-memory budget for resident
+///                           tasks; LRU eviction beyond it (default 0 =
+///                           unlimited; also GOGGLES_TASK_BUDGET_MB)
+///   --max-tasks N           resident-task cap (default 0 = unlimited;
+///                           also GOGGLES_MAX_TASKS)
+///
+/// The artifact directory may also come from GOGGLES_ARTIFACT_DIR. In
+/// gateway mode, tasks are `<dir>/<task>.ggsa` artifacts loaded on the
+/// first request that routes to them ("task":"name"), hot-reloaded when
+/// the file changes, and LRU-evicted past the memory budget.
 ///
 /// The backbone extractor is the pretrained VggMini (cached under
 /// $GOGGLES_CACHE_DIR, default /tmp/goggles_cache) — the same backbone
-/// the artifact was fitted with. Startup prints one `{"ok":true,...}`
+/// every artifact was fitted with. Startup prints one `{"ok":true,...}`
 /// ready line to stderr; every request line then gets exactly one
-/// response line on stdout, in input order (see serve/service.h for the
-/// protocol).
+/// response line on stdout, in input order (docs/serve_protocol.md has
+/// the full protocol).
 
 #include <cerrno>
 #include <cstdio>
@@ -20,8 +44,10 @@
 #include <string>
 
 #include "eval/backbone.h"
+#include "serve/registry.h"
 #include "serve/service.h"
 #include "serve/session.h"
+#include "util/env.h"
 #include "util/timer.h"
 
 namespace {
@@ -42,14 +68,42 @@ bool ParsePositiveInt(const char* text, long long max_value,
   return true;
 }
 
+/// Env-var twin of the flag parsing: same strict parse and the same
+/// bounds as the corresponding CLI flag. Out-of-range or malformed
+/// values warn on stderr and fall back to `fallback` (the repo's
+/// env-knob policy: never silently truncate).
+long long EnvRangedInt(const char* name, long long fallback,
+                       long long min_value, long long max_value) {
+  const char* text = std::getenv(name);
+  if (text == nullptr || *text == '\0') return fallback;
+  char* end = nullptr;
+  errno = 0;
+  const long long value = std::strtoll(text, &end, 10);
+  if (errno != 0 || end == text || *end != '\0' || value < min_value ||
+      value > max_value) {
+    std::fprintf(stderr,
+                 "warning: %s='%s' is not an integer in [%lld, %lld]; "
+                 "using %lld\n",
+                 name, text, min_value, max_value, fallback);
+    return fallback;
+  }
+  return value;
+}
+
 void PrintUsage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s --artifact PATH [--workers N] [--queue N]\n"
-               "Serves newline-delimited JSON labeling requests on "
-               "stdin/stdout.\n"
-               "Ops: {\"op\":\"stats\"} | {\"op\":\"label\",\"image\":{...}} "
-               "| {\"op\":\"label_batch\",\"images\":[...]}\n",
-               argv0);
+  std::fprintf(
+      stderr,
+      "usage: %s (--artifact PATH | --artifact-dir DIR) [--workers N]\n"
+      "       [--queue N] [--coalesce] [--coalesce-window-us N]\n"
+      "       [--coalesce-batch N] [--task-budget-mb N] [--max-tasks N]\n"
+      "Serves newline-delimited JSON labeling requests on stdin/stdout.\n"
+      "Ops: {\"op\":\"stats\"} | {\"op\":\"label\",\"image\":{...}} |\n"
+      "     {\"op\":\"label_batch\",\"images\":[...]} |\n"
+      "     {\"op\":\"list_tasks\"} | {\"op\":\"load\",\"task\":T} |\n"
+      "     {\"op\":\"unload\",\"task\":T}\n"
+      "Multi-task requests carry \"task\":\"name\" "
+      "(-> DIR/name.ggsa; see docs/serve_protocol.md).\n",
+      argv0);
 }
 
 }  // namespace
@@ -58,28 +112,78 @@ int main(int argc, char** argv) {
   using namespace goggles;
 
   std::string artifact_path;
+  std::string artifact_dir = GetEnvOr("GOGGLES_ARTIFACT_DIR", "");
   serve::ServiceConfig config;
+  config.coalesce.enabled = GetEnvIntOr("GOGGLES_COALESCE", 0) != 0;
+  config.coalesce.window_micros = EnvRangedInt(
+      "GOGGLES_COALESCE_WINDOW_US", config.coalesce.window_micros, 1,
+      10'000'000);
+  config.coalesce.max_batch = static_cast<int>(EnvRangedInt(
+      "GOGGLES_COALESCE_MAX_BATCH", config.coalesce.max_batch, 1, 4096));
+  serve::RegistryConfig registry_config;
+  registry_config.memory_budget_bytes =
+      static_cast<uint64_t>(
+          EnvRangedInt("GOGGLES_TASK_BUDGET_MB", 0, 0, 1 << 20))
+      << 20;
+  registry_config.max_resident_tasks = static_cast<size_t>(
+      EnvRangedInt("GOGGLES_MAX_TASKS", 0, 0, 1 << 20));
+
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const bool has_value = i + 1 < argc;
+    long long value = 0;
     if (arg == "--artifact" && has_value) {
       artifact_path = argv[++i];
+    } else if (arg == "--artifact-dir" && has_value) {
+      artifact_dir = argv[++i];
     } else if (arg == "--workers" && has_value) {
-      long long workers = 0;
-      if (!ParsePositiveInt(argv[++i], 1024, &workers)) {
+      if (!ParsePositiveInt(argv[++i], 1024, &value)) {
         std::fprintf(stderr, "error: --workers expects 1..1024, got '%s'\n",
                      argv[i]);
         return 2;
       }
-      config.num_workers = static_cast<int>(workers);
+      config.num_workers = static_cast<int>(value);
     } else if (arg == "--queue" && has_value) {
-      long long queue = 0;
-      if (!ParsePositiveInt(argv[++i], 1 << 20, &queue)) {
+      if (!ParsePositiveInt(argv[++i], 1 << 20, &value)) {
         std::fprintf(stderr, "error: --queue expects 1..%d, got '%s'\n",
                      1 << 20, argv[i]);
         return 2;
       }
-      config.queue_capacity = static_cast<size_t>(queue);
+      config.queue_capacity = static_cast<size_t>(value);
+    } else if (arg == "--coalesce") {
+      config.coalesce.enabled = true;
+    } else if (arg == "--coalesce-window-us" && has_value) {
+      if (!ParsePositiveInt(argv[++i], 10'000'000, &value)) {
+        std::fprintf(stderr,
+                     "error: --coalesce-window-us expects 1..10000000, "
+                     "got '%s'\n",
+                     argv[i]);
+        return 2;
+      }
+      config.coalesce.window_micros = value;
+    } else if (arg == "--coalesce-batch" && has_value) {
+      if (!ParsePositiveInt(argv[++i], 4096, &value)) {
+        std::fprintf(stderr, "error: --coalesce-batch expects 1..4096, "
+                     "got '%s'\n",
+                     argv[i]);
+        return 2;
+      }
+      config.coalesce.max_batch = static_cast<int>(value);
+    } else if (arg == "--task-budget-mb" && has_value) {
+      if (!ParsePositiveInt(argv[++i], 1 << 20, &value)) {
+        std::fprintf(stderr, "error: --task-budget-mb expects 1..%d, "
+                     "got '%s'\n",
+                     1 << 20, argv[i]);
+        return 2;
+      }
+      registry_config.memory_budget_bytes = static_cast<uint64_t>(value) << 20;
+    } else if (arg == "--max-tasks" && has_value) {
+      if (!ParsePositiveInt(argv[++i], 1 << 20, &value)) {
+        std::fprintf(stderr, "error: --max-tasks expects 1..%d, got '%s'\n",
+                     1 << 20, argv[i]);
+        return 2;
+      }
+      registry_config.max_resident_tasks = static_cast<size_t>(value);
     } else if (arg == "--help" || arg == "-h") {
       PrintUsage(argv[0]);
       return 0;
@@ -90,8 +194,10 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (artifact_path.empty()) {
-    std::fprintf(stderr, "error: --artifact is required\n");
+  if (artifact_path.empty() && artifact_dir.empty()) {
+    std::fprintf(stderr,
+                 "error: need --artifact and/or --artifact-dir "
+                 "(or GOGGLES_ARTIFACT_DIR)\n");
     PrintUsage(argv[0]);
     return 2;
   }
@@ -105,26 +211,59 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  auto session = serve::Session::Load(artifact_path, *extractor);
-  if (!session.ok()) {
-    std::fprintf(stderr, "error: cannot load artifact: %s\n",
-                 session.status().ToString().c_str());
-    return 1;
+  // The default session (serves requests without a "task").
+  std::shared_ptr<const serve::Session> default_session;
+  if (!artifact_path.empty()) {
+    auto session = serve::Session::Load(artifact_path, *extractor);
+    if (!session.ok()) {
+      std::fprintf(stderr, "error: cannot load artifact: %s\n",
+                   session.status().ToString().c_str());
+      return 1;
+    }
+    default_session =
+        std::make_shared<const serve::Session>(std::move(*session));
   }
 
-  std::fprintf(stderr,
-               "{\"ok\":true,\"ready\":true,\"artifact\":\"%s\","
-               "\"pool_size\":%lld,\"num_classes\":%d,"
-               "\"num_functions\":%lld,\"startup_seconds\":%.2f}\n",
-               artifact_path.c_str(),
-               static_cast<long long>(session->pool_size()),
-               session->num_classes(),
-               static_cast<long long>(session->num_functions()),
-               timer.ElapsedSeconds());
+  std::shared_ptr<serve::SessionRegistry> registry;
+  if (!artifact_dir.empty()) {
+    registry_config.artifact_dir = artifact_dir;
+    registry = std::make_shared<serve::SessionRegistry>(*extractor,
+                                                        registry_config);
+  }
 
-  serve::Service service(
-      std::make_shared<const serve::Session>(std::move(*session)), config);
-  goggles::Status status = service.Run(std::cin, std::cout);
+  // The service clamps the coalescing batch to the worker count (more
+  // in-flight label requests cannot exist); surface that so a user who
+  // asked for a bigger batch knows what is actually in effect.
+  if (config.coalesce.enabled &&
+      config.coalesce.max_batch > config.num_workers) {
+    std::fprintf(stderr,
+                 "note: coalesce batch %d exceeds --workers %d; effective "
+                 "batch is %d (raise --workers for bigger batches)\n",
+                 config.coalesce.max_batch, config.num_workers,
+                 config.num_workers);
+    config.coalesce.max_batch = config.num_workers;
+  }
+
+  std::fprintf(
+      stderr,
+      "{\"ok\":true,\"ready\":true,\"artifact\":\"%s\","
+      "\"artifact_dir\":\"%s\",\"workers\":%d,\"coalesce\":%s,"
+      "\"coalesce_batch\":%d,\"coalesce_window_us\":%lld,"
+      "\"task_budget_bytes\":%llu,\"startup_seconds\":%.2f}\n",
+      artifact_path.c_str(), artifact_dir.c_str(), config.num_workers,
+      config.coalesce.enabled ? "true" : "false", config.coalesce.max_batch,
+      static_cast<long long>(config.coalesce.window_micros),
+      static_cast<unsigned long long>(registry_config.memory_budget_bytes),
+      timer.ElapsedSeconds());
+
+  goggles::Status status = Status::OK();
+  if (registry != nullptr) {
+    serve::Service service(registry, default_session, config);
+    status = service.Run(std::cin, std::cout);
+  } else {
+    serve::Service service(default_session, config);
+    status = service.Run(std::cin, std::cout);
+  }
   if (!status.ok()) {
     std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
     return 1;

@@ -18,42 +18,72 @@ namespace goggles::serve {
 /// \brief A parsed JSON value (tagged union).
 class JsonValue {
  public:
-  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  /// \brief The JSON value kinds.
+  enum class Type {
+    kNull,    ///< JSON null
+    kBool,    ///< true / false
+    kNumber,  ///< any JSON number (stored as double)
+    kString,  ///< string
+    kArray,   ///< ordered element list
+    kObject   ///< ordered key/value member list
+  };
 
-  JsonValue() = default;  // null
+  /// \brief Constructs null.
+  JsonValue() = default;
+  /// \brief Constructs a boolean value.
   JsonValue(bool b) : type_(Type::kBool), bool_(b) {}          // NOLINT
+  /// \brief Constructs a number value.
   JsonValue(double d) : type_(Type::kNumber), number_(d) {}    // NOLINT
+  /// \brief Constructs a number value from an int.
   JsonValue(int i)                                             // NOLINT
       : type_(Type::kNumber), number_(static_cast<double>(i)) {}
+  /// \brief Constructs a number value from an int64 (precision-limited
+  /// to the double mantissa, like everything JSON).
   JsonValue(int64_t i)                                         // NOLINT
       : type_(Type::kNumber), number_(static_cast<double>(i)) {}
+  /// \brief Constructs a string value.
   JsonValue(std::string s)                                     // NOLINT
       : type_(Type::kString), string_(std::move(s)) {}
+  /// \brief Constructs a string value from a C string.
   JsonValue(const char* s) : type_(Type::kString), string_(s) {}  // NOLINT
 
+  /// \brief An empty JSON array.
   static JsonValue MakeArray() {
     JsonValue v;
     v.type_ = Type::kArray;
     return v;
   }
+  /// \brief An empty JSON object.
   static JsonValue MakeObject() {
     JsonValue v;
     v.type_ = Type::kObject;
     return v;
   }
 
+  /// \brief This value's kind.
   Type type() const { return type_; }
+  /// \brief True iff this is null.
   bool is_null() const { return type_ == Type::kNull; }
+  /// \brief True iff this is a boolean.
   bool is_bool() const { return type_ == Type::kBool; }
+  /// \brief True iff this is a number.
   bool is_number() const { return type_ == Type::kNumber; }
+  /// \brief True iff this is a string.
   bool is_string() const { return type_ == Type::kString; }
+  /// \brief True iff this is an array.
   bool is_array() const { return type_ == Type::kArray; }
+  /// \brief True iff this is an object.
   bool is_object() const { return type_ == Type::kObject; }
 
+  /// \brief The boolean payload (valid when is_bool()).
   bool bool_value() const { return bool_; }
+  /// \brief The numeric payload (valid when is_number()).
   double number() const { return number_; }
+  /// \brief The string payload (valid when is_string()).
   const std::string& str() const { return string_; }
+  /// \brief Array elements in document order (valid when is_array()).
   const std::vector<JsonValue>& items() const { return items_; }
+  /// \brief Object members in insertion order (valid when is_object()).
   const std::vector<std::pair<std::string, JsonValue>>& members() const {
     return members_;
   }

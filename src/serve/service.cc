@@ -72,12 +72,126 @@ JsonValue SoftRowToJson(const Matrix& soft, int64_t row) {
   return arr;
 }
 
+JsonValue SessionShapeJson(const Session& session, JsonValue response) {
+  response.Set("pool_size", JsonValue(session.pool_size()));
+  response.Set("num_classes", JsonValue(session.num_classes()));
+  response.Set("num_functions", JsonValue(session.num_functions()));
+  return response;
+}
+
+}  // namespace
+
+namespace {
+
+ServiceConfig NormalizeConfig(ServiceConfig config) {
+  if (config.num_workers < 1) config.num_workers = 1;
+  if (config.queue_capacity < 1) config.queue_capacity = 1;
+  // At most num_workers `label` requests are ever in flight, so a larger
+  // coalescing batch can never fill — without this clamp the batch
+  // leader would sleep out its whole window waiting for joiners that
+  // cannot exist.
+  if (config.coalesce.max_batch > config.num_workers) {
+    config.coalesce.max_batch = config.num_workers;
+  }
+  return config;
+}
+
 }  // namespace
 
 Service::Service(std::shared_ptr<const Session> session, ServiceConfig config)
-    : session_(std::move(session)), config_(config) {
-  if (config_.num_workers < 1) config_.num_workers = 1;
-  if (config_.queue_capacity < 1) config_.queue_capacity = 1;
+    : session_(std::move(session)), config_(NormalizeConfig(config)) {
+  coalescer_ = std::make_unique<Coalescer>(config_.coalesce);
+}
+
+Service::Service(std::shared_ptr<SessionRegistry> registry,
+                 std::shared_ptr<const Session> default_session,
+                 ServiceConfig config)
+    : registry_(std::move(registry)),
+      session_(std::move(default_session)),
+      config_(NormalizeConfig(config)) {
+  coalescer_ = std::make_unique<Coalescer>(config_.coalesce);
+}
+
+Result<std::shared_ptr<const Session>> Service::ResolveSession(
+    const JsonValue& request) const {
+  const JsonValue* task = request.Find("task");
+  if (task == nullptr) {
+    if (session_ != nullptr) return session_;
+    return Status::InvalidArgument(
+        "request needs a 'task' (no default artifact is loaded)");
+  }
+  if (!task->is_string()) {
+    return Status::InvalidArgument("'task' must be a string");
+  }
+  if (registry_ == nullptr) {
+    return Status::InvalidArgument(
+        "task routing requires an artifact directory (--artifact-dir)");
+  }
+  return registry_->Acquire(task->str());
+}
+
+JsonValue Service::HandleRegistryOp(const std::string& op,
+                                    const JsonValue& request) const {
+  if (registry_ == nullptr) {
+    errors_.fetch_add(1);
+    return ErrorResponse("'" + op +
+                         "' requires an artifact directory (--artifact-dir)");
+  }
+
+  if (op == "list_tasks") {
+    JsonValue response = JsonValue::MakeObject();
+    response.Set("ok", JsonValue(true));
+    JsonValue tasks = JsonValue::MakeArray();
+    for (const TaskInfo& info : registry_->ListTasks()) {
+      JsonValue entry = JsonValue::MakeObject();
+      entry.Set("task", JsonValue(info.task));
+      entry.Set("resident", JsonValue(info.resident));
+      entry.Set("on_disk", JsonValue(info.on_disk));
+      if (info.resident) {
+        entry.Set("pool_size", JsonValue(info.pool_size));
+        entry.Set("num_classes", JsonValue(info.num_classes));
+        entry.Set("num_functions", JsonValue(info.num_functions));
+        entry.Set("approx_bytes",
+                  JsonValue(static_cast<double>(info.approx_bytes)));
+      }
+      tasks.Append(std::move(entry));
+    }
+    response.Set("tasks", std::move(tasks));
+    return response;
+  }
+
+  const JsonValue* task = request.Find("task");
+  if (task == nullptr || !task->is_string()) {
+    errors_.fetch_add(1);
+    return ErrorResponse("'" + op + "' needs a string 'task'");
+  }
+
+  if (op == "load") {
+    Result<std::shared_ptr<const Session>> session =
+        registry_->Load(task->str());
+    if (!session.ok()) {
+      errors_.fetch_add(1);
+      return ErrorResponse(session.status().message());
+    }
+    JsonValue response = JsonValue::MakeObject();
+    response.Set("ok", JsonValue(true));
+    response.Set("task", JsonValue(task->str()));
+    response = SessionShapeJson(**session, std::move(response));
+    response.Set("approx_bytes",
+                 JsonValue(static_cast<double>((*session)->ApproxMemoryBytes())));
+    return response;
+  }
+
+  // op == "unload"
+  Status status = registry_->Unload(task->str());
+  if (!status.ok()) {
+    errors_.fetch_add(1);
+    return ErrorResponse(status.message());
+  }
+  JsonValue response = JsonValue::MakeObject();
+  response.Set("ok", JsonValue(true));
+  response.Set("task", JsonValue(task->str()));
+  return response;
 }
 
 JsonValue Service::HandleRequest(const JsonValue& request) const {
@@ -93,18 +207,61 @@ JsonValue Service::HandleRequest(const JsonValue& request) const {
   }
 
   if (op->str() == "stats") {
+    // Field order matters for the single-artifact mode: the response must
+    // stay byte-compatible with the original one-session protocol, so
+    // gateway/coalescer fields are only appended in their modes.
     JsonValue response = JsonValue::MakeObject();
     response.Set("ok", JsonValue(true));
-    response.Set("pool_size", JsonValue(session_->pool_size()));
-    response.Set("num_classes", JsonValue(session_->num_classes()));
-    response.Set("num_functions", JsonValue(session_->num_functions()));
+    Result<std::shared_ptr<const Session>> session = ResolveSession(request);
+    if (session.ok()) {
+      response = SessionShapeJson(**session, std::move(response));
+    } else if (request.Find("task") != nullptr) {
+      // An explicitly named task that cannot be resolved is an error; a
+      // merely absent default session still yields gateway-level stats.
+      errors_.fetch_add(1);
+      return ErrorResponse(session.status().message());
+    }
     response.Set("requests_served",
                  JsonValue(static_cast<double>(requests_served_.load())));
     response.Set("errors", JsonValue(static_cast<double>(errors_.load())));
+    if (registry_ != nullptr) {
+      const RegistryStats stats = registry_->stats();
+      JsonValue registry = JsonValue::MakeObject();
+      registry.Set("resident_tasks",
+                   JsonValue(static_cast<double>(stats.resident_tasks)));
+      registry.Set("resident_bytes",
+                   JsonValue(static_cast<double>(stats.resident_bytes)));
+      registry.Set("hits", JsonValue(static_cast<double>(stats.hits)));
+      registry.Set("loads", JsonValue(static_cast<double>(stats.loads)));
+      registry.Set("reloads", JsonValue(static_cast<double>(stats.reloads)));
+      registry.Set("evictions",
+                   JsonValue(static_cast<double>(stats.evictions)));
+      registry.Set("load_failures",
+                   JsonValue(static_cast<double>(stats.load_failures)));
+      response.Set("registry", std::move(registry));
+    }
+    if (config_.coalesce.enabled) {
+      const CoalescerStats stats = coalescer_->stats();
+      JsonValue coalescer = JsonValue::MakeObject();
+      coalescer.Set("requests", JsonValue(static_cast<double>(stats.requests)));
+      coalescer.Set("batches", JsonValue(static_cast<double>(stats.batches)));
+      coalescer.Set("coalesced",
+                    JsonValue(static_cast<double>(stats.coalesced)));
+      coalescer.Set("deduped",
+                    JsonValue(static_cast<double>(stats.deduped)));
+      coalescer.Set("max_batch_size",
+                    JsonValue(static_cast<double>(stats.max_batch_size)));
+      response.Set("coalescer", std::move(coalescer));
+    }
     return response;
   }
 
   if (op->str() == "label") {
+    Result<std::shared_ptr<const Session>> session = ResolveSession(request);
+    if (!session.ok()) {
+      errors_.fetch_add(1);
+      return ErrorResponse(session.status().message());
+    }
     const JsonValue* image_json = request.Find("image");
     if (image_json == nullptr) {
       errors_.fetch_add(1);
@@ -115,7 +272,7 @@ JsonValue Service::HandleRequest(const JsonValue& request) const {
       errors_.fetch_add(1);
       return ErrorResponse(image.status().message());
     }
-    Result<OnlineLabel> label = session_->LabelOne(*image);
+    Result<OnlineLabel> label = coalescer_->Label(*session, *image);
     if (!label.ok()) {
       errors_.fetch_add(1);
       return ErrorResponse(label.status().message());
@@ -130,6 +287,11 @@ JsonValue Service::HandleRequest(const JsonValue& request) const {
   }
 
   if (op->str() == "label_batch") {
+    Result<std::shared_ptr<const Session>> session = ResolveSession(request);
+    if (!session.ok()) {
+      errors_.fetch_add(1);
+      return ErrorResponse(session.status().message());
+    }
     const JsonValue* images_json = request.Find("images");
     if (images_json == nullptr || !images_json->is_array() ||
         images_json->items().empty()) {
@@ -146,7 +308,7 @@ JsonValue Service::HandleRequest(const JsonValue& request) const {
       }
       images.push_back(std::move(*image));
     }
-    Result<LabelingResult> result = session_->LabelBatch(images);
+    Result<LabelingResult> result = (*session)->LabelBatch(images);
     if (!result.ok()) {
       errors_.fetch_add(1);
       return ErrorResponse(result.status().message());
@@ -162,6 +324,11 @@ JsonValue Service::HandleRequest(const JsonValue& request) const {
     response.Set("labels", std::move(labels));
     response.Set("soft", std::move(soft));
     return response;
+  }
+
+  if (op->str() == "load" || op->str() == "unload" ||
+      op->str() == "list_tasks") {
+    return HandleRegistryOp(op->str(), request);
   }
 
   errors_.fetch_add(1);

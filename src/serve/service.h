@@ -11,7 +11,9 @@
 #include <ostream>
 #include <string>
 
+#include "serve/coalescer.h"
 #include "serve/json.h"
+#include "serve/registry.h"
 #include "serve/session.h"
 
 /// \file service.h
@@ -20,11 +22,16 @@
 /// dispatched to a worker pool through a bounded queue so a flood of
 /// requests exerts backpressure on the reader instead of growing memory.
 ///
-/// Protocol (one JSON object per line):
+/// Protocol (one JSON object per line; docs/serve_protocol.md has the
+/// full specification):
 ///   {"op":"stats"}
 ///   {"op":"label","image":{"channels":C,"height":H,"width":W,
 ///                          "pixels":[...C*H*W floats...]}}
 ///   {"op":"label_batch","images":[{...},{...}]}
+///   {"op":"list_tasks"} | {"op":"load","task":T} | {"op":"unload","task":T}
+/// Requests routed to a multi-task registry carry "task":"name"; an
+/// absent "task" falls back to the default (single-artifact) session,
+/// keeping the original one-artifact protocol byte-compatible.
 /// Responses always carry "ok" (true/false); errors carry "error".
 
 namespace goggles::serve {
@@ -35,6 +42,7 @@ namespace goggles::serve {
 template <typename T>
 class BoundedQueue {
  public:
+  /// \brief Queue holding at most `capacity` items before Push blocks.
   explicit BoundedQueue(size_t capacity) : capacity_(capacity) {}
 
   /// \brief False iff the queue was closed before the item was accepted.
@@ -48,6 +56,8 @@ class BoundedQueue {
     return true;
   }
 
+  /// \brief Blocks until an item is available (or the queue is closed
+  /// and drained, yielding nullopt).
   std::optional<T> Pop() {
     std::unique_lock<std::mutex> lock(mu_);
     not_empty_.wait(lock, [this] { return closed_ || !queue_.empty(); });
@@ -58,6 +68,8 @@ class BoundedQueue {
     return item;
   }
 
+  /// \brief Closes the queue: pending items still drain, new Push calls
+  /// are refused, blocked producers/consumers wake.
   void Close() {
     std::lock_guard<std::mutex> lock(mu_);
     closed_ = true;
@@ -65,6 +77,7 @@ class BoundedQueue {
     not_full_.notify_all();
   }
 
+  /// \brief Items currently queued.
   size_t size() const {
     std::lock_guard<std::mutex> lock(mu_);
     return queue_.size();
@@ -86,13 +99,28 @@ struct ServiceConfig {
   int num_workers = 2;
   /// Bounded request-queue capacity (backpressure threshold).
   size_t queue_capacity = 64;
+  /// Cross-request micro-batching of `label` requests (see coalescer.h).
+  /// Off by default: coalescing trades up to one window of latency for
+  /// batched-scoring throughput, which only pays under concurrent load.
+  CoalescerConfig coalesce;
 };
 
-/// \brief Serves labeling requests against one fitted Session.
+/// \brief Serves labeling requests — either against one fitted Session
+/// (the original single-artifact mode) or as a multi-task gateway over a
+/// SessionRegistry, with optional cross-request micro-batching.
 class Service {
  public:
+  /// \brief Single-artifact service: every request hits `session`;
+  /// "task"-routed requests and registry ops are rejected.
   explicit Service(std::shared_ptr<const Session> session,
                    ServiceConfig config = {});
+
+  /// \brief Multi-task gateway: "task"-routed requests resolve through
+  /// `registry` (loading artifacts on demand); requests without a "task"
+  /// hit `default_session`, which may be null (then a task is required).
+  Service(std::shared_ptr<SessionRegistry> registry,
+          std::shared_ptr<const Session> default_session,
+          ServiceConfig config = {});
 
   /// \brief Handles one parsed request (also the unit tests' entry
   /// point). Thread-safe.
@@ -106,11 +134,26 @@ class Service {
   /// Returns after every response is flushed.
   Status Run(std::istream& in, std::ostream& out);
 
+  /// \brief Total requests handled so far (including errored ones).
   uint64_t requests_served() const { return requests_served_.load(); }
 
+  /// \brief The micro-batcher (stats inspection; never null).
+  const Coalescer& coalescer() const { return *coalescer_; }
+
  private:
-  std::shared_ptr<const Session> session_;
+  /// Resolves the session a request targets: its "task" member through
+  /// the registry, or the default session when absent.
+  Result<std::shared_ptr<const Session>> ResolveSession(
+      const JsonValue& request) const;
+
+  /// Registry ops (load/unload/list_tasks); `op` is pre-validated.
+  JsonValue HandleRegistryOp(const std::string& op,
+                             const JsonValue& request) const;
+
+  std::shared_ptr<SessionRegistry> registry_;   // null in single mode
+  std::shared_ptr<const Session> session_;      // may be null in gateway mode
   ServiceConfig config_;
+  std::unique_ptr<Coalescer> coalescer_;
   mutable std::atomic<uint64_t> requests_served_{0};
   mutable std::atomic<uint64_t> errors_{0};
 };

@@ -66,6 +66,17 @@ Result<OnlineLabel> Session::LabelOne(const data::Image& image) const {
   return label;
 }
 
+uint64_t Session::ApproxMemoryBytes() const {
+  if (!fitted()) return sizeof(*this);
+  uint64_t bytes = sizeof(*this);
+  if (source_ != nullptr) bytes += source_->ApproxMemoryBytes();
+  bytes += model_.ApproxMemoryBytes();
+  bytes += static_cast<uint64_t>(pool_result_.soft_labels.size()) *
+           sizeof(double);
+  bytes += pool_result_.hard_labels.capacity() * sizeof(int);
+  return bytes;
+}
+
 Status Session::Save(const std::string& path) const {
   if (!fitted()) {
     return Status::InvalidArgument("Session::Save: session is not fitted");

@@ -73,13 +73,24 @@ class Session {
       const std::string& path,
       std::shared_ptr<features::FeatureExtractor> extractor);
 
+  /// \brief True once the session holds a fitted model.
   bool fitted() const { return model_.fitted(); }
+  /// \brief Number of classes K.
   int num_classes() const { return model_.num_classes; }
+  /// \brief Pool size N the session was fitted on.
   int64_t pool_size() const { return model_.pool_size; }
+  /// \brief Affinity-function count alpha.
   int64_t num_functions() const { return model_.num_functions(); }
+  /// \brief Content fingerprint of the fitted pool (0 when unfitted).
   uint64_t pool_fingerprint() const {
     return source_ ? source_->fingerprint() : 0;
   }
+
+  /// \brief Approximate resident size of the fitted state in bytes
+  /// (prototype/position caches, packed GEMM panels, fitted models, pool
+  /// labels). The multi-task registry charges this against its LRU memory
+  /// budget when deciding evictions.
+  uint64_t ApproxMemoryBytes() const;
 
   /// \brief The pool's labels from the fitting run. After Load, only the
   /// soft/hard labels are populated (per-function diagnostics are not

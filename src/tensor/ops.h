@@ -31,6 +31,14 @@ inline int64_t ConvOutDim(int64_t in, int64_t kernel, int64_t stride,
 void Im2Col(const float* x, int64_t channels, int64_t height, int64_t width,
             int64_t kh, int64_t kw, int64_t stride, int64_t pad, float* col);
 
+/// \brief Im2Col into a column matrix with row stride `ld` >= OH*OW:
+/// this image's columns land in col[row * ld + 0 .. OH*OW), so several
+/// images' expansions can sit side by side in one fused GEMM operand
+/// (the batched-inference conv path).
+void Im2ColStrided(const float* x, int64_t channels, int64_t height,
+                   int64_t width, int64_t kh, int64_t kw, int64_t stride,
+                   int64_t pad, float* col, int64_t ld);
+
 /// \brief Accumulates columns back into image gradient (inverse of Im2Col).
 void Col2Im(const float* col, int64_t channels, int64_t height, int64_t width,
             int64_t kh, int64_t kw, int64_t stride, int64_t pad, float* x);

@@ -1,0 +1,246 @@
+#include "serve/coalescer.h"
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/raster.h"
+#include "nn/vgg.h"
+
+/// Cross-request micro-batching: coalesced `label` requests must produce
+/// scores bit-identical to singleton LabelOne calls — coalescing may only
+/// change latency, never results — and errors must reach every batch
+/// member.
+
+namespace goggles {
+namespace {
+
+data::Image PatternImage(int variant) {
+  data::Image img(3, 32, 32, 0.1f);
+  switch (variant % 3) {
+    case 0:
+      data::DrawFilledCircle(&img, 16, 16, 6 + variant % 5, {1.0f, 0.2f, 0.2f});
+      break;
+    case 1:
+      data::DrawFilledRect(&img, 6, 6, 26, 26, {0.2f, 1.0f, 0.2f});
+      break;
+    default:
+      data::DrawCross(&img, 16, 16, 14, 3, {0.2f, 0.2f, 1.0f});
+      break;
+  }
+  return img;
+}
+
+std::shared_ptr<features::FeatureExtractor> MakeExtractor() {
+  nn::VggMiniConfig config;
+  config.stage_channels = {4, 8, 8, 8, 8};
+  config.num_classes = 4;
+  Result<nn::VggMini> model = nn::BuildVggMini(config);
+  model.status().Abort("vgg");
+  return std::make_shared<features::FeatureExtractor>(std::move(*model));
+}
+
+class ServeCoalescerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto extractor = MakeExtractor();
+    std::vector<data::Image> pool;
+    for (int i = 0; i < 12; ++i) pool.push_back(PatternImage(i));
+    GogglesConfig config;
+    config.top_z = 3;
+    auto session = serve::Session::Fit(extractor, pool, {0, 1, 2, 3},
+                                       {0, 1, 0, 1}, 2, config);
+    session.status().Abort("Session::Fit");
+    session_ = new std::shared_ptr<const serve::Session>(
+        std::make_shared<const serve::Session>(std::move(*session)));
+  }
+
+  static void TearDownTestSuite() { delete session_; }
+
+  static std::shared_ptr<const serve::Session>* session_;
+};
+
+std::shared_ptr<const serve::Session>* ServeCoalescerTest::session_ = nullptr;
+
+/// The property the whole coalescer rests on: one LabelBatch call over N
+/// images equals N independent LabelOne calls bit for bit (the GEMM's
+/// fixed accumulation order is independent of the batch shape).
+TEST_F(ServeCoalescerTest, LabelBatchRowsMatchLabelOneBitIdentical) {
+  std::vector<data::Image> queries;
+  for (int i = 30; i < 38; ++i) queries.push_back(PatternImage(i));
+  auto batch = (*session_)->LabelBatch(queries);
+  ASSERT_TRUE(batch.ok()) << batch.status();
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto one = (*session_)->LabelOne(queries[i]);
+    ASSERT_TRUE(one.ok());
+    EXPECT_EQ(one->hard, batch->hard_labels[i]);
+    ASSERT_EQ(static_cast<int64_t>(one->soft.size()),
+              batch->soft_labels.cols());
+    for (size_t k = 0; k < one->soft.size(); ++k) {
+      EXPECT_EQ(one->soft[k],
+                batch->soft_labels(static_cast<int64_t>(i),
+                                   static_cast<int64_t>(k)))
+          << "batch row " << i << " diverges from the singleton call at "
+          << "class " << k;
+    }
+  }
+}
+
+TEST_F(ServeCoalescerTest, CoalescedResultsAreBitIdenticalToSingleton) {
+  serve::CoalescerConfig config;
+  config.enabled = true;
+  config.max_batch = 4;
+  config.window_micros = 200000;  // generous: the 4 threads must meet
+  serve::Coalescer coalescer(config);
+
+  constexpr int kRequests = 4;
+  std::vector<data::Image> queries;
+  for (int i = 0; i < kRequests; ++i) queries.push_back(PatternImage(40 + i));
+
+  std::vector<Result<serve::OnlineLabel>> results(
+      kRequests, Result<serve::OnlineLabel>(serve::OnlineLabel{}));
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kRequests; ++i) {
+    threads.emplace_back([&, i] {
+      results[static_cast<size_t>(i)] =
+          coalescer.Label(*session_, queries[static_cast<size_t>(i)]);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  for (int i = 0; i < kRequests; ++i) {
+    ASSERT_TRUE(results[static_cast<size_t>(i)].ok())
+        << results[static_cast<size_t>(i)].status();
+    auto direct = (*session_)->LabelOne(queries[static_cast<size_t>(i)]);
+    ASSERT_TRUE(direct.ok());
+    EXPECT_EQ(results[static_cast<size_t>(i)]->hard, direct->hard);
+    ASSERT_EQ(results[static_cast<size_t>(i)]->soft.size(),
+              direct->soft.size());
+    for (size_t k = 0; k < direct->soft.size(); ++k) {
+      EXPECT_EQ(results[static_cast<size_t>(i)]->soft[k], direct->soft[k])
+          << "coalesced result " << i << " diverges at class " << k;
+    }
+  }
+
+  const serve::CoalescerStats stats = coalescer.stats();
+  EXPECT_EQ(stats.requests, 4u);
+  EXPECT_LT(stats.batches, 4u) << "nothing coalesced";
+  EXPECT_GE(stats.coalesced, 2u);
+  EXPECT_GE(stats.max_batch_size, 2u);
+}
+
+TEST_F(ServeCoalescerTest, DisabledCoalescerIsAPassThrough) {
+  serve::Coalescer coalescer(serve::CoalescerConfig{});  // enabled=false
+  const data::Image query = PatternImage(50);
+  auto via = coalescer.Label(*session_, query);
+  auto direct = (*session_)->LabelOne(query);
+  ASSERT_TRUE(via.ok());
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(via->hard, direct->hard);
+  EXPECT_EQ(via->soft, direct->soft);
+  EXPECT_EQ(coalescer.stats().requests, 0u) << "disabled path kept stats";
+  EXPECT_EQ(coalescer.stats().batches, 0u);
+}
+
+TEST_F(ServeCoalescerTest, MaxBatchOneNeverWaits) {
+  serve::CoalescerConfig config;
+  config.enabled = true;
+  config.max_batch = 1;
+  config.window_micros = 60000000;  // would hang if the window applied
+  serve::Coalescer coalescer(config);
+  auto result = coalescer.Label(*session_, PatternImage(51));
+  ASSERT_TRUE(result.ok());
+}
+
+TEST_F(ServeCoalescerTest, MixedShapesNeverShareABatch) {
+  // Same task, different resolutions: the requests cannot stack into one
+  // extraction tensor, so they must flush as separate (correct) batches.
+  serve::CoalescerConfig config;
+  config.enabled = true;
+  config.max_batch = 4;
+  config.window_micros = 50000;
+  serve::Coalescer coalescer(config);
+
+  data::Image small(3, 16, 16, 0.4f);
+  data::DrawFilledCircle(&small, 8, 8, 5, {1.0f, 0.3f, 0.2f});
+  const data::Image big = PatternImage(52);
+
+  Result<serve::OnlineLabel> small_result(serve::OnlineLabel{});
+  Result<serve::OnlineLabel> big_result(serve::OnlineLabel{});
+  std::thread t1([&] { small_result = coalescer.Label(*session_, small); });
+  std::thread t2([&] { big_result = coalescer.Label(*session_, big); });
+  t1.join();
+  t2.join();
+
+  ASSERT_TRUE(small_result.ok()) << small_result.status();
+  ASSERT_TRUE(big_result.ok()) << big_result.status();
+  auto small_direct = (*session_)->LabelOne(small);
+  auto big_direct = (*session_)->LabelOne(big);
+  ASSERT_TRUE(small_direct.ok());
+  ASSERT_TRUE(big_direct.ok());
+  EXPECT_EQ(small_result->soft, small_direct->soft);
+  EXPECT_EQ(big_result->soft, big_direct->soft);
+  EXPECT_EQ(coalescer.stats().batches, 2u);
+}
+
+TEST_F(ServeCoalescerTest, DuplicateImagesInOneWindowAreDedupedBitIdentically) {
+  serve::CoalescerConfig config;
+  config.enabled = true;
+  config.max_batch = 4;
+  config.window_micros = 200000;
+  serve::Coalescer coalescer(config);
+
+  // Two distinct images, each submitted twice concurrently (hot content).
+  const data::Image hot = PatternImage(55);
+  const data::Image cold = PatternImage(56);
+  const data::Image* picks[4] = {&hot, &cold, &hot, &cold};
+  std::vector<Result<serve::OnlineLabel>> results(
+      4, Result<serve::OnlineLabel>(serve::OnlineLabel{}));
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 4; ++i) {
+    threads.emplace_back([&, i] {
+      results[static_cast<size_t>(i)] =
+          coalescer.Label(*session_, *picks[i]);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(results[static_cast<size_t>(i)].ok())
+        << results[static_cast<size_t>(i)].status();
+    auto direct = (*session_)->LabelOne(*picks[i]);
+    ASSERT_TRUE(direct.ok());
+    EXPECT_EQ(results[static_cast<size_t>(i)]->soft, direct->soft)
+        << "deduped result " << i << " diverges from the singleton call";
+    EXPECT_EQ(results[static_cast<size_t>(i)]->hard, direct->hard);
+  }
+  // All four landed in one batch: two were twins answered from their
+  // duplicate's scores.
+  const serve::CoalescerStats stats = coalescer.stats();
+  EXPECT_EQ(stats.batches, 1u);
+  EXPECT_EQ(stats.deduped, 2u);
+}
+
+TEST_F(ServeCoalescerTest, ErrorsReachEveryBatchMember) {
+  auto unfitted = std::make_shared<const serve::Session>();
+  serve::CoalescerConfig config;
+  config.enabled = true;
+  config.max_batch = 2;
+  config.window_micros = 100000;
+  serve::Coalescer coalescer(config);
+
+  Result<serve::OnlineLabel> r1(serve::OnlineLabel{});
+  Result<serve::OnlineLabel> r2(serve::OnlineLabel{});
+  const data::Image query = PatternImage(53);
+  std::thread t1([&] { r1 = coalescer.Label(unfitted, query); });
+  std::thread t2([&] { r2 = coalescer.Label(unfitted, query); });
+  t1.join();
+  t2.join();
+  EXPECT_FALSE(r1.ok());
+  EXPECT_FALSE(r2.ok());
+}
+
+}  // namespace
+}  // namespace goggles

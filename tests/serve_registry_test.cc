@@ -1,0 +1,405 @@
+#include "serve/registry.h"
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/raster.h"
+#include "nn/vgg.h"
+#include "serve/artifact.h"
+
+/// The multi-task gateway's registry: on-demand artifact loads, LRU
+/// eviction under a memory budget (in-flight sessions must drain, not
+/// crash), hot reload when the artifact file changes, and clean errors
+/// for corrupt/oversized/version-skewed artifacts.
+
+namespace goggles {
+namespace {
+
+namespace fs = std::filesystem;
+
+data::Image PatternImage(int variant, float base) {
+  data::Image img(3, 32, 32, base);
+  switch (variant % 3) {
+    case 0:
+      data::DrawFilledCircle(&img, 16, 16, 6 + variant % 5, {1.0f, 0.2f, 0.2f});
+      break;
+    case 1:
+      data::DrawFilledRect(&img, 6, 6, 26, 26, {0.2f, 1.0f, 0.2f});
+      break;
+    default:
+      data::DrawCross(&img, 16, 16, 14, 3, {0.2f, 0.2f, 1.0f});
+      break;
+  }
+  return img;
+}
+
+std::shared_ptr<features::FeatureExtractor> MakeExtractor() {
+  nn::VggMiniConfig config;
+  config.stage_channels = {4, 8, 8, 8, 8};
+  config.num_classes = 4;
+  Result<nn::VggMini> model = nn::BuildVggMini(config);
+  model.status().Abort("vgg");
+  return std::make_shared<features::FeatureExtractor>(std::move(*model));
+}
+
+serve::Session FitSession(
+    const std::shared_ptr<features::FeatureExtractor>& extractor,
+    float base) {
+  std::vector<data::Image> pool;
+  for (int i = 0; i < 12; ++i) pool.push_back(PatternImage(i, base));
+  GogglesConfig config;
+  config.top_z = 3;
+  auto session =
+      serve::Session::Fit(extractor, pool, {0, 1, 2, 3}, {0, 1, 0, 1}, 2,
+                          config);
+  session.status().Abort("Session::Fit");
+  return std::move(*session);
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFile(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Forces a visibly newer mtime: filesystem timestamp granularity can be
+/// coarser than back-to-back writes in a test.
+void BumpMtime(const std::string& path) {
+  std::error_code ec;
+  const fs::file_time_type mtime = fs::last_write_time(path, ec);
+  ASSERT_FALSE(ec) << ec.message();
+  fs::last_write_time(path, mtime + std::chrono::seconds(2), ec);
+  ASSERT_FALSE(ec) << ec.message();
+}
+
+class ServeRegistryTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    extractor_ = new std::shared_ptr<features::FeatureExtractor>(
+        MakeExtractor());
+    dir_ = new std::string(::testing::TempDir() + "/registry_tasks");
+    fs::create_directories(*dir_);
+    session_a_ = new serve::Session(FitSession(*extractor_, 0.1f));
+    session_b_ = new serve::Session(FitSession(*extractor_, 0.6f));
+    ASSERT_NE(session_a_->pool_fingerprint(), session_b_->pool_fingerprint());
+    ASSERT_TRUE(session_a_->Save(*dir_ + "/task_a.ggsa").ok());
+    ASSERT_TRUE(session_b_->Save(*dir_ + "/task_b.ggsa").ok());
+    for (int i = 20; i < 24; ++i) {
+      held_out_.push_back(PatternImage(i, 0.3f));
+    }
+  }
+
+  static void TearDownTestSuite() {
+    std::error_code ec;
+    fs::remove_all(*dir_, ec);
+    delete session_b_;
+    delete session_a_;
+    delete dir_;
+    delete extractor_;
+    held_out_.clear();
+  }
+
+  serve::SessionRegistry MakeRegistry(uint64_t budget_bytes = 0,
+                                      size_t max_tasks = 0) {
+    serve::RegistryConfig config;
+    config.artifact_dir = *dir_;
+    config.memory_budget_bytes = budget_bytes;
+    config.max_resident_tasks = max_tasks;
+    return serve::SessionRegistry(*extractor_, config);
+  }
+
+  static std::shared_ptr<features::FeatureExtractor>* extractor_;
+  static std::string* dir_;
+  static serve::Session* session_a_;
+  static serve::Session* session_b_;
+  static std::vector<data::Image> held_out_;
+};
+
+std::shared_ptr<features::FeatureExtractor>* ServeRegistryTest::extractor_ =
+    nullptr;
+std::string* ServeRegistryTest::dir_ = nullptr;
+serve::Session* ServeRegistryTest::session_a_ = nullptr;
+serve::Session* ServeRegistryTest::session_b_ = nullptr;
+std::vector<data::Image> ServeRegistryTest::held_out_;
+
+TEST_F(ServeRegistryTest, AcquireLoadsOnDemandAndCaches) {
+  auto registry = MakeRegistry();
+  auto first = registry.Acquire("task_a");
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_EQ((*first)->pool_fingerprint(), session_a_->pool_fingerprint());
+
+  auto second = registry.Acquire("task_a");
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->get(), second->get()) << "resident session not reused";
+
+  const serve::RegistryStats stats = registry.stats();
+  EXPECT_EQ(stats.loads, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.resident_tasks, 1u);
+  EXPECT_GT(stats.resident_bytes, 0u);
+
+  // Labels through the registry-loaded session match the fitting session
+  // bit for bit (same artifact round-trip the artifact test locks in).
+  auto direct = session_a_->LabelBatch(held_out_);
+  auto routed = (*first)->LabelBatch(held_out_);
+  ASSERT_TRUE(direct.ok());
+  ASSERT_TRUE(routed.ok());
+  EXPECT_EQ(direct->hard_labels, routed->hard_labels);
+  for (int64_t i = 0; i < direct->soft_labels.rows(); ++i) {
+    for (int64_t k = 0; k < direct->soft_labels.cols(); ++k) {
+      EXPECT_EQ(direct->soft_labels(i, k), routed->soft_labels(i, k));
+    }
+  }
+}
+
+TEST_F(ServeRegistryTest, DistinctTasksResolveToDistinctSessions) {
+  auto registry = MakeRegistry();
+  auto a = registry.Acquire("task_a");
+  auto b = registry.Acquire("task_b");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ((*a)->pool_fingerprint(), session_a_->pool_fingerprint());
+  EXPECT_EQ((*b)->pool_fingerprint(), session_b_->pool_fingerprint());
+  EXPECT_NE(a->get(), b->get());
+  EXPECT_EQ(registry.stats().resident_tasks, 2u);
+}
+
+TEST_F(ServeRegistryTest, InvalidTaskNamesAreRejected) {
+  auto registry = MakeRegistry();
+  for (const char* name :
+       {"", ".", "..", "a/b", "..\\evil", "/etc/passwd", "../task_a"}) {
+    auto result = registry.Acquire(name);
+    EXPECT_FALSE(result.ok()) << "accepted task name: " << name;
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  }
+  EXPECT_FALSE(serve::SessionRegistry::IsValidTaskName(
+      std::string(300, 'x')));
+  EXPECT_TRUE(serve::SessionRegistry::IsValidTaskName("task.v2-final_3"));
+}
+
+TEST_F(ServeRegistryTest, MissingTaskIsNotFound) {
+  auto registry = MakeRegistry();
+  auto result = registry.Acquire("no_such_task");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(ServeRegistryTest, HotReloadPicksUpReplacedArtifact) {
+  auto registry = MakeRegistry();
+  const std::string path = *dir_ + "/reloadable.ggsa";
+  WriteFile(path, ReadFile(*dir_ + "/task_a.ggsa"));
+  auto before = registry.Acquire("reloadable");
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ((*before)->pool_fingerprint(), session_a_->pool_fingerprint());
+
+  // Replace the artifact with task B's bytes and make the mtime visibly
+  // newer; the next Acquire must serve B's fitted state.
+  WriteFile(path, ReadFile(*dir_ + "/task_b.ggsa"));
+  BumpMtime(path);
+  auto after = registry.Acquire("reloadable");
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ((*after)->pool_fingerprint(), session_b_->pool_fingerprint());
+  EXPECT_EQ(registry.stats().reloads, 1u);
+
+  // The pre-reload shared_ptr still serves (drains) the old state.
+  EXPECT_EQ((*before)->pool_fingerprint(), session_a_->pool_fingerprint());
+  EXPECT_TRUE((*before)->LabelBatch(held_out_).ok());
+  std::remove(path.c_str());
+}
+
+TEST_F(ServeRegistryTest, ExplicitLoadRereadsTheFile) {
+  auto registry = MakeRegistry();
+  const std::string path = *dir_ + "/forced.ggsa";
+  WriteFile(path, ReadFile(*dir_ + "/task_a.ggsa"));
+  ASSERT_TRUE(registry.Acquire("forced").ok());
+  // Same signature, so Acquire would keep the resident session; an
+  // explicit load op must re-read regardless.
+  auto reloaded = registry.Load("forced");
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_EQ(registry.stats().loads, 2u);
+  std::remove(path.c_str());
+}
+
+TEST_F(ServeRegistryTest, DeletedArtifactKeepsServingResidentSession) {
+  auto registry = MakeRegistry();
+  const std::string path = *dir_ + "/ephemeral.ggsa";
+  WriteFile(path, ReadFile(*dir_ + "/task_a.ggsa"));
+  auto session = registry.Acquire("ephemeral");
+  ASSERT_TRUE(session.ok());
+  std::remove(path.c_str());
+  // Unstattable file: the resident session keeps serving.
+  auto still = registry.Acquire("ephemeral");
+  ASSERT_TRUE(still.ok());
+  EXPECT_EQ(still->get(), session->get());
+}
+
+TEST_F(ServeRegistryTest, LruEvictionUnderMemoryBudgetDrainsInFlight) {
+  // Budget fits one session but not two: loading B must evict A.
+  const uint64_t one_session = session_a_->ApproxMemoryBytes();
+  auto registry = MakeRegistry(one_session + one_session / 2);
+  auto a = registry.Acquire("task_a");
+  ASSERT_TRUE(a.ok());
+  auto labels_before = (*a)->LabelBatch(held_out_);
+  ASSERT_TRUE(labels_before.ok());
+
+  auto b = registry.Acquire("task_b");
+  ASSERT_TRUE(b.ok());
+  serve::RegistryStats stats = registry.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.resident_tasks, 1u);
+  for (const serve::TaskInfo& info : registry.ListTasks()) {
+    if (info.task == "task_a") {
+      EXPECT_FALSE(info.resident);
+    }
+    if (info.task == "task_b") {
+      EXPECT_TRUE(info.resident);
+    }
+  }
+
+  // The evicted session is still held by this "in-flight request": it
+  // must keep labeling, bit-identically, until the holder lets go.
+  auto labels_after = (*a)->LabelBatch(held_out_);
+  ASSERT_TRUE(labels_after.ok());
+  EXPECT_EQ(labels_before->hard_labels, labels_after->hard_labels);
+  for (int64_t i = 0; i < labels_before->soft_labels.rows(); ++i) {
+    for (int64_t k = 0; k < labels_before->soft_labels.cols(); ++k) {
+      EXPECT_EQ(labels_before->soft_labels(i, k),
+                labels_after->soft_labels(i, k));
+    }
+  }
+
+  // Re-acquiring the evicted task cold-loads it again from disk.
+  auto again = registry.Acquire("task_a");
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(registry.stats().loads, 3u);
+}
+
+TEST_F(ServeRegistryTest, MaxResidentTasksCap) {
+  auto registry = MakeRegistry(/*budget_bytes=*/0, /*max_tasks=*/1);
+  ASSERT_TRUE(registry.Acquire("task_a").ok());
+  ASSERT_TRUE(registry.Acquire("task_b").ok());
+  EXPECT_EQ(registry.stats().resident_tasks, 1u);
+  EXPECT_EQ(registry.stats().evictions, 1u);
+}
+
+TEST_F(ServeRegistryTest, UnloadDropsResidency) {
+  auto registry = MakeRegistry();
+  ASSERT_TRUE(registry.Acquire("task_a").ok());
+  ASSERT_TRUE(registry.Unload("task_a").ok());
+  EXPECT_EQ(registry.stats().resident_tasks, 0u);
+  EXPECT_EQ(registry.Unload("task_a").code(), StatusCode::kNotFound);
+  // Not resident, but still on disk: Acquire cold-loads again.
+  EXPECT_TRUE(registry.Acquire("task_a").ok());
+}
+
+TEST_F(ServeRegistryTest, ListTasksMergesResidentAndOnDisk) {
+  auto registry = MakeRegistry();
+  ASSERT_TRUE(registry.Acquire("task_a").ok());
+  bool saw_a = false, saw_b = false;
+  for (const serve::TaskInfo& info : registry.ListTasks()) {
+    if (info.task == "task_a") {
+      saw_a = true;
+      EXPECT_TRUE(info.resident);
+      EXPECT_TRUE(info.on_disk);
+      EXPECT_EQ(info.pool_size, session_a_->pool_size());
+      EXPECT_GT(info.approx_bytes, 0u);
+    }
+    if (info.task == "task_b") {
+      saw_b = true;
+      EXPECT_FALSE(info.resident);
+      EXPECT_TRUE(info.on_disk);
+    }
+  }
+  EXPECT_TRUE(saw_a);
+  EXPECT_TRUE(saw_b);
+}
+
+TEST_F(ServeRegistryTest, CorruptOversizedAndVersionSkewedArtifactsFail) {
+  auto registry = MakeRegistry();
+  const std::string good = ReadFile(*dir_ + "/task_a.ggsa");
+
+  // Not an artifact at all.
+  WriteFile(*dir_ + "/garbage.ggsa", "this is not a GGSA file");
+  EXPECT_FALSE(registry.Acquire("garbage").ok());
+
+  // Truncated mid-payload.
+  WriteFile(*dir_ + "/truncated.ggsa", good.substr(0, good.size() / 2));
+  EXPECT_FALSE(registry.Acquire("truncated").ok());
+
+  // Oversized: valid artifact with trailing bytes (e.g. a partially
+  // overwritten longer file) must be rejected, not silently accepted.
+  WriteFile(*dir_ + "/oversized.ggsa", good + std::string(64, '\x7f'));
+  EXPECT_FALSE(registry.Acquire("oversized").ok());
+
+  // Version skew: future format version.
+  std::string skewed = good;
+  skewed[4] = 99;  // version field follows the 4-byte magic
+  WriteFile(*dir_ + "/skewed.ggsa", skewed);
+  auto result = registry.Acquire("skewed");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("version"), std::string::npos);
+
+  EXPECT_EQ(registry.stats().load_failures, 4u);
+  // Failed loads leave nothing resident and healthy tasks unaffected.
+  EXPECT_EQ(registry.stats().resident_tasks, 0u);
+  EXPECT_TRUE(registry.Acquire("task_a").ok());
+
+  for (const char* name : {"garbage", "truncated", "oversized", "skewed"}) {
+    std::remove((*dir_ + "/" + name + ".ggsa").c_str());
+  }
+}
+
+TEST_F(ServeRegistryTest, ReloadWhileServingNeverDisrupts) {
+  auto registry = MakeRegistry();
+  const std::string path = *dir_ + "/live.ggsa";
+  WriteFile(path, ReadFile(*dir_ + "/task_a.ggsa"));
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> labeled{0};
+  std::atomic<bool> failed{false};
+  std::thread server([&] {
+    while (!stop.load()) {
+      auto session = registry.Acquire("live");
+      if (!session.ok()) {
+        failed.store(true);
+        return;
+      }
+      auto result = (*session)->LabelOne(held_out_[0]);
+      if (!result.ok()) {
+        failed.store(true);
+        return;
+      }
+      labeled.fetch_add(1);
+    }
+  });
+
+  // Keep swapping the artifact underneath the serving thread.
+  for (int round = 0; round < 6; ++round) {
+    const char* source = (round % 2 == 0) ? "/task_b.ggsa" : "/task_a.ggsa";
+    WriteFile(path, ReadFile(*dir_ + source));
+    BumpMtime(path);
+    auto reloaded = registry.Load("live");
+    ASSERT_TRUE(reloaded.ok()) << reloaded.status();
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  stop.store(true);
+  server.join();
+  EXPECT_FALSE(failed.load());
+  EXPECT_GT(labeled.load(), 0);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace goggles

@@ -1,6 +1,7 @@
 #include "serve/service.h"
 
 #include <atomic>
+#include <filesystem>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -11,8 +12,9 @@
 #include "nn/vgg.h"
 #include "serve/json.h"
 
-/// The NDJSON front-end: JSON round-trips, bounded-queue semantics, and
-/// the request loop end-to-end against a fitted session.
+/// The NDJSON front-end: JSON round-trips, bounded-queue semantics, the
+/// request loop end-to-end against a fitted session, and the multi-task
+/// gateway (task routing, registry ops, cross-request coalescing).
 
 namespace goggles {
 namespace {
@@ -164,24 +166,30 @@ class ServeServiceTest : public ::testing::Test {
     config.num_classes = 4;
     Result<nn::VggMini> model = nn::BuildVggMini(config);
     model.status().Abort("vgg");
-    auto extractor = std::make_shared<features::FeatureExtractor>(
-        std::move(*model));
+    extractor_ = new std::shared_ptr<features::FeatureExtractor>(
+        std::make_shared<features::FeatureExtractor>(std::move(*model)));
     std::vector<data::Image> pool;
     for (int i = 0; i < 12; ++i) pool.push_back(PatternImage(i));
     GogglesConfig goggles_config;
     goggles_config.top_z = 3;
-    auto session = serve::Session::Fit(extractor, pool, {0, 1, 2, 3},
+    auto session = serve::Session::Fit(*extractor_, pool, {0, 1, 2, 3},
                                        {0, 1, 0, 1}, 2, goggles_config);
     session.status().Abort("Session::Fit");
     session_ = new std::shared_ptr<const serve::Session>(
         std::make_shared<const serve::Session>(std::move(*session)));
   }
 
-  static void TearDownTestSuite() { delete session_; }
+  static void TearDownTestSuite() {
+    delete session_;
+    delete extractor_;
+  }
 
+  static std::shared_ptr<features::FeatureExtractor>* extractor_;
   static std::shared_ptr<const serve::Session>* session_;
 };
 
+std::shared_ptr<features::FeatureExtractor>* ServeServiceTest::extractor_ =
+    nullptr;
 std::shared_ptr<const serve::Session>* ServeServiceTest::session_ = nullptr;
 
 TEST_F(ServeServiceTest, StatsOp) {
@@ -291,6 +299,276 @@ TEST_F(ServeServiceTest, RunPreservesInputOrderAcrossWorkers) {
   }
   EXPECT_EQ(line_no, 8);
   EXPECT_EQ(service.requests_served(), 8u);
+}
+
+TEST_F(ServeServiceTest, RunWithCoalescingPreservesOrderAndResults) {
+  serve::ServiceConfig config;
+  config.num_workers = 4;
+  config.queue_capacity = 16;
+  config.coalesce.enabled = true;
+  config.coalesce.max_batch = 4;
+  config.coalesce.window_micros = 20000;
+  serve::Service service(*session_, config);
+
+  std::ostringstream input;
+  std::vector<data::Image> queries;
+  for (int i = 0; i < 10; ++i) {
+    queries.push_back(PatternImage(30 + i));
+    input << R"({"op":"label","image":)" << ImageToJson(queries.back())
+          << "}\n";
+  }
+  std::istringstream in(input.str());
+  std::ostringstream out;
+  ASSERT_TRUE(service.Run(in, out).ok());
+
+  // Coalesced or not, every response must be bit-identical to its
+  // singleton LabelOne and arrive in input order.
+  std::istringstream lines(out.str());
+  std::string line;
+  size_t idx = 0;
+  while (std::getline(lines, line)) {
+    auto response = JsonValue::Parse(line);
+    ASSERT_TRUE(response.ok()) << line;
+    ASSERT_TRUE(response->Find("ok")->bool_value()) << line;
+    ASSERT_LT(idx, queries.size());
+    auto direct = (*session_)->LabelOne(queries[idx]);
+    ASSERT_TRUE(direct.ok());
+    EXPECT_EQ(static_cast<int>(response->Find("label")->number()),
+              direct->hard);
+    const JsonValue* soft = response->Find("soft");
+    ASSERT_EQ(soft->items().size(), direct->soft.size());
+    for (size_t k = 0; k < direct->soft.size(); ++k) {
+      EXPECT_EQ(soft->items()[k].number(), direct->soft[k])
+          << "response " << idx << " not bit-identical at class " << k;
+    }
+    ++idx;
+  }
+  EXPECT_EQ(idx, queries.size());
+}
+
+TEST_F(ServeServiceTest, TaskRoutingIsRejectedWithoutARegistry) {
+  serve::Service service(*session_);
+  auto response = JsonValue::Parse(service.HandleLine(
+      R"({"op":"stats","task":"whatever"})"));
+  ASSERT_TRUE(response.ok());
+  EXPECT_FALSE(response->Find("ok")->bool_value());
+  EXPECT_NE(response->Find("error")->str().find("artifact-dir"),
+            std::string::npos);
+  for (const char* line :
+       {R"({"op":"load","task":"t"})", R"({"op":"unload","task":"t"})",
+        R"({"op":"list_tasks"})"}) {
+    auto op_response = JsonValue::Parse(service.HandleLine(line));
+    ASSERT_TRUE(op_response.ok());
+    EXPECT_FALSE(op_response->Find("ok")->bool_value()) << line;
+  }
+}
+
+class ServeGatewayTest : public ServeServiceTest {
+ protected:
+  static void SetUpTestSuite() {
+    ServeServiceTest::SetUpTestSuite();
+    dir_ = new std::string(::testing::TempDir() + "/gateway_tasks");
+    std::filesystem::create_directories(*dir_);
+    // Two tasks with different pools => different fitted states.
+    ASSERT_TRUE((*session_)->Save(*dir_ + "/alpha.ggsa").ok());
+    std::vector<data::Image> pool;
+    for (int i = 0; i < 12; ++i) {
+      data::Image img = PatternImage(i + 1);
+      pool.push_back(std::move(img));
+    }
+    GogglesConfig goggles_config;
+    goggles_config.top_z = 3;
+    auto session = serve::Session::Fit(*extractor_, pool, {0, 1, 2, 3},
+                                       {1, 0, 1, 0}, 2, goggles_config);
+    session.status().Abort("Session::Fit beta");
+    beta_ = new std::shared_ptr<const serve::Session>(
+        std::make_shared<const serve::Session>(std::move(*session)));
+    ASSERT_TRUE((*beta_)->Save(*dir_ + "/beta.ggsa").ok());
+  }
+
+  static void TearDownTestSuite() {
+    std::error_code ec;
+    std::filesystem::remove_all(*dir_, ec);
+    delete beta_;
+    delete dir_;
+    ServeServiceTest::TearDownTestSuite();
+  }
+
+  std::unique_ptr<serve::Service> MakeGateway(bool with_default = false) {
+    serve::RegistryConfig config;
+    config.artifact_dir = *dir_;
+    auto registry =
+        std::make_shared<serve::SessionRegistry>(*extractor_, config);
+    return std::make_unique<serve::Service>(
+        registry, with_default ? *session_ : nullptr, serve::ServiceConfig{});
+  }
+
+  static std::string* dir_;
+  static std::shared_ptr<const serve::Session>* beta_;
+};
+
+std::string* ServeGatewayTest::dir_ = nullptr;
+std::shared_ptr<const serve::Session>* ServeGatewayTest::beta_ = nullptr;
+
+TEST_F(ServeGatewayTest, RoutesLabelRequestsByTask) {
+  auto gateway_ptr = MakeGateway();
+  serve::Service& gateway = *gateway_ptr;
+  const data::Image query = PatternImage(60);
+  for (const auto& [task, session] :
+       {std::pair<std::string, const serve::Session*>{"alpha",
+                                                      session_->get()},
+        std::pair<std::string, const serve::Session*>{"beta",
+                                                      beta_->get()}}) {
+    const std::string line = std::string(R"({"op":"label","task":")") + task +
+                             R"(","image":)" + ImageToJson(query) + "}";
+    auto response = JsonValue::Parse(gateway.HandleLine(line));
+    ASSERT_TRUE(response.ok());
+    ASSERT_TRUE(response->Find("ok")->bool_value())
+        << response->Find("error")->str();
+    auto direct = session->LabelOne(query);
+    ASSERT_TRUE(direct.ok());
+    EXPECT_EQ(static_cast<int>(response->Find("label")->number()),
+              direct->hard)
+        << "task " << task << " routed to the wrong session";
+    const JsonValue* soft = response->Find("soft");
+    ASSERT_EQ(soft->items().size(), direct->soft.size());
+    for (size_t k = 0; k < direct->soft.size(); ++k) {
+      EXPECT_EQ(soft->items()[k].number(), direct->soft[k]);
+    }
+  }
+}
+
+TEST_F(ServeGatewayTest, AbsentTaskNeedsADefaultSession) {
+  auto no_default_ptr = MakeGateway(false);
+  serve::Service& no_default = *no_default_ptr;
+  const std::string line =
+      std::string(R"({"op":"label","image":)") + ImageToJson(PatternImage(0)) +
+      "}";
+  auto response = JsonValue::Parse(no_default.HandleLine(line));
+  ASSERT_TRUE(response.ok());
+  EXPECT_FALSE(response->Find("ok")->bool_value());
+
+  auto with_default_ptr = MakeGateway(true);
+  serve::Service& with_default = *with_default_ptr;
+  response = JsonValue::Parse(with_default.HandleLine(line));
+  ASSERT_TRUE(response.ok());
+  EXPECT_TRUE(response->Find("ok")->bool_value())
+      << response->Find("error")->str();
+}
+
+TEST_F(ServeGatewayTest, RegistryOpsLoadUnloadListTasks) {
+  auto gateway_ptr = MakeGateway();
+  serve::Service& gateway = *gateway_ptr;
+
+  auto list = JsonValue::Parse(gateway.HandleLine(R"({"op":"list_tasks"})"));
+  ASSERT_TRUE(list.ok());
+  ASSERT_TRUE(list->Find("ok")->bool_value());
+  const JsonValue* tasks = list->Find("tasks");
+  ASSERT_TRUE(tasks != nullptr && tasks->is_array());
+  EXPECT_EQ(tasks->items().size(), 2u);  // alpha + beta on disk
+  for (const JsonValue& entry : tasks->items()) {
+    EXPECT_FALSE(entry.Find("resident")->bool_value());
+    EXPECT_TRUE(entry.Find("on_disk")->bool_value());
+  }
+
+  auto load = JsonValue::Parse(
+      gateway.HandleLine(R"({"op":"load","task":"alpha"})"));
+  ASSERT_TRUE(load.ok());
+  ASSERT_TRUE(load->Find("ok")->bool_value())
+      << load->Find("error")->str();
+  EXPECT_EQ(load->Find("task")->str(), "alpha");
+  EXPECT_DOUBLE_EQ(load->Find("pool_size")->number(), 12.0);
+  EXPECT_GT(load->Find("approx_bytes")->number(), 0.0);
+
+  auto stats = JsonValue::Parse(gateway.HandleLine(R"({"op":"stats"})"));
+  ASSERT_TRUE(stats.ok());
+  ASSERT_TRUE(stats->Find("ok")->bool_value());
+  const JsonValue* registry = stats->Find("registry");
+  ASSERT_TRUE(registry != nullptr && registry->is_object());
+  EXPECT_DOUBLE_EQ(registry->Find("resident_tasks")->number(), 1.0);
+  EXPECT_DOUBLE_EQ(registry->Find("loads")->number(), 1.0);
+
+  auto unload = JsonValue::Parse(
+      gateway.HandleLine(R"({"op":"unload","task":"alpha"})"));
+  ASSERT_TRUE(unload.ok());
+  EXPECT_TRUE(unload->Find("ok")->bool_value());
+  auto again = JsonValue::Parse(
+      gateway.HandleLine(R"({"op":"unload","task":"alpha"})"));
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE(again->Find("ok")->bool_value()) << "double unload accepted";
+
+  auto missing = JsonValue::Parse(
+      gateway.HandleLine(R"({"op":"load","task":"no_such_task"})"));
+  ASSERT_TRUE(missing.ok());
+  EXPECT_FALSE(missing->Find("ok")->bool_value());
+  auto traversal = JsonValue::Parse(
+      gateway.HandleLine(R"({"op":"label","task":"../alpha","image":{}})"));
+  ASSERT_TRUE(traversal.ok());
+  EXPECT_FALSE(traversal->Find("ok")->bool_value());
+}
+
+TEST_F(ServeGatewayTest, StatsForANamedTaskReportsItsShape) {
+  auto gateway_ptr = MakeGateway();
+  serve::Service& gateway = *gateway_ptr;
+  auto stats = JsonValue::Parse(
+      gateway.HandleLine(R"({"op":"stats","task":"beta"})"));
+  ASSERT_TRUE(stats.ok());
+  ASSERT_TRUE(stats->Find("ok")->bool_value())
+      << stats->Find("error")->str();
+  EXPECT_DOUBLE_EQ(stats->Find("pool_size")->number(),
+                   static_cast<double>((*beta_)->pool_size()));
+  auto bad = JsonValue::Parse(
+      gateway.HandleLine(R"({"op":"stats","task":"missing"})"));
+  ASSERT_TRUE(bad.ok());
+  EXPECT_FALSE(bad->Find("ok")->bool_value());
+}
+
+TEST_F(ServeGatewayTest, RunRoutesAcrossTasksInOrder) {
+  serve::ServiceConfig config;
+  config.num_workers = 3;
+  config.queue_capacity = 4;
+  config.coalesce.enabled = true;
+  config.coalesce.max_batch = 4;
+  config.coalesce.window_micros = 5000;
+  serve::RegistryConfig registry_config;
+  registry_config.artifact_dir = *dir_;
+  auto registry = std::make_shared<serve::SessionRegistry>(*extractor_,
+                                                           registry_config);
+  serve::Service gateway(registry, nullptr, config);
+
+  std::ostringstream input;
+  std::vector<data::Image> queries;
+  std::vector<std::string> routed_tasks;
+  for (int i = 0; i < 12; ++i) {
+    const std::string task = (i % 2 == 0) ? "alpha" : "beta";
+    queries.push_back(PatternImage(70 + i));
+    routed_tasks.push_back(task);
+    input << R"({"op":"label","task":")" << task << R"(","image":)"
+          << ImageToJson(queries.back()) << "}\n";
+  }
+  std::istringstream in(input.str());
+  std::ostringstream out;
+  ASSERT_TRUE(gateway.Run(in, out).ok());
+
+  std::istringstream lines(out.str());
+  std::string line;
+  size_t idx = 0;
+  while (std::getline(lines, line)) {
+    auto response = JsonValue::Parse(line);
+    ASSERT_TRUE(response.ok()) << line;
+    ASSERT_TRUE(response->Find("ok")->bool_value()) << line;
+    ASSERT_LT(idx, queries.size());
+    const serve::Session& session =
+        routed_tasks[idx] == "alpha" ? **session_ : **beta_;
+    auto direct = session.LabelOne(queries[idx]);
+    ASSERT_TRUE(direct.ok());
+    EXPECT_EQ(static_cast<int>(response->Find("label")->number()),
+              direct->hard)
+        << "response " << idx << " (task " << routed_tasks[idx]
+        << ") wrong or out of order";
+    ++idx;
+  }
+  EXPECT_EQ(idx, queries.size());
 }
 
 }  // namespace

@@ -5,8 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include "util/clock.h"
 #include "util/csv.h"
 #include "util/env.h"
+#include "util/lru.h"
 #include "util/parallel.h"
 #include "util/string_util.h"
 #include "util/table.h"
@@ -62,6 +64,105 @@ TEST(TopkTest, ArgTopK) {
   std::vector<double> v = {0.1, 0.9, 0.5, 0.7};
   EXPECT_EQ(ArgTopK(v, 2), (std::vector<int>{1, 3}));
   EXPECT_EQ(ArgTopK(v, 10).size(), 4u);
+}
+
+TEST(ClockTest, MonotonicMicrosAdvances) {
+  const int64_t before = MonotonicMicros();
+  SleepForMicros(1000);
+  const int64_t after = MonotonicMicros();
+  EXPECT_GE(after - before, 1000);
+  EXPECT_EQ(SteadyTimePointFromMicros(after).time_since_epoch().count(),
+            std::chrono::steady_clock::time_point(
+                std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::microseconds(after)))
+                .time_since_epoch()
+                .count());
+}
+
+TEST(LruCacheTest, GetTouchesRecency) {
+  LruCache<std::string, int> cache(/*cost_budget=*/30);
+  EXPECT_TRUE(cache.Put("a", 1, 10).empty());
+  EXPECT_TRUE(cache.Put("b", 2, 10).empty());
+  EXPECT_TRUE(cache.Put("c", 3, 10).empty());
+  ASSERT_NE(cache.Get("a"), nullptr);  // a is now most recent; b is LRU
+
+  auto evicted = cache.Put("d", 4, 10);  // 40 > 30: evict b
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0].key, "b");
+  EXPECT_EQ(evicted[0].value, 2);
+  EXPECT_EQ(evicted[0].cost, 10u);
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.total_cost(), 30u);
+  EXPECT_EQ(cache.Peek("b"), nullptr);
+  EXPECT_NE(cache.Peek("a"), nullptr);
+}
+
+TEST(LruCacheTest, CostBudgetEvictsMultiple) {
+  LruCache<int, int> cache(/*cost_budget=*/100);
+  cache.Put(1, 1, 40);
+  cache.Put(2, 2, 40);
+  auto evicted = cache.Put(3, 3, 90);  // needs both old entries gone
+  ASSERT_EQ(evicted.size(), 2u);
+  EXPECT_EQ(evicted[0].key, 1);  // least recently used first
+  EXPECT_EQ(evicted[1].key, 2);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(LruCacheTest, NewestEntrySurvivesEvenOverBudget) {
+  LruCache<int, int> cache(/*cost_budget=*/10);
+  cache.Put(1, 1, 5);
+  auto evicted = cache.Put(2, 2, 1000);  // alone over budget: stays
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0].key, 1);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_NE(cache.Peek(2), nullptr);
+}
+
+TEST(LruCacheTest, MaxEntriesCap) {
+  LruCache<int, int> cache(/*cost_budget=*/0, /*max_entries=*/2);
+  cache.Put(1, 1, 0);
+  cache.Put(2, 2, 0);
+  auto evicted = cache.Put(3, 3, 0);
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0].key, 1);
+}
+
+TEST(LruCacheTest, PutReplacesAndEraseRemoves) {
+  LruCache<std::string, int> cache(/*cost_budget=*/100);
+  cache.Put("a", 1, 10);
+  // Replacing hands the old value back (never destroyed in the cache).
+  auto replaced = cache.Put("a", 2, 20);
+  ASSERT_EQ(replaced.size(), 1u);
+  EXPECT_EQ(replaced[0].value, 1);
+  EXPECT_EQ(replaced[0].cost, 10u);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.total_cost(), 20u);
+  EXPECT_EQ(*cache.Peek("a"), 2);
+  EXPECT_TRUE(cache.Erase("a"));
+  EXPECT_FALSE(cache.Erase("a"));
+  EXPECT_EQ(cache.total_cost(), 0u);
+
+  // Peek must not touch recency: after peeking "x", it still evicts first.
+  cache.Put("x", 1, 50);
+  cache.Put("y", 2, 50);
+  cache.Peek("x");
+  auto evicted = cache.Put("z", 3, 50);
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0].key, "x");
+}
+
+TEST(LruCacheTest, ForEachIsMostRecentFirst) {
+  LruCache<int, int> cache;
+  cache.Put(1, 10, 1);
+  cache.Put(2, 20, 1);
+  cache.Get(1);
+  std::vector<int> order;
+  cache.ForEach([&](int key, int value, uint64_t cost) {
+    order.push_back(key);
+    EXPECT_EQ(value, key * 10);
+    EXPECT_EQ(cost, 1u);
+  });
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
 }
 
 TEST(ParallelTest, CoversEveryIndexExactlyOnce) {
