@@ -39,6 +39,40 @@ void BM_SGemm(benchmark::State& state) {
 }
 BENCHMARK(BM_SGemm)->Arg(64)->Arg(128)->Arg(256)->Unit(benchmark::kMillisecond);
 
+void BM_DGemm(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(11);
+  std::vector<double> a(static_cast<size_t>(n) * n), b(a.size()), c(a.size());
+  for (auto& v : a) v = rng.Gaussian();
+  for (auto& v : b) v = rng.Gaussian();
+  for (auto _ : state) {
+    DGemm(false, false, n, n, n, 1.0, a.data(), n, b.data(), n, 0.0,
+          c.data(), n);
+    benchmark::DoNotOptimize(c[0]);
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * n * n * n);
+}
+BENCHMARK(BM_DGemm)->Arg(64)->Arg(256)->Unit(benchmark::kMillisecond);
+
+/// The EM fit cores' actual GEMM shape: a tall-skinny product against a
+/// K-component panel, with the design matrix prepacked once per fit.
+void BM_DGemmPackedSkinny(benchmark::State& state) {
+  const int64_t n = 200, d = 400, k = 2;
+  Rng rng(12);
+  std::vector<double> a(static_cast<size_t>(n * d)), b(static_cast<size_t>(k * d));
+  std::vector<double> c(static_cast<size_t>(n * k));
+  for (auto& v : a) v = rng.Gaussian();
+  for (auto& v : b) v = rng.Gaussian();
+  const DGemmPackedA packed = DGemmPackOperandA(false, n, d, a.data(), d);
+  for (auto _ : state) {
+    DGemmWithPackedA(packed, /*transpose_b=*/true, k, b.data(), d, 0.0,
+                     c.data(), k);
+    benchmark::DoNotOptimize(c[0]);
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * n * d * k);
+}
+BENCHMARK(BM_DGemmPackedSkinny)->Unit(benchmark::kMicrosecond);
+
 void BM_Conv2dForward(benchmark::State& state) {
   Rng rng(2);
   Tensor x = Tensor::RandomNormal({8, 16, 32, 32}, 1.0f, &rng);

@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Gate a fresh micro-kernel run against the recorded perf trajectory.
+
+Usage:
+  check_fit_regression.py BASELINE_TRAJECTORY NEW_RUN_JSON \
+      [--bench NAME]... [--factor 1.5]
+
+BASELINE_TRAJECTORY is the repo's BENCH_micro_kernels.json (one compact
+google-benchmark report per line, appended by bench/run_all.sh).
+NEW_RUN_JSON is a single google-benchmark --benchmark_out report.
+
+For every --bench (default: BM_DiagonalGmmFit/200), the baseline is the
+LAST trajectory record that (a) contains the benchmark, (b) was tagged
+goggles_build_type == "release" (records without the tag are skipped:
+they predate the tagging or came from an ungated run), and (c) was
+measured with the SAME google-benchmark library build type as the new
+run (a debug-library record only gates a debug-library measurement and
+vice versa — mixing the two compares different measurement machinery).
+Per benchmark, the minimum real_time across repetition entries is used
+on both sides (run with --benchmark_repetitions for a noise-robust
+minimum). The check fails when new_min > factor * baseline_min.
+
+Caveat: this is an absolute cross-run comparison; when the measuring
+machine differs from the recording machine, the factor also absorbs the
+hardware delta. 1.5x is the gate the perf trajectory prescribes for the
+fit-path benches on comparable runners.
+
+Exit codes: 0 ok, 1 regression, 2 usage/data error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def bench_real_time_ms(report, name):
+    """Minimum real_time of `name` in ms across repetition ("iteration")
+    entries, or None if absent."""
+    best = None
+    for bench in report.get("benchmarks", []):
+        run_name = bench.get("run_name", bench.get("name"))
+        if run_name != name or bench.get("run_type") == "aggregate":
+            continue
+        value = float(bench["real_time"])
+        unit = bench.get("time_unit", "ns")
+        scale = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}.get(unit)
+        if scale is None:
+            raise ValueError(f"unknown time_unit {unit!r} for {name}")
+        ms = value * scale
+        best = ms if best is None else min(best, ms)
+    return best
+
+
+def record_lib_build_type(context):
+    """The benchmark-library build type a record was measured with: the
+    run_all.sh probe tag when present, else the library's self-report."""
+    return context.get("goggles_benchmark_lib_build_type",
+                       context.get("library_build_type", "unknown"))
+
+
+def load_baseline(trajectory_path, name, lib_build_type):
+    """Last release-tagged, library-matched record containing `name`."""
+    baseline = None
+    with open(trajectory_path, encoding="utf-8") as f:
+        for line_no, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                report = json.loads(line)
+            except json.JSONDecodeError as err:
+                print(f"warning: {trajectory_path}:{line_no}: {err}",
+                      file=sys.stderr)
+                continue
+            context = report.get("context", {})
+            if context.get("goggles_build_type") != "release":
+                continue
+            if record_lib_build_type(context) != lib_build_type:
+                continue
+            value = bench_real_time_ms(report, name)
+            if value is not None:
+                baseline = value
+    return baseline
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline_trajectory")
+    parser.add_argument("new_run")
+    parser.add_argument("--bench", action="append", default=[],
+                        help="benchmark name to gate (repeatable; default "
+                             "BM_DiagonalGmmFit/200)")
+    parser.add_argument("--factor", type=float, default=1.5,
+                        help="fail when new > factor * baseline")
+    args = parser.parse_args()
+    benches = args.bench or ["BM_DiagonalGmmFit/200"]
+
+    with open(args.new_run, encoding="utf-8") as f:
+        new_report = json.load(f)
+    lib_build_type = record_lib_build_type(new_report.get("context", {}))
+
+    failed = False
+    for name in benches:
+        new_ms = bench_real_time_ms(new_report, name)
+        if new_ms is None:
+            print(f"error: {name} missing from {args.new_run}",
+                  file=sys.stderr)
+            return 2
+        baseline_ms = load_baseline(args.baseline_trajectory, name,
+                                    lib_build_type)
+        if baseline_ms is None:
+            print(f"{name}: no release-tagged baseline measured with a "
+                  f"'{lib_build_type}' benchmark library in "
+                  f"{args.baseline_trajectory}; skipping (nothing "
+                  "comparable to gate against)")
+            continue
+        limit_ms = baseline_ms * args.factor
+        verdict = "OK" if new_ms <= limit_ms else "REGRESSION"
+        print(f"{name}: new {new_ms:.3f} ms vs baseline {baseline_ms:.3f} ms "
+              f"(limit {limit_ms:.3f} ms, x{args.factor:g}) -> {verdict}")
+        if new_ms > limit_ms:
+            failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

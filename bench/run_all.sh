@@ -17,6 +17,12 @@
 #                           offending build type). By default the script
 #                           REFUSES non-Release builds: debug-build perf
 #                           records poison the BENCH_*.json trajectory.
+#   GOGGLES_BENCH_ALLOW_DEBUG_BENCHLIB=1
+#                           accept a google-benchmark LIBRARY that
+#                           self-reports a debug build (see the library
+#                           gate below). Needed with Debian's libbenchmark
+#                           packages, which are compiled -O2 but without
+#                           NDEBUG and therefore mis-report "debug".
 #
 # Each bench appends one JSON line per run to BENCH_<name>.json via the
 # Banner() hook in bench_common.h; bench_micro_kernels (pure
@@ -66,6 +72,31 @@ fi
 export GOGGLES_BENCH_BUILD_TYPE="$(echo "$build_type" \
     | tr '[:upper:]' '[:lower:]')"
 
+# google-benchmark LIBRARY build-type gate. The micro-kernel bench links
+# the installed benchmark library, whose own NDEBUG state is what the
+# JSON context's "library_build_type" field reports — it says nothing
+# about the goggles build (that is the goggles_build_type context entry).
+# A library without NDEBUG keeps its internal assertions live inside the
+# measurement machinery, so a "debug" self-report is refused by default,
+# the same way non-Release build dirs are. CAVEAT: Debian's libbenchmark
+# packages are compiled -O2 but without NDEBUG and therefore self-report
+# "debug"; set GOGGLES_BENCH_ALLOW_DEBUG_BENCHLIB=1 to accept such a
+# library. Every micro-kernel record is tagged with the probed value
+# (goggles_benchmark_lib_build_type) either way.
+probe_bench_lib_build_type() {
+  local bin="$1" tmp out=""
+  tmp="$(mktemp)"
+  # Quick real run (the DP micro-bench takes microseconds): an empty
+  # filter would produce no JSON at all.
+  if "$bin" --benchmark_filter='BM_TheoryDp' --benchmark_min_time=0.001 \
+      --benchmark_out="$tmp" --benchmark_out_format=json >/dev/null 2>&1; then
+    out="$(sed -n 's/.*"library_build_type": *"\([a-z]*\)".*/\1/p' "$tmp" \
+        | head -n 1)"
+  fi
+  rm -f "$tmp"
+  echo "${out:-unknown}"
+}
+
 # No colon: an explicitly empty GOGGLES_BENCH_JSON_DIR disables records
 # (matching the bench_common.h contract); only an unset one defaults.
 json_dir="${GOGGLES_BENCH_JSON_DIR-$repo_root}"
@@ -104,15 +135,34 @@ for bench in "${benches[@]}"; do
   name="${bench#bench_}"
   echo
   echo ">>> $bench"
+  if [[ "$bench" == bench_micro_kernels ]]; then
+    lib_build_type="$(probe_bench_lib_build_type "$bin")"
+    if [[ "$lib_build_type" != "release" \
+          && "${GOGGLES_BENCH_ALLOW_DEBUG_BENCHLIB:-0}" != "1" \
+          && "${GOGGLES_BENCH_ALLOW_NONRELEASE:-0}" != "1" ]]; then
+      echo "error: the google-benchmark library linked into $bench" >&2
+      echo "       self-reports build type '$lib_build_type' (its own" >&2
+      echo "       NDEBUG state) — its live assertions sit inside the" >&2
+      echo "       measurement machinery. Link a Release benchmark" >&2
+      echo "       library, or set GOGGLES_BENCH_ALLOW_DEBUG_BENCHLIB=1" >&2
+      echo "       if the library is actually optimized (Debian's" >&2
+      echo "       libbenchmark is -O2 but compiled without NDEBUG, so" >&2
+      echo "       it mis-reports \"debug\")." >&2
+      failed=1
+      continue
+    fi
+  fi
   if [[ "$bench" == bench_micro_kernels && -z "$json_dir" ]]; then
     "$bin" "--benchmark_context=goggles_build_type=$GOGGLES_BENCH_BUILD_TYPE" \
+        "--benchmark_context=goggles_benchmark_lib_build_type=$lib_build_type" \
         || failed=1
   elif [[ "$bench" == bench_micro_kernels ]]; then
     # --benchmark_out truncates its file; stage to a temp file and append
     # one compact line so this trajectory accumulates like the others.
     tmp_json="$(mktemp)"
     if "$bin" --benchmark_out="$tmp_json" --benchmark_out_format=json \
-        "--benchmark_context=goggles_build_type=$GOGGLES_BENCH_BUILD_TYPE"; then
+        "--benchmark_context=goggles_build_type=$GOGGLES_BENCH_BUILD_TYPE" \
+        "--benchmark_context=goggles_benchmark_lib_build_type=$lib_build_type"; then
       if command -v python3 >/dev/null 2>&1; then
         python3 -c 'import json,sys; print(json.dumps(json.load(open(sys.argv[1])), separators=(",",":")))' \
             "$tmp_json" >> "$json_dir/BENCH_${name}.json" || failed=1

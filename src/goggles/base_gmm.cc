@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "goggles/em_core.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 
 namespace goggles {
@@ -27,72 +29,92 @@ struct GmmState {
   std::vector<double> weights;
 };
 
-/// Log density of row `x` under component k (diagonal Gaussian, Eq. 6 with
-/// diagonal covariance).
-double LogGaussianDiag(const double* x, const double* mean, const double* var,
-                       int64_t d) {
-  double acc = 0.0;
-  for (int64_t j = 0; j < d; ++j) {
-    const double diff = x[j] - mean[j];
-    acc += std::log(var[j]) + diff * diff / var[j];
-  }
-  return -0.5 * (static_cast<double>(d) * kLog2Pi + acc);
-}
-
-/// E-step: fills `log_resp` (N x K) and returns the data log-likelihood.
-double EStep(const Matrix& x, const GmmState& state, Matrix* log_resp) {
+/// N x 2D augmented design matrix [x² | x]: carrying the squares next to
+/// the values lets one product produce both Gaussian dot-product terms of
+/// the E-step AND both raw moments of the M-step. Computed once per Fit
+/// and shared read-only across restarts.
+Matrix AugmentWithSquares(const Matrix& x) {
   const int64_t n = x.rows(), d = x.cols();
-  const int64_t k = state.means.rows();
-  double total_ll = 0.0;
-  std::vector<double> scratch(static_cast<size_t>(k));
+  Matrix xaug(n, 2 * d);
   for (int64_t i = 0; i < n; ++i) {
-    for (int64_t c = 0; c < k; ++c) {
-      scratch[static_cast<size_t>(c)] =
-          std::log(std::max(state.weights[static_cast<size_t>(c)], 1e-300)) +
-          LogGaussianDiag(x.RowPtr(i), state.means.RowPtr(c),
-                          state.variances.RowPtr(c), d);
-    }
-    const double lse = LogSumExp(scratch.data(), k);
-    total_ll += lse;
-    for (int64_t c = 0; c < k; ++c) {
-      (*log_resp)(i, c) = scratch[static_cast<size_t>(c)] - lse;
+    const double* row = x.RowPtr(i);
+    double* out = xaug.RowPtr(i);
+    for (int64_t j = 0; j < d; ++j) {
+      out[j] = row[j] * row[j];
+      out[d + j] = row[j];
     }
   }
-  return total_ll;
+  return xaug;
 }
 
-/// M-step (Eq. 10), with a variance floor for numerical stability.
-void MStep(const Matrix& x, const Matrix& log_resp, double var_floor,
-           GmmState* state) {
-  const int64_t n = x.rows(), d = x.cols();
-  const int64_t k = state->means.rows();
+/// Per-iteration E-step operands (Eq. 6 with diagonal covariance,
+/// expanded): with the log density written as
+///   log N(x | μ, diag σ²) = −½(D log 2π + Σⱼ log σ²ⱼ + Σⱼ x²ⱼ/σ²ⱼ
+///                             − 2 Σⱼ xⱼ·μⱼ/σ²ⱼ + Σⱼ μ²ⱼ/σ²ⱼ),
+/// panel row c = [−½/σ²ⱼ | μⱼ/σ²ⱼ] makes the data-dependent part the dot
+/// product xaug_i · panel_c, and offsets[c] folds the rest together with
+/// the mixture log-weight:
+///   log w_c + log N(x_i | μ_c, σ²_c) = xaug_i · panel_c + offsets[c].
+/// Everything here is K x D work per iteration — the old row loop
+/// re-evaluated log σ²ⱼ once per (row, component, dimension).
+void BuildGaussianPanel(const Matrix& means, const Matrix& variances,
+                        const std::vector<double>& weights, Matrix* panel,
+                        std::vector<double>* offsets) {
+  const int64_t k = means.rows(), d = means.cols();
+  if (panel->rows() != k || panel->cols() != 2 * d) *panel = Matrix(k, 2 * d);
+  offsets->resize(static_cast<size_t>(k));
   for (int64_t c = 0; c < k; ++c) {
-    double nk = 0.0;
-    std::vector<double> mean(static_cast<size_t>(d), 0.0);
-    for (int64_t i = 0; i < n; ++i) {
-      const double r = std::exp(log_resp(i, c));
-      nk += r;
-      const double* row = x.RowPtr(i);
-      for (int64_t j = 0; j < d; ++j) mean[static_cast<size_t>(j)] += r * row[j];
-    }
-    nk = std::max(nk, 1e-12);
+    const double* mean = means.RowPtr(c);
+    const double* var = variances.RowPtr(c);
+    double* p = panel->RowPtr(c);
+    double logdet_plus_mahal = 0.0;
     for (int64_t j = 0; j < d; ++j) {
-      state->means(c, j) = mean[static_cast<size_t>(j)] / nk;
+      const double inv = 1.0 / var[j];
+      const double mu_iv = mean[j] * inv;
+      p[j] = -0.5 * inv;
+      p[d + j] = mu_iv;
+      logdet_plus_mahal += std::log(var[j]) + mean[j] * mu_iv;
     }
-    std::vector<double> var(static_cast<size_t>(d), 0.0);
-    for (int64_t i = 0; i < n; ++i) {
-      const double r = std::exp(log_resp(i, c));
-      const double* row = x.RowPtr(i);
-      for (int64_t j = 0; j < d; ++j) {
-        const double diff = row[j] - state->means(c, j);
-        var[static_cast<size_t>(j)] += r * diff * diff;
-      }
-    }
+    (*offsets)[static_cast<size_t>(c)] =
+        std::log(std::max(weights[static_cast<size_t>(c)], 1e-300)) -
+        0.5 * (static_cast<double>(d) * kLog2Pi + logdet_plus_mahal);
+  }
+}
+
+/// E-step: one N x K product + the shared in-place log-softmax epilogue.
+/// Fills `log_resp` and returns the data log-likelihood. `panel`/`offsets`
+/// are per-restart scratch reused across iterations.
+double EStep(const em::FitOperand& xaug, const GmmState& state,
+             em::Engine engine, Matrix* panel, std::vector<double>* offsets,
+             Matrix* log_resp) {
+  BuildGaussianPanel(state.means, state.variances, state.weights, panel,
+                     offsets);
+  em::ProductNT(xaug, *panel, engine, log_resp);
+  return em::LogSoftmaxRowsInPlace(*offsets, log_resp);
+}
+
+/// M-step (Eq. 10): moments = [x² | x]ᵀ·R yields Σᵢ rᵢ x²ⱼ and Σᵢ rᵢ xⱼ in
+/// one product, so μ = S₁/Nₖ and σ² = S₂/Nₖ − μ² (the E[x²]−μ² form; the
+/// variance floor doubles as the guard against its cancellation residue).
+/// `moments` is (2D x K): rows [0, D) hold the squared moments, rows
+/// [D, 2D) the plain ones.
+void MStep(const em::FitOperand& xaug, const Matrix& log_resp,
+           double var_floor, em::Engine engine, Matrix* resp, Matrix* moments,
+           std::vector<double>* nk, GmmState* state) {
+  const int64_t n = xaug.rows, d = xaug.cols / 2;
+  const int64_t k = state->means.rows();
+  em::ExpInto(log_resp, resp);
+  em::ColumnSums(*resp, nk);
+  em::ProductTB(xaug, *resp, engine, moments);
+  for (int64_t c = 0; c < k; ++c) {
+    const double mass = std::max((*nk)[static_cast<size_t>(c)], 1e-12);
     for (int64_t j = 0; j < d; ++j) {
+      const double mean = (*moments)(d + j, c) / mass;
+      state->means(c, j) = mean;
       state->variances(c, j) =
-          std::max(var[static_cast<size_t>(j)] / nk, var_floor);
+          std::max((*moments)(j, c) / mass - mean * mean, var_floor);
     }
-    state->weights[static_cast<size_t>(c)] = nk / static_cast<double>(n);
+    state->weights[static_cast<size_t>(c)] = mass / static_cast<double>(n);
   }
 }
 
@@ -178,33 +200,66 @@ Status DiagonalGmm::Fit(const Matrix& x) {
     return Status::InvalidArgument("DiagonalGmm::Fit: need >= 1 component");
   }
 
-  Rng rng(config_.seed);
-  double best_ll = -std::numeric_limits<double>::infinity();
+  const em::Engine engine =
+      config_.use_gemm ? em::Engine::kGemm : em::Engine::kReference;
+  // Both product orientations of the design matrix are packed once and
+  // shared read-only across restarts and iterations (the unpacked
+  // augmentation is released as soon as the packs exist).
+  const em::FitOperand xop =
+      em::PackFitOperand(AugmentWithSquares(x), engine);
+  const Rng rng(config_.seed);
+  const int num_restarts = std::max(1, config_.num_restarts);
 
-  for (int restart = 0; restart < std::max(1, config_.num_restarts);
-       ++restart) {
-    Rng restart_rng = rng.Fork(static_cast<uint64_t>(restart));
-    GmmState state =
-        InitState(x, config_.num_components, &restart_rng, config_.var_floor);
-    Matrix log_resp(x.rows(), config_.num_components);
-
+  // Restarts are embarrassingly parallel (forked RNG streams) and each
+  // slot is independent, so results do not depend on execution order.
+  // Per-restart scratch is allocated once and reused across iterations;
+  // under an outer ParallelFor (the hierarchical base-model loop) or a
+  // ScopedSerialKernels marker this collapses to a serial loop and the
+  // inner DGemm keeps its bit-identical-at-any-thread-count contract.
+  struct RestartFit {
+    GmmState state;
     std::vector<double> history;
+  };
+  std::vector<RestartFit> restarts(static_cast<size_t>(num_restarts));
+  ParallelFor(0, num_restarts, [&](int64_t restart) {
+    Rng restart_rng = rng.Fork(static_cast<uint64_t>(restart));
+    RestartFit& out = restarts[static_cast<size_t>(restart)];
+    out.state =
+        InitState(x, config_.num_components, &restart_rng, config_.var_floor);
+
+    Matrix log_resp, resp, panel, moments;
+    std::vector<double> offsets, nk;
     double prev_ll = -std::numeric_limits<double>::infinity();
     for (int iter = 0; iter < config_.max_iters; ++iter) {
-      const double ll = EStep(x, state, &log_resp);
-      history.push_back(ll);
-      MStep(x, log_resp, config_.var_floor, &state);
+      const double ll =
+          EStep(xop, out.state, engine, &panel, &offsets, &log_resp);
+      out.history.push_back(ll);
+      MStep(xop, log_resp, config_.var_floor, engine, &resp, &moments, &nk,
+            &out.state);
       if (iter > 0 && ll - prev_ll < config_.tol) break;
       prev_ll = ll;
     }
+  });
+
+  // Best-restart selection stays serial and in restart order (first
+  // strict improvement wins), matching the historical serial loop.
+  double best_ll = -std::numeric_limits<double>::infinity();
+  int64_t best = -1;
+  for (int64_t r = 0; r < num_restarts; ++r) {
+    const std::vector<double>& history =
+        restarts[static_cast<size_t>(r)].history;
     const double final_ll = history.empty() ? 0.0 : history.back();
     if (final_ll > best_ll) {
       best_ll = final_ll;
-      means_ = state.means;
-      variances_ = state.variances;
-      weights_ = state.weights;
-      ll_history_ = std::move(history);
+      best = r;
     }
+  }
+  if (best >= 0) {
+    RestartFit& winner = restarts[static_cast<size_t>(best)];
+    means_ = std::move(winner.state.means);
+    variances_ = std::move(winner.state.variances);
+    weights_ = std::move(winner.state.weights);
+    ll_history_ = std::move(winner.history);
   }
   final_ll_ = best_ll;
   return Status::OK();
@@ -218,15 +273,19 @@ Result<Matrix> DiagonalGmm::PredictProba(const Matrix& x) const {
     return Status::InvalidArgument(
         "DiagonalGmm::PredictProba: dimension mismatch");
   }
-  GmmState state{means_, variances_, weights_};
-  Matrix log_resp(x.rows(), means_.rows());
-  EStep(x, state, &log_resp);
-  Matrix proba(x.rows(), means_.rows());
-  for (int64_t i = 0; i < x.rows(); ++i) {
-    for (int64_t c = 0; c < means_.rows(); ++c) {
-      proba(i, c) = std::exp(log_resp(i, c));
-    }
-  }
+  const em::Engine engine =
+      config_.use_gemm ? em::Engine::kGemm : em::Engine::kReference;
+  const Matrix xaug = AugmentWithSquares(x);
+  Matrix panel;
+  std::vector<double> offsets;
+  BuildGaussianPanel(means_, variances_, weights_, &panel, &offsets);
+  // One matrix end to end: the product output is log-softmaxed and then
+  // exponentiated in place (no throwaway E-step buffer + copy).
+  Matrix proba;
+  em::ProductNT(xaug, panel, engine, &proba);
+  em::LogSoftmaxRowsInPlace(offsets, &proba);
+  double* data = proba.data();
+  for (int64_t i = 0; i < proba.size(); ++i) data[i] = std::exp(data[i]);
   return proba;
 }
 

@@ -1,0 +1,117 @@
+#include "goggles/em_core.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "tensor/gemm.h"
+
+namespace goggles {
+namespace em {
+namespace {
+
+void EnsureShape(int64_t rows, int64_t cols, Matrix* m) {
+  if (m->rows() != rows || m->cols() != cols) *m = Matrix(rows, cols);
+}
+
+}  // namespace
+
+FitOperand PackFitOperand(Matrix m, Engine engine) {
+  FitOperand op;
+  op.rows = m.rows();
+  op.cols = m.cols();
+  if (engine == Engine::kGemm) {
+    // The packs carry all the data; `m` is dropped on return so the
+    // operand costs one copy per orientation, not two plus the raw.
+    op.fwd = DGemmPackOperandA(/*transpose_a=*/false, m.rows(), m.cols(),
+                               m.data(), m.cols());
+    op.transposed = DGemmPackOperandA(/*transpose_a=*/true, m.cols(),
+                                      m.rows(), m.data(), m.cols());
+  } else {
+    op.raw = std::move(m);
+  }
+  return op;
+}
+
+void ProductNT(const FitOperand& x, const Matrix& b, Engine engine,
+               Matrix* out) {
+  const int64_t n = x.rows, d = x.cols, k = b.rows();
+  EnsureShape(n, k, out);
+  if (engine == Engine::kGemm) {
+    DGemmWithPackedA(x.fwd, /*transpose_b=*/true, k, b.data(), d, 0.0,
+                     out->data(), k);
+  } else {
+    DGemmReference(/*transpose_a=*/false, /*transpose_b=*/true, n, k, d, 1.0,
+                   x.raw.data(), d, b.data(), d, 0.0, out->data(), k);
+  }
+}
+
+void ProductNT(const Matrix& a, const Matrix& b, Engine engine, Matrix* out) {
+  const int64_t n = a.rows(), d = a.cols(), k = b.rows();
+  EnsureShape(n, k, out);
+  if (engine == Engine::kGemm) {
+    DGemm(/*transpose_a=*/false, /*transpose_b=*/true, n, k, d, 1.0, a.data(),
+          d, b.data(), d, 0.0, out->data(), k);
+  } else {
+    DGemmReference(/*transpose_a=*/false, /*transpose_b=*/true, n, k, d, 1.0,
+                   a.data(), d, b.data(), d, 0.0, out->data(), k);
+  }
+}
+
+void ProductTB(const FitOperand& x, const Matrix& b, Engine engine,
+               Matrix* out) {
+  const int64_t n = x.rows, d = x.cols, k = b.cols();
+  EnsureShape(d, k, out);
+  if (engine == Engine::kGemm) {
+    DGemmWithPackedA(x.transposed, /*transpose_b=*/false, k, b.data(), k, 0.0,
+                     out->data(), k);
+  } else {
+    DGemmReference(/*transpose_a=*/true, /*transpose_b=*/false, d, k, n, 1.0,
+                   x.raw.data(), d, b.data(), k, 0.0, out->data(), k);
+  }
+}
+
+double LogSoftmaxRowsInPlace(const std::vector<double>& offsets,
+                             Matrix* densities) {
+  const int64_t n = densities->rows(), k = densities->cols();
+  double total_ll = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    double* row = densities->RowPtr(i);
+    // Pass 1: fold in the per-component offsets and track the row max.
+    double max_v = -std::numeric_limits<double>::infinity();
+    for (int64_t c = 0; c < k; ++c) {
+      row[c] += offsets[static_cast<size_t>(c)];
+      max_v = std::max(max_v, row[c]);
+    }
+    double lse = max_v;
+    if (std::isfinite(max_v)) {
+      double acc = 0.0;
+      for (int64_t c = 0; c < k; ++c) acc += std::exp(row[c] - max_v);
+      lse = max_v + std::log(acc);
+    }
+    total_ll += lse;
+    for (int64_t c = 0; c < k; ++c) row[c] -= lse;
+  }
+  return total_ll;
+}
+
+void ExpInto(const Matrix& log_resp, Matrix* resp) {
+  EnsureShape(log_resp.rows(), log_resp.cols(), resp);
+  const double* src = log_resp.data();
+  double* dst = resp->data();
+  const int64_t size = log_resp.size();
+  for (int64_t i = 0; i < size; ++i) dst[i] = std::exp(src[i]);
+}
+
+void ColumnSums(const Matrix& m, std::vector<double>* out) {
+  const int64_t n = m.rows(), k = m.cols();
+  out->assign(static_cast<size_t>(k), 0.0);
+  double* acc = out->data();
+  for (int64_t i = 0; i < n; ++i) {
+    const double* row = m.RowPtr(i);
+    for (int64_t c = 0; c < k; ++c) acc[c] += row[c];
+  }
+}
+
+}  // namespace em
+}  // namespace goggles

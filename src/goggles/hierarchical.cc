@@ -87,17 +87,24 @@ Result<LabelingResult> HierarchicalLabeler::Fit(
   for (const Status& st : statuses) GOGGLES_RETURN_NOT_OK(st);
 
   // Map every base model's clusters to classes using the development set
-  // (§4.3: the mapping is applied to each LP_f and to the final L).
+  // (§4.3: the mapping is applied to each LP_f and to the final L). Like
+  // the base fits above, the per-function assignment solves and LP
+  // permutations are independent — run them under the same ParallelFor /
+  // per-slot Status pattern.
   std::vector<std::vector<int>> base_mappings(static_cast<size_t>(alpha));
-  for (int64_t f = 0; f < alpha; ++f) {
-    GOGGLES_ASSIGN_OR_RETURN(
-        std::vector<int> mapping,
-        ClusterToClassMapping(lps[static_cast<size_t>(f)], dev_indices,
-                              dev_labels, num_classes));
+  std::fill(statuses.begin(), statuses.end(), Status::OK());
+  ParallelFor(0, alpha, [&](int64_t f) {
+    Result<std::vector<int>> mapping = ClusterToClassMapping(
+        lps[static_cast<size_t>(f)], dev_indices, dev_labels, num_classes);
+    if (!mapping.ok()) {
+      statuses[static_cast<size_t>(f)] = mapping.status();
+      return;
+    }
     lps[static_cast<size_t>(f)] =
-        ApplyMapping(lps[static_cast<size_t>(f)], mapping);
-    base_mappings[static_cast<size_t>(f)] = std::move(mapping);
-  }
+        ApplyMapping(lps[static_cast<size_t>(f)], *mapping);
+    base_mappings[static_cast<size_t>(f)] = std::move(*mapping);
+  });
+  for (const Status& st : statuses) GOGGLES_RETURN_NOT_OK(st);
 
   LabelingResult result;
   result.base_label_predictions = lps;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "tensor/gemm.h"
 #include "util/parallel.h"
 #include "util/string_util.h"
 
@@ -102,18 +103,14 @@ Result<Matrix> MatMul(const Matrix& a, const Matrix& b) {
         "MatMul: inner dimensions differ (%lld vs %lld)",
         static_cast<long long>(a.cols()), static_cast<long long>(b.rows())));
   }
+  // Routed through the packed, blocked DGemm (bit-deterministic at any
+  // thread count; NaN/Inf propagate per BLAS — the old row-saxpy loop
+  // short-circuited zero multipliers). The SVD power iteration behind the
+  // spectral baseline spends its whole budget here.
   Matrix c(a.rows(), b.cols(), 0.0);
-  const int64_t n = a.rows(), k = a.cols(), m = b.cols();
-  ParallelFor(0, n, [&](int64_t i) {
-    const double* arow = a.RowPtr(i);
-    double* crow = c.RowPtr(i);
-    for (int64_t p = 0; p < k; ++p) {
-      const double av = arow[p];
-      if (av == 0.0) continue;
-      const double* brow = b.RowPtr(p);
-      for (int64_t j = 0; j < m; ++j) crow[j] += av * brow[j];
-    }
-  });
+  DGemm(/*transpose_a=*/false, /*transpose_b=*/false, a.rows(), b.cols(),
+        a.cols(), 1.0, a.data(), a.cols(), b.data(), b.cols(), 0.0, c.data(),
+        b.cols());
   return c;
 }
 

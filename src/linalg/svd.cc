@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "linalg/eigen.h"
+#include "tensor/gemm.h"
 #include "util/rng.h"
 
 namespace goggles {
@@ -56,20 +57,32 @@ Result<SvdResult> TruncatedSvd(const Matrix& a, int k, int iters,
   }
   OrthonormalizeColumns(&q, &rng);
 
-  Matrix at = a.Transposed();
   // `fwd` maps R^dim -> R^other, `bwd` maps back, so one power-iteration
-  // step is q <- bwd(fwd(q)) = (X^T X) q on the iterated side.
-  const Matrix& fwd = iterate_v ? a : at;
-  const Matrix& bwd = iterate_v ? at : a;
+  // step is q <- bwd(fwd(q)) = (X^T X) q on the iterated side. Both
+  // operands are constant across the iteration, so they are packed once
+  // for the GEMM kernel (the transpose is a packing flag — no
+  // materialized A^T) instead of being repacked inside every product:
+  // the repacking used to dominate the whole power iteration for the
+  // wide affinity matrices the spectral baseline feeds in.
+  const int64_t other = iterate_v ? m : n;
+  const DGemmPackedA fwd_packed = DGemmPackOperandA(
+      /*transpose_a=*/!iterate_v, other, dim, a.data(), n);
+  const DGemmPackedA bwd_packed = DGemmPackOperandA(
+      /*transpose_a=*/iterate_v, dim, other, a.data(), n);
 
+  Matrix z(other, k);
   for (int it = 0; it < iters; ++it) {
-    GOGGLES_ASSIGN_OR_RETURN(Matrix z, MatMul(fwd, q));  // other x k
-    GOGGLES_ASSIGN_OR_RETURN(q, MatMul(bwd, z));         // dim x k
+    DGemmWithPackedA(fwd_packed, /*transpose_b=*/false, k, q.data(), k, 0.0,
+                     z.data(), k);  // other x k
+    DGemmWithPackedA(bwd_packed, /*transpose_b=*/false, k, z.data(), k, 0.0,
+                     q.data(), k);  // dim x k
     OrthonormalizeColumns(&q, &rng);
   }
 
   // Recover the paired factor and singular values.
-  GOGGLES_ASSIGN_OR_RETURN(Matrix paired, MatMul(fwd, q));  // other x k
+  Matrix paired(other, k);
+  DGemmWithPackedA(fwd_packed, /*transpose_b=*/false, k, q.data(), k, 0.0,
+                   paired.data(), k);
   std::vector<double> sigma(static_cast<size_t>(k), 0.0);
   for (int j = 0; j < k; ++j) {
     double norm = 0.0;

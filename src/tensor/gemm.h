@@ -1,31 +1,53 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 /// \file gemm.h
-/// \brief Single-precision GEMM used by the conv (im2col) and linear layers
-/// and the batched prototype-affinity scorer.
+/// \brief Packed cache-blocked GEMM in single precision (conv, linear,
+/// batched prototype-affinity scoring) and double precision (the EM fit
+/// cores of the hierarchical generative model).
 ///
 /// The implementation is a cache-blocked, register-tiled, panel-packing
 /// kernel (BLIS-style): op(A) and op(B) are repacked into contiguous
 /// micro-panels once per cache block, and an MR x NR register micro-kernel
 /// runs over the packed data. Macro row-tiles are distributed across worker
-/// threads with ParallelForChunked; all scratch state is per-call, so
-/// concurrent SGemm calls from different threads are safe and lock-free.
+/// threads with ParallelForChunked. Packing scratch is thread_local and
+/// grow-only (a fresh allocation per call showed up in the EM fit cores'
+/// thousands of small products; a long-lived thread retains up to a few MB
+/// of panel scratch until it exits). Concurrent GEMM calls from different
+/// threads remain safe and lock-free: each thread owns its scratch, and
+/// the kernels never re-enter themselves, so one call per thread holds
+/// the buffers at a time.
 ///
-/// Numerical contract: every C element is accumulated in a fixed order
-/// (ascending k), independent of the blocking geometry, the total problem
-/// shape and the number of worker threads — the same (i, j) dot product
-/// yields bit-identical results at 1 and N threads and whether it is
-/// computed inside a large or a small GEMM. The serving path relies on
-/// this to reproduce fit-time affinity scores exactly. The guarantee is
-/// per build + host ISA: with GOGGLES_NATIVE_ARCH the kernels use FMA
-/// where available, whose rounding differs from mul+add, so results are
-/// not bit-portable across machines with different vector ISAs.
+/// Numerical contract: every C element is accumulated in a fixed order —
+/// ascending k, with one partial sum per kGemmKChunk-sized k-block added
+/// into C in block order — independent of the blocking geometry, the total
+/// problem shape and the number of worker threads. The same (i, j) dot
+/// product yields bit-identical results at 1 and N threads and whether it
+/// is computed inside a large or a small GEMM. The serving path relies on
+/// this to reproduce fit-time affinity scores exactly.
+///
+/// Per-precision rounding policy:
+///  - float (SGemm): plain multiply-add, which the compiler contracts to
+///    FMA where the target ISA has it. The guarantee is therefore per
+///    build + host ISA: results are not bit-portable across machines with
+///    different vector ISAs (see GOGGLES_NATIVE_ARCH).
+///  - double (DGemm): every accumulation is an explicit std::fma, which is
+///    correctly rounded whether it lowers to the hardware instruction or
+///    the library fallback. DGemm results are therefore reproducible by
+///    *any* scalar loop that applies std::fma in the same chunked order,
+///    regardless of that loop's compile flags — the contract the EM fit
+///    cores' retained scalar reference (DGemmReference) is built on.
 
 namespace goggles {
 
-/// \brief C = alpha * op(A) * op(B) + beta * C.
+/// \brief Fixed k-blocking (and accumulation-chunk) size of the packed
+/// GEMM kernels. Part of the numerical contract: each C element is the
+/// ordered sum of one partial sum per kGemmKChunk-aligned k-block.
+inline constexpr int64_t kGemmKChunk = 256;
+
+/// \brief C = alpha * op(A) * op(B) + beta * C (single precision).
 ///
 /// A is (m x k) after optional transpose, B is (k x n) after optional
 /// transpose, C is (m x n) row-major. BLAS semantics: when alpha == 0,
@@ -47,5 +69,62 @@ void SGemmWithThreads(bool transpose_a, bool transpose_b, int64_t m, int64_t n,
                       int64_t k, float alpha, const float* a, int64_t lda,
                       const float* b, int64_t ldb, float beta, float* c,
                       int64_t ldc, int num_threads);
+
+/// \brief C = alpha * op(A) * op(B) + beta * C (double precision).
+///
+/// Same packing/blocking machinery and BLAS semantics as SGemm, but every
+/// accumulation is an explicit std::fma (see the file comment), so results
+/// are bit-identical at any thread count AND bit-reproducible by the
+/// serial DGemmReference below. Used by the EM fit cores, whose state must
+/// stay double for likelihood stability.
+void DGemm(bool transpose_a, bool transpose_b, int64_t m, int64_t n, int64_t k,
+           double alpha, const double* a, int64_t lda, const double* b,
+           int64_t ldb, double beta, double* c, int64_t ldc);
+
+/// \brief DGemm with an explicit worker-thread count (`<= 0` = default,
+/// 1 = serial). Results are bit-identical for every thread count.
+void DGemmWithThreads(bool transpose_a, bool transpose_b, int64_t m, int64_t n,
+                      int64_t k, double alpha, const double* a, int64_t lda,
+                      const double* b, int64_t ldb, double beta, double* c,
+                      int64_t ldc, int num_threads);
+
+/// \brief Prepacked double-precision op(A): every KC-aligned k-block's
+/// MR-row micro-panels, in the exact layout the blocked driver consumes.
+/// Built once with DGemmPackOperandA and reused across many products —
+/// the EM fit cores multiply the same design matrix every iteration, and
+/// for their skinny products (n = #mixture components) the transposing
+/// repack of that operand would dominate the whole call. alpha is not
+/// folded (packing is value-preserving; the products run with alpha = 1).
+struct DGemmPackedA {
+  std::vector<double> data;         ///< packed micro-panels
+  std::vector<int64_t> block_base;  ///< offset of each k-block in `data`
+  int64_t m = 0;                    ///< rows of op(A)
+  int64_t k = 0;                    ///< depth (columns) of op(A)
+};
+
+/// \brief Packs op(A) (m x k after the optional transpose) into the
+/// micro-panel layout consumed by DGemmWithPackedA.
+DGemmPackedA DGemmPackOperandA(bool transpose_a, int64_t m, int64_t k,
+                               const double* a, int64_t lda);
+
+/// \brief C = packed_a * op(B) + beta * C. Bit-identical to the
+/// corresponding DGemm call with alpha == 1 — same packing layout, same
+/// micro-kernels, same fixed accumulation order — at any thread count.
+/// `packed_a` is read-only and may be shared by concurrent callers.
+void DGemmWithPackedA(const DGemmPackedA& packed_a, bool transpose_b,
+                      int64_t n, const double* b, int64_t ldb, double beta,
+                      double* c, int64_t ldc, int num_threads = 0);
+
+/// \brief Serial scalar reference with DGemm's exact accumulation
+/// semantics: per C element, one std::fma-accumulated partial sum per
+/// kGemmKChunk-sized k-block, added into C in ascending block order, with
+/// alpha folded into each A element up front (one rounding, as the packed
+/// kernel does). Bit-identical to DGemm/DGemmWithThreads by contract —
+/// the EM fit cores retain this as their scalar-reference engine, and the
+/// tests enforce the equality over randomized shapes.
+void DGemmReference(bool transpose_a, bool transpose_b, int64_t m, int64_t n,
+                    int64_t k, double alpha, const double* a, int64_t lda,
+                    const double* b, int64_t ldb, double beta, double* c,
+                    int64_t ldc);
 
 }  // namespace goggles

@@ -1,0 +1,415 @@
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "goggles/base_gmm.h"
+#include "goggles/ensemble.h"
+#include "tensor/gemm.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+
+/// \file gmm_gemm_test.cc
+/// \brief The GEMM-accelerated EM fit cores' determinism contract:
+///  (a) DGemm / DGemmWithPackedA match the retained scalar reference
+///      (DGemmReference) bit for bit over randomized shapes, including
+///      shapes crossing the kGemmKChunk accumulation boundary, and a
+///      naive tolerance reference for plain correctness;
+///  (b) DiagonalGmm::Fit / BernoulliMixture::Fit produce bit-identical
+///      parameters, LL trajectories and posteriors on the GEMM engine vs
+///      the scalar-reference engine, and at serial vs parallel execution
+///      (ScopedSerialKernels forces 1-thread kernels and serial restarts);
+///  (c) DGemm passes the same transpose/alpha/beta/NaN semantics sweep as
+///      tensor_gemm_test.cc does for SGemm.
+
+namespace goggles {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+std::vector<double> RandomVec(size_t size, Rng* rng) {
+  std::vector<double> v(size);
+  for (auto& x : v) x = rng->Gaussian();
+  return v;
+}
+
+Matrix RandomMatrix(int64_t rows, int64_t cols, Rng* rng) {
+  Matrix m(rows, cols);
+  for (int64_t i = 0; i < m.size(); ++i) m.data()[i] = rng->Uniform();
+  return m;
+}
+
+/// Natural triple-loop reference (single ascending-k accumulator) — NOT
+/// bit-comparable to the chunked kernels; used with a tolerance to guard
+/// against a shared indexing bug in kernel + chunked reference.
+void NaiveGemm(bool ta, bool tb, int64_t m, int64_t n, int64_t k,
+               double alpha, const double* a, int64_t lda, const double* b,
+               int64_t ldb, double beta, double* c, int64_t ldc) {
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (int64_t p = 0; p < k; ++p) {
+        const double av = ta ? a[p * lda + i] : a[i * lda + p];
+        const double bv = tb ? b[j * ldb + p] : b[p * ldb + j];
+        acc += av * bv;
+      }
+      const double prior = beta == 0.0 ? 0.0 : beta * c[i * ldc + j];
+      c[i * ldc + j] = alpha * acc + prior;
+    }
+  }
+}
+
+/// One geometry: DGemm vs DGemmReference must agree bit for bit, and both
+/// must agree with the naive reference within tolerance. Strides add
+/// `slack` columns beyond the tight leading dimension.
+void CheckCase(bool ta, bool tb, int64_t m, int64_t n, int64_t k,
+               double alpha, double beta, int64_t slack, Rng* rng) {
+  const int64_t lda = (ta ? m : k) + slack;
+  const int64_t ldb = (tb ? k : n) + slack;
+  const int64_t ldc = n + slack;
+  const int64_t a_rows = ta ? k : m;
+  const int64_t b_rows = tb ? n : k;
+
+  std::vector<double> a = RandomVec(static_cast<size_t>(a_rows * lda), rng);
+  std::vector<double> b = RandomVec(static_cast<size_t>(b_rows * ldb), rng);
+  std::vector<double> c = RandomVec(static_cast<size_t>(m * ldc), rng);
+  std::vector<double> c_ref = c;
+  std::vector<double> c_naive = c;
+
+  DGemm(ta, tb, m, n, k, alpha, a.data(), lda, b.data(), ldb, beta, c.data(),
+        ldc);
+  DGemmReference(ta, tb, m, n, k, alpha, a.data(), lda, b.data(), ldb, beta,
+                 c_ref.data(), ldc);
+  NaiveGemm(ta, tb, m, n, k, alpha, a.data(), lda, b.data(), ldb, beta,
+            c_naive.data(), ldc);
+
+  ASSERT_EQ(std::memcmp(c.data(), c_ref.data(), c.size() * sizeof(double)), 0)
+      << "DGemm != DGemmReference at ta=" << ta << " tb=" << tb << " m=" << m
+      << " n=" << n << " k=" << k << " alpha=" << alpha << " beta=" << beta;
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      const double got = c[static_cast<size_t>(i * ldc + j)];
+      const double want = c_naive[static_cast<size_t>(i * ldc + j)];
+      ASSERT_NEAR(got, want, 1e-10 * (std::abs(want) + k))
+          << "ta=" << ta << " tb=" << tb << " m=" << m << " n=" << n
+          << " k=" << k << " at (" << i << ", " << j << ")";
+    }
+  }
+}
+
+// Sizes straddling the micro-tile and macro-tile boundaries, plus 257/300
+// to cross the kGemmKChunk partial-sum boundary on the depth dimension.
+const int64_t kSizes[] = {1, 7, 9, 64, 65};
+const int64_t kDepths[] = {1, 8, 63, 256, 257, 300};
+
+TEST(DGemmBitExactTest, MatchesChunkedReferenceAllTransposesAndStrides) {
+  Rng rng(42);
+  for (bool ta : {false, true}) {
+    for (bool tb : {false, true}) {
+      for (int64_t m : kSizes) {
+        for (int64_t n : kSizes) {
+          for (int64_t k : kDepths) {
+            const int64_t slack = (m + n + k) % 2 == 0 ? 0 : 3;
+            CheckCase(ta, tb, m, n, k, 1.0, 0.0, slack, &rng);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(DGemmBitExactTest, AlphaBetaGrid) {
+  Rng rng(43);
+  for (bool ta : {false, true}) {
+    for (bool tb : {false, true}) {
+      for (double alpha : {0.0, 1.0, 0.5}) {
+        for (double beta : {0.0, 1.0, 0.5}) {
+          for (int64_t size : {int64_t{9}, int64_t{65}}) {
+            CheckCase(ta, tb, size, size + 1, size * 5 - 1, alpha, beta,
+                      /*slack=*/3, &rng);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(DGemmSemanticsTest, NanInBPropagatesThroughZeroInA) {
+  const std::vector<double> a = {0.0, 1.0};
+  const std::vector<double> b = {kNaN, 2.0};
+  std::vector<double> c = {0.0};
+  DGemm(false, false, 1, 1, 2, 1.0, a.data(), 2, b.data(), 1, 0.0, c.data(),
+        1);
+  EXPECT_TRUE(std::isnan(c[0])) << "0 * NaN must propagate, got " << c[0];
+}
+
+TEST(DGemmSemanticsTest, AlphaZeroDoesNotReferenceAOrB) {
+  const std::vector<double> a = {kNaN, kNaN, kNaN, kNaN};
+  const std::vector<double> b = {kNaN, kNaN, kNaN, kNaN};
+  std::vector<double> c = {1.0, 2.0, 3.0, 4.0};
+  DGemm(false, false, 2, 2, 2, 0.0, a.data(), 2, b.data(), 2, 0.5, c.data(),
+        2);
+  EXPECT_DOUBLE_EQ(c[0], 0.5);
+  EXPECT_DOUBLE_EQ(c[3], 2.0);
+}
+
+TEST(DGemmSemanticsTest, BetaZeroOverwritesStaleNaN) {
+  const std::vector<double> a = {1.0};
+  const std::vector<double> b = {2.0};
+  std::vector<double> c = {kNaN};
+  DGemm(false, false, 1, 1, 1, 1.0, a.data(), 1, b.data(), 1, 0.0, c.data(),
+        1);
+  EXPECT_DOUBLE_EQ(c[0], 2.0);
+}
+
+TEST(DGemmDeterminismTest, BitIdenticalAcrossThreadCounts) {
+  Rng rng(44);
+  const int64_t m = 130, n = 6, k = 300;
+  std::vector<double> a = RandomVec(static_cast<size_t>(m * k), &rng);
+  std::vector<double> b = RandomVec(static_cast<size_t>(k * n), &rng);
+  std::vector<double> c1(static_cast<size_t>(m * n), 0.0);
+  DGemmWithThreads(false, false, m, n, k, 1.0, a.data(), k, b.data(), n, 0.0,
+                   c1.data(), n, /*num_threads=*/1);
+  for (int threads : {2, 3, 8}) {
+    std::vector<double> cn(static_cast<size_t>(m * n), 0.0);
+    DGemmWithThreads(false, false, m, n, k, 1.0, a.data(), k, b.data(), n,
+                     0.0, cn.data(), n, threads);
+    ASSERT_EQ(std::memcmp(c1.data(), cn.data(), c1.size() * sizeof(double)),
+              0)
+        << "results diverge at " << threads << " threads";
+  }
+}
+
+TEST(DGemmDeterminismTest, PackedOperandMatchesUnpackedBitForBit) {
+  Rng rng(45);
+  for (bool ta : {false, true}) {
+    for (bool tb : {false, true}) {
+      for (int64_t m : {int64_t{5}, int64_t{70}, int64_t{130}}) {
+        for (int64_t k : {int64_t{9}, int64_t{256}, int64_t{300}}) {
+          const int64_t n = 3;
+          const int64_t lda = ta ? m : k;
+          std::vector<double> a =
+              RandomVec(static_cast<size_t>((ta ? k : m) * lda), &rng);
+          std::vector<double> b =
+              RandomVec(static_cast<size_t>((tb ? n : k) * (tb ? k : n)),
+                        &rng);
+          std::vector<double> c_plain(static_cast<size_t>(m * n), 0.0);
+          std::vector<double> c_packed = c_plain;
+          DGemm(ta, tb, m, n, k, 1.0, a.data(), lda, b.data(), tb ? k : n,
+                0.0, c_plain.data(), n);
+          const DGemmPackedA packed =
+              DGemmPackOperandA(ta, m, k, a.data(), lda);
+          DGemmWithPackedA(packed, tb, n, b.data(), tb ? k : n, 0.0,
+                           c_packed.data(), n);
+          ASSERT_EQ(std::memcmp(c_plain.data(), c_packed.data(),
+                                c_plain.size() * sizeof(double)),
+                    0)
+              << "ta=" << ta << " tb=" << tb << " m=" << m << " k=" << k;
+        }
+      }
+    }
+  }
+}
+
+/// Fits two models with identical configs except the engine flag and
+/// requires the full fit result to match bit for bit.
+void CheckGmmEngines(int64_t n, int64_t d, int components, uint64_t seed) {
+  Rng rng(seed);
+  Matrix x = RandomMatrix(n, d, &rng);
+  GmmConfig gemm_config;
+  gemm_config.num_components = components;
+  gemm_config.num_restarts = 3;
+  gemm_config.max_iters = 15;
+  gemm_config.tol = 0.0;  // run every iteration: longer trajectories
+  gemm_config.seed = seed;
+  GmmConfig ref_config = gemm_config;
+  ref_config.use_gemm = false;
+
+  DiagonalGmm gemm_fit(gemm_config), ref_fit(ref_config);
+  ASSERT_TRUE(gemm_fit.Fit(x).ok());
+  ASSERT_TRUE(ref_fit.Fit(x).ok());
+
+  ASSERT_EQ(gemm_fit.log_likelihood_history(),
+            ref_fit.log_likelihood_history())
+      << "n=" << n << " d=" << d << " k=" << components;
+  EXPECT_EQ(gemm_fit.final_log_likelihood(), ref_fit.final_log_likelihood());
+  ASSERT_EQ(std::memcmp(gemm_fit.means().data(), ref_fit.means().data(),
+                        static_cast<size_t>(gemm_fit.means().size()) *
+                            sizeof(double)),
+            0);
+  ASSERT_EQ(std::memcmp(gemm_fit.variances().data(),
+                        ref_fit.variances().data(),
+                        static_cast<size_t>(gemm_fit.variances().size()) *
+                            sizeof(double)),
+            0);
+  ASSERT_EQ(gemm_fit.weights(), ref_fit.weights());
+
+  Result<Matrix> gemm_proba = gemm_fit.PredictProba(x);
+  Result<Matrix> ref_proba = ref_fit.PredictProba(x);
+  ASSERT_TRUE(gemm_proba.ok());
+  ASSERT_TRUE(ref_proba.ok());
+  ASSERT_EQ(std::memcmp(gemm_proba->data(), ref_proba->data(),
+                        static_cast<size_t>(gemm_proba->size()) *
+                            sizeof(double)),
+            0);
+}
+
+TEST(GmmEngineEquivalenceTest, FitBitIdenticalOverRandomizedShapes) {
+  // Shapes straddle the register tiles and (via 2D > 512) the kGemmKChunk
+  // accumulation boundary of the augmented design matrix.
+  CheckGmmEngines(40, 7, 2, 1);
+  CheckGmmEngines(60, 33, 3, 2);
+  CheckGmmEngines(25, 300, 2, 3);
+  CheckGmmEngines(130, 65, 4, 4);
+}
+
+/// The same check for the Bernoulli ensemble; `fractional` exercises the
+/// no-one-hot ablation input.
+void CheckBernoulliEngines(int64_t n, int64_t l, int components,
+                           uint64_t seed, bool fractional) {
+  Rng rng(seed);
+  Matrix b(n, l);
+  for (int64_t i = 0; i < b.size(); ++i) {
+    b.data()[i] = fractional ? rng.Uniform() : (rng.Bernoulli(0.5) ? 1.0 : 0.0);
+  }
+  BernoulliMixtureConfig gemm_config;
+  gemm_config.num_components = components;
+  gemm_config.num_restarts = 3;
+  gemm_config.max_iters = 15;
+  gemm_config.tol = 0.0;
+  gemm_config.seed = seed;
+  BernoulliMixtureConfig ref_config = gemm_config;
+  ref_config.use_gemm = false;
+
+  BernoulliMixture gemm_fit(gemm_config), ref_fit(ref_config);
+  ASSERT_TRUE(gemm_fit.Fit(b).ok());
+  ASSERT_TRUE(ref_fit.Fit(b).ok());
+
+  ASSERT_EQ(gemm_fit.log_likelihood_history(),
+            ref_fit.log_likelihood_history())
+      << "n=" << n << " l=" << l << " k=" << components;
+  ASSERT_EQ(std::memcmp(gemm_fit.bernoulli_params().data(),
+                        ref_fit.bernoulli_params().data(),
+                        static_cast<size_t>(gemm_fit.bernoulli_params()
+                                                .size()) *
+                            sizeof(double)),
+            0);
+  ASSERT_EQ(gemm_fit.weights(), ref_fit.weights());
+
+  Result<Matrix> gemm_proba = gemm_fit.PredictProba(b);
+  Result<Matrix> ref_proba = ref_fit.PredictProba(b);
+  ASSERT_TRUE(gemm_proba.ok());
+  ASSERT_TRUE(ref_proba.ok());
+  ASSERT_EQ(std::memcmp(gemm_proba->data(), ref_proba->data(),
+                        static_cast<size_t>(gemm_proba->size()) *
+                            sizeof(double)),
+            0);
+}
+
+TEST(BernoulliEngineEquivalenceTest, FitBitIdenticalOverRandomizedShapes) {
+  CheckBernoulliEngines(30, 4, 2, 11, /*fractional=*/false);
+  CheckBernoulliEngines(150, 100, 2, 12, /*fractional=*/false);
+  CheckBernoulliEngines(80, 300, 3, 13, /*fractional=*/false);
+  CheckBernoulliEngines(60, 20, 2, 14, /*fractional=*/true);
+}
+
+// Serial vs parallel execution: ScopedSerialKernels forces every
+// ParallelFor under it (restart parallelism AND the kernels' internal
+// row-tile parallelism) onto one thread; an unmarked Fit uses the default
+// worker count. The trajectories must match bit for bit.
+TEST(EmThreadInvarianceTest, GmmFitBitIdenticalSerialVsParallel) {
+  Rng rng(21);
+  Matrix x = RandomMatrix(90, 90, &rng);
+  GmmConfig config;
+  config.num_components = 3;
+  config.num_restarts = 4;
+  config.max_iters = 12;
+  config.tol = 0.0;
+
+  DiagonalGmm parallel_fit(config);
+  ASSERT_TRUE(parallel_fit.Fit(x).ok());
+  DiagonalGmm serial_fit(config);
+  {
+    ScopedSerialKernels serial;
+    ASSERT_TRUE(serial_fit.Fit(x).ok());
+  }
+  EXPECT_EQ(parallel_fit.log_likelihood_history(),
+            serial_fit.log_likelihood_history());
+  ASSERT_EQ(std::memcmp(parallel_fit.means().data(),
+                        serial_fit.means().data(),
+                        static_cast<size_t>(parallel_fit.means().size()) *
+                            sizeof(double)),
+            0);
+  ASSERT_EQ(std::memcmp(parallel_fit.variances().data(),
+                        serial_fit.variances().data(),
+                        static_cast<size_t>(parallel_fit.variances().size()) *
+                            sizeof(double)),
+            0);
+  ASSERT_EQ(parallel_fit.weights(), serial_fit.weights());
+}
+
+TEST(EmThreadInvarianceTest, BernoulliFitBitIdenticalSerialVsParallel) {
+  Rng rng(22);
+  Matrix b(120, 40);
+  for (int64_t i = 0; i < b.size(); ++i) {
+    b.data()[i] = rng.Bernoulli(0.4) ? 1.0 : 0.0;
+  }
+  BernoulliMixtureConfig config;
+  config.num_components = 2;
+  config.num_restarts = 4;
+  config.max_iters = 12;
+  config.tol = 0.0;
+
+  BernoulliMixture parallel_fit(config);
+  ASSERT_TRUE(parallel_fit.Fit(b).ok());
+  BernoulliMixture serial_fit(config);
+  {
+    ScopedSerialKernels serial;
+    ASSERT_TRUE(serial_fit.Fit(b).ok());
+  }
+  EXPECT_EQ(parallel_fit.log_likelihood_history(),
+            serial_fit.log_likelihood_history());
+  ASSERT_EQ(std::memcmp(parallel_fit.bernoulli_params().data(),
+                        serial_fit.bernoulli_params().data(),
+                        static_cast<size_t>(
+                            parallel_fit.bernoulli_params().size()) *
+                            sizeof(double)),
+            0);
+  ASSERT_EQ(parallel_fit.weights(), serial_fit.weights());
+}
+
+// Restart-parallel vs restart-serial execution with the kernels' internal
+// parallelism still enabled: running Fit from inside a ParallelFor worker
+// collapses the restart loop to serial (nested parallelism) while a
+// top-level Fit may fan restarts out — results must not depend on which
+// happened.
+TEST(EmThreadInvarianceTest, GmmFitBitIdenticalInsideWorkerThread) {
+  Rng rng(23);
+  Matrix x = RandomMatrix(70, 50, &rng);
+  GmmConfig config;
+  config.num_components = 2;
+  config.num_restarts = 4;
+  config.max_iters = 10;
+  config.tol = 0.0;
+
+  DiagonalGmm top_level(config);
+  ASSERT_TRUE(top_level.Fit(x).ok());
+
+  DiagonalGmm nested(config);
+  Status nested_status = Status::OK();
+  ParallelFor(0, 1, [&](int64_t) { nested_status = nested.Fit(x); });
+  ASSERT_TRUE(nested_status.ok());
+
+  EXPECT_EQ(top_level.log_likelihood_history(),
+            nested.log_likelihood_history());
+  ASSERT_EQ(std::memcmp(top_level.means().data(), nested.means().data(),
+                        static_cast<size_t>(top_level.means().size()) *
+                            sizeof(double)),
+            0);
+}
+
+}  // namespace
+}  // namespace goggles
