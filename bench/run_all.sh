@@ -115,6 +115,7 @@ all_benches=(
   bench_ablation_inference
   bench_serve_latency
   bench_serve_multitask
+  bench_serve_pipeline
   bench_micro_kernels
 )
 if [[ $# -gt 0 ]]; then

@@ -6,15 +6,13 @@
 
 namespace goggles::serve {
 
-Coalescer::Coalescer(CoalescerConfig config) : config_(config) {
+Coalescer::Coalescer(CoalescerConfig config, Clock* clock)
+    : config_(config),
+      clock_(clock != nullptr ? clock : SteadyClockInstance()) {
   if (config_.max_batch < 1) config_.max_batch = 1;
   if (config_.window_micros < 0) config_.window_micros = 0;
 }
 
-namespace {
-
-/// FNV-1a over the image dimensions and raw pixel bytes, for duplicate
-/// grouping inside one batch (always confirmed by an exact compare).
 uint64_t HashImageContent(const data::Image& image) {
   uint64_t hash = 1469598103934665603ull;
   auto mix_bytes = [&hash](const void* data, size_t bytes) {
@@ -36,8 +34,6 @@ bool SamePixels(const data::Image& a, const data::Image& b) {
          std::memcmp(a.pixels.data(), b.pixels.data(),
                      a.pixels.size() * sizeof(float)) == 0;
 }
-
-}  // namespace
 
 void Coalescer::Execute(const std::shared_ptr<const Session>& session,
                         const std::shared_ptr<Batch>& batch) {
@@ -148,9 +144,8 @@ Result<OnlineLabel> Coalescer::Label(
     batch->images.push_back(&image);
     batch->outputs.push_back(&my_label);
     open_[key] = batch;
-    const auto deadline = std::chrono::steady_clock::now() +
-                          std::chrono::microseconds(config_.window_micros);
-    batch->cv.wait_until(lock, deadline, [&] {
+    const int64_t deadline = clock_->NowMicros() + config_.window_micros;
+    clock_->WaitUntil(batch->cv, lock, deadline, [&] {
       return static_cast<int>(batch->images.size()) >= config_.max_batch;
     });
     batch->closed = true;

@@ -10,6 +10,7 @@
 
 #include "data/image.h"
 #include "serve/session.h"
+#include "util/clock.h"
 #include "util/status.h"
 
 /// \file coalescer.h
@@ -46,6 +47,14 @@
 
 namespace goggles::serve {
 
+/// \brief FNV-1a over an image's dimensions and raw pixel bytes. Used
+/// for duplicate grouping inside one coalesced batch and by the staged
+/// pipeline's extraction-stage dedup; always confirmed by SamePixels.
+uint64_t HashImageContent(const data::Image& image);
+
+/// \brief Exact shape + pixel-byte equality.
+bool SamePixels(const data::Image& a, const data::Image& b);
+
 /// \brief Micro-batcher tuning knobs.
 struct CoalescerConfig {
   /// Master switch; disabled means Label() degenerates to
@@ -77,7 +86,9 @@ class Coalescer {
  public:
   /// \brief Builds a coalescer (max_batch/window clamped to sane
   /// minimums; `enabled` false makes Label() a plain passthrough).
-  explicit Coalescer(CoalescerConfig config);
+  /// `clock` defaults to the real monotonic clock; tests inject a
+  /// FakeClock to drive the batching window deterministically.
+  explicit Coalescer(CoalescerConfig config, Clock* clock = nullptr);
 
   /// \brief Labels one image, possibly as part of a coalesced batch.
   /// Blocks until the result is available (at most one coalescing window
@@ -122,6 +133,7 @@ class Coalescer {
                const std::shared_ptr<Batch>& batch);
 
   CoalescerConfig config_;
+  Clock* clock_;  ///< never null; not owned
   std::mutex mu_;
   std::map<BatchKey, std::shared_ptr<Batch>> open_;
 

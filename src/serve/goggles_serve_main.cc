@@ -9,11 +9,41 @@
 ///                                                     # task-less requests
 ///
 /// Options:
-///   --workers N             worker threads (default 2)
-///   --queue N               bounded request-queue capacity (default 64)
+///   --workers N             worker threads for the monolithic path
+///                           (default 2; only used with --no-pipeline)
+///   --queue N               bounded request-queue capacity, and the
+///                           default pipeline admission cap (default 64)
+///   --no-pipeline           run the monolithic worker pool instead of
+///                           the staged flowgraph (also
+///                           GOGGLES_PIPELINE=0; pipeline is default)
+///   --pipeline-decode N     decode-stage threads (default 1; also
+///                           GOGGLES_PIPELINE_DECODE_THREADS)
+///   --pipeline-extract N    extraction-stage threads (default 2; also
+///                           GOGGLES_PIPELINE_EXTRACT_THREADS)
+///   --pipeline-infer N      inference-stage threads (default 1; also
+///                           GOGGLES_PIPELINE_INFER_THREADS)
+///   --pipeline-encode N     encode-stage threads (default 1; also
+///                           GOGGLES_PIPELINE_ENCODE_THREADS)
+///   --pipeline-queue N      per-edge SPSC queue capacity (default 64;
+///                           also GOGGLES_PIPELINE_QUEUE)
+///   --pipeline-batch N      extraction-stage micro-batch cap (default
+///                           8; also GOGGLES_PIPELINE_MAX_BATCH)
+///   --pipeline-batch-wait N extraction-stage batch-gather window in
+///                           microseconds: a worker holding a partial
+///                           batch waits up to N us for stragglers
+///                           before extracting (default 0 = never wait;
+///                           also GOGGLES_PIPELINE_BATCH_WAIT)
+///   --pipeline-admission N  in-flight request cap (default = --queue;
+///                           also GOGGLES_PIPELINE_ADMISSION)
+///   --pipeline-reject       shed over-capacity requests with an
+///                           immediate error response instead of
+///                           stalling the reader (also
+///                           GOGGLES_PIPELINE_REJECT=1)
 ///   --coalesce              enable cross-request micro-batching of
-///                           `label` requests (default off; also
-///                           GOGGLES_COALESCE=1)
+///                           `label` requests on the monolithic path
+///                           (default off; also GOGGLES_COALESCE=1; the
+///                           pipeline batches natively in its
+///                           extraction stage)
 ///   --coalesce-window-us N  micro-batching window (default 2000; also
 ///                           GOGGLES_COALESCE_WINDOW_US)
 ///   --coalesce-batch N      max coalesced batch size (default 16; also
@@ -94,7 +124,12 @@ void PrintUsage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s (--artifact PATH | --artifact-dir DIR) [--workers N]\n"
-      "       [--queue N] [--coalesce] [--coalesce-window-us N]\n"
+      "       [--queue N] [--no-pipeline] [--pipeline-decode N]\n"
+      "       [--pipeline-extract N] [--pipeline-infer N]\n"
+      "       [--pipeline-encode N] [--pipeline-queue N]\n"
+      "       [--pipeline-batch N] [--pipeline-batch-wait N]\n"
+      "       [--pipeline-admission N]\n"
+      "       [--pipeline-reject] [--coalesce] [--coalesce-window-us N]\n"
       "       [--coalesce-batch N] [--task-budget-mb N] [--max-tasks N]\n"
       "Serves newline-delimited JSON labeling requests on stdin/stdout.\n"
       "Ops: {\"op\":\"stats\"} | {\"op\":\"label\",\"image\":{...}} |\n"
@@ -120,6 +155,10 @@ int main(int argc, char** argv) {
       10'000'000);
   config.coalesce.max_batch = static_cast<int>(EnvRangedInt(
       "GOGGLES_COALESCE_MAX_BATCH", config.coalesce.max_batch, 1, 4096));
+  // Pipeline knobs share the library-side strict env loader so the
+  // service tests cover exactly the parsing the binary uses; out-of-
+  // range values are clamped by the Service constructor.
+  config.pipeline = serve::PipelineOptionsFromEnv(config.pipeline);
   serve::RegistryConfig registry_config;
   registry_config.memory_budget_bytes =
       static_cast<uint64_t>(
@@ -150,6 +189,79 @@ int main(int argc, char** argv) {
         return 2;
       }
       config.queue_capacity = static_cast<size_t>(value);
+    } else if (arg == "--no-pipeline") {
+      config.pipeline.enabled = false;
+    } else if (arg == "--pipeline-decode" && has_value) {
+      if (!ParsePositiveInt(argv[++i], 256, &value)) {
+        std::fprintf(stderr,
+                     "error: --pipeline-decode expects 1..256, got '%s'\n",
+                     argv[i]);
+        return 2;
+      }
+      config.pipeline.decode_threads = static_cast<int>(value);
+    } else if (arg == "--pipeline-extract" && has_value) {
+      if (!ParsePositiveInt(argv[++i], 256, &value)) {
+        std::fprintf(stderr,
+                     "error: --pipeline-extract expects 1..256, got '%s'\n",
+                     argv[i]);
+        return 2;
+      }
+      config.pipeline.extract_threads = static_cast<int>(value);
+    } else if (arg == "--pipeline-infer" && has_value) {
+      if (!ParsePositiveInt(argv[++i], 256, &value)) {
+        std::fprintf(stderr,
+                     "error: --pipeline-infer expects 1..256, got '%s'\n",
+                     argv[i]);
+        return 2;
+      }
+      config.pipeline.infer_threads = static_cast<int>(value);
+    } else if (arg == "--pipeline-encode" && has_value) {
+      if (!ParsePositiveInt(argv[++i], 256, &value)) {
+        std::fprintf(stderr,
+                     "error: --pipeline-encode expects 1..256, got '%s'\n",
+                     argv[i]);
+        return 2;
+      }
+      config.pipeline.encode_threads = static_cast<int>(value);
+    } else if (arg == "--pipeline-queue" && has_value) {
+      if (!ParsePositiveInt(argv[++i], 1 << 20, &value)) {
+        std::fprintf(stderr, "error: --pipeline-queue expects 1..%d, "
+                     "got '%s'\n",
+                     1 << 20, argv[i]);
+        return 2;
+      }
+      config.pipeline.queue_capacity = static_cast<int>(value);
+    } else if (arg == "--pipeline-batch" && has_value) {
+      if (!ParsePositiveInt(argv[++i], 4096, &value)) {
+        std::fprintf(stderr, "error: --pipeline-batch expects 1..4096, "
+                     "got '%s'\n",
+                     argv[i]);
+        return 2;
+      }
+      config.pipeline.max_batch = static_cast<int>(value);
+    } else if (arg == "--pipeline-batch-wait" && has_value) {
+      // 0 is meaningful here (never wait), so accept it explicitly.
+      if (std::string(argv[i + 1]) == "0") {
+        ++i;
+        value = 0;
+      } else if (!ParsePositiveInt(argv[++i], 10'000'000, &value)) {
+        std::fprintf(stderr,
+                     "error: --pipeline-batch-wait expects 0..10000000, "
+                     "got '%s'\n",
+                     argv[i]);
+        return 2;
+      }
+      config.pipeline.batch_wait_micros = value;
+    } else if (arg == "--pipeline-admission" && has_value) {
+      if (!ParsePositiveInt(argv[++i], 1 << 20, &value)) {
+        std::fprintf(stderr, "error: --pipeline-admission expects 1..%d, "
+                     "got '%s'\n",
+                     1 << 20, argv[i]);
+        return 2;
+      }
+      config.pipeline.admission_capacity = static_cast<int>(value);
+    } else if (arg == "--pipeline-reject") {
+      config.pipeline.reject_on_full = true;
     } else if (arg == "--coalesce") {
       config.coalesce.enabled = true;
     } else if (arg == "--coalesce-window-us" && has_value) {
@@ -234,7 +346,7 @@ int main(int argc, char** argv) {
   // The service clamps the coalescing batch to the worker count (more
   // in-flight label requests cannot exist); surface that so a user who
   // asked for a bigger batch knows what is actually in effect.
-  if (config.coalesce.enabled &&
+  if (!config.pipeline.enabled && config.coalesce.enabled &&
       config.coalesce.max_batch > config.num_workers) {
     std::fprintf(stderr,
                  "note: coalesce batch %d exceeds --workers %d; effective "
@@ -247,10 +359,20 @@ int main(int argc, char** argv) {
   std::fprintf(
       stderr,
       "{\"ok\":true,\"ready\":true,\"artifact\":\"%s\","
-      "\"artifact_dir\":\"%s\",\"workers\":%d,\"coalesce\":%s,"
+      "\"artifact_dir\":\"%s\",\"workers\":%d,\"pipeline\":%s,"
+      "\"pipeline_threads\":[%d,%d,%d,%d],\"pipeline_batch\":%d,"
+      "\"pipeline_batch_wait_us\":%lld,"
+      "\"pipeline_admission\":%d,\"pipeline_reject\":%s,\"coalesce\":%s,"
       "\"coalesce_batch\":%d,\"coalesce_window_us\":%lld,"
       "\"task_budget_bytes\":%llu,\"startup_seconds\":%.2f}\n",
       artifact_path.c_str(), artifact_dir.c_str(), config.num_workers,
+      config.pipeline.enabled ? "true" : "false",
+      config.pipeline.decode_threads, config.pipeline.extract_threads,
+      config.pipeline.infer_threads, config.pipeline.encode_threads,
+      config.pipeline.max_batch,
+      static_cast<long long>(config.pipeline.batch_wait_micros),
+      config.pipeline.admission_capacity,
+      config.pipeline.reject_on_full ? "true" : "false",
       config.coalesce.enabled ? "true" : "false", config.coalesce.max_batch,
       static_cast<long long>(config.coalesce.window_micros),
       static_cast<unsigned long long>(registry_config.memory_budget_bytes),

@@ -1,10 +1,9 @@
 #include "serve/json.h"
 
-#include <cctype>
-#include <cerrno>
+#include <charconv>
 #include <cmath>
 #include <cstdio>
-#include <cstdlib>
+#include <limits>
 
 namespace goggles::serve {
 namespace {
@@ -229,32 +228,44 @@ class Parser {
   }
 
   Result<JsonValue> ParseNumber() {
+    // Pixel arrays make this THE parser hot path (thousands of doubles
+    // per label request), so the token converts in place over
+    // [start, pos_) with std::from_chars — correctly rounded like
+    // strtod, but allocation-free and bounded by the scanned token, so
+    // it can never read past it. The token string is materialized only
+    // on the error path.
     const size_t start = pos_;
     if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
-            text_[pos_] == '+' || text_[pos_] == '-')) {
-      ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if ((c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' ||
+          c == '+' || c == '-') {
+        ++pos_;
+        continue;
+      }
+      break;
     }
     if (pos_ == start) {
       return Status::InvalidArgument("json: unexpected character");
     }
-    const std::string token = text_.substr(start, pos_ - start);
-    char* end = nullptr;
-    errno = 0;
-    const double value = std::strtod(token.c_str(), &end);
-    if (end == nullptr || *end != '\0' || end == token.c_str() ||
-        errno == ERANGE || !std::isfinite(value)) {
-      // Overflowing literals (1e999 -> inf) are rejected rather than fed
-      // into the model as non-finite values.
-      return Status::InvalidArgument("json: malformed number '" + token + "'");
+    const char* first = text_.data() + start;
+    const char* last = text_.data() + pos_;
+    double value = 0.0;
+    const auto [end, ec] = std::from_chars(first, last, value);
+    if (ec != std::errc() || end != last || !std::isfinite(value) ||
+        (value != 0.0 &&
+         std::fabs(value) < std::numeric_limits<double>::min())) {
+      // Over- and underflowing literals (1e999 -> inf, 1e-310 ->
+      // subnormal) are rejected rather than fed into the model as
+      // degenerate values, matching the historical strtod/ERANGE gate.
+      return Status::InvalidArgument("json: malformed number '" +
+                                     text_.substr(start, pos_ - start) + "'");
     }
     return JsonValue(value);
   }
 
   Status Expect(const char* literal) {
-    const size_t len = std::string(literal).size();
+    const size_t len = std::char_traits<char>::length(literal);
     if (text_.compare(pos_, len, literal) != 0) {
       return Status::InvalidArgument("json: invalid literal");
     }

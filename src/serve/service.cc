@@ -4,9 +4,12 @@
 #include <map>
 #include <optional>
 #include <thread>
+#include <utility>
 #include <vector>
 
+#include "util/env.h"
 #include "util/parallel.h"
+#include "util/pipeline.h"
 
 namespace goggles::serve {
 namespace {
@@ -93,10 +96,45 @@ ServiceConfig NormalizeConfig(ServiceConfig config) {
   if (config.coalesce.max_batch > config.num_workers) {
     config.coalesce.max_batch = config.num_workers;
   }
+  PipelineOptions& p = config.pipeline;
+  if (p.decode_threads < 1) p.decode_threads = 1;
+  if (p.extract_threads < 1) p.extract_threads = 1;
+  if (p.infer_threads < 1) p.infer_threads = 1;
+  if (p.encode_threads < 1) p.encode_threads = 1;
+  if (p.queue_capacity < 1) p.queue_capacity = 1;
+  if (p.max_batch < 1) p.max_batch = 1;
+  if (p.batch_wait_micros < 0) p.batch_wait_micros = 0;
+  if (p.admission_capacity < 1) {
+    p.admission_capacity = static_cast<int>(config.queue_capacity);
+  }
   return config;
 }
 
 }  // namespace
+
+PipelineOptions PipelineOptionsFromEnv(PipelineOptions defaults) {
+  PipelineOptions p = defaults;
+  p.enabled = GetEnvIntOr("GOGGLES_PIPELINE", p.enabled ? 1 : 0) != 0;
+  p.decode_threads = static_cast<int>(
+      GetEnvIntOr("GOGGLES_PIPELINE_DECODE_THREADS", p.decode_threads));
+  p.extract_threads = static_cast<int>(
+      GetEnvIntOr("GOGGLES_PIPELINE_EXTRACT_THREADS", p.extract_threads));
+  p.infer_threads = static_cast<int>(
+      GetEnvIntOr("GOGGLES_PIPELINE_INFER_THREADS", p.infer_threads));
+  p.encode_threads = static_cast<int>(
+      GetEnvIntOr("GOGGLES_PIPELINE_ENCODE_THREADS", p.encode_threads));
+  p.queue_capacity = static_cast<int>(
+      GetEnvIntOr("GOGGLES_PIPELINE_QUEUE", p.queue_capacity));
+  p.max_batch =
+      static_cast<int>(GetEnvIntOr("GOGGLES_PIPELINE_MAX_BATCH", p.max_batch));
+  p.batch_wait_micros =
+      GetEnvIntOr("GOGGLES_PIPELINE_BATCH_WAIT", p.batch_wait_micros);
+  p.admission_capacity = static_cast<int>(
+      GetEnvIntOr("GOGGLES_PIPELINE_ADMISSION", p.admission_capacity));
+  p.reject_on_full =
+      GetEnvIntOr("GOGGLES_PIPELINE_REJECT", p.reject_on_full ? 1 : 0) != 0;
+  return p;
+}
 
 Service::Service(std::shared_ptr<const Session> session, ServiceConfig config)
     : session_(std::move(session)), config_(NormalizeConfig(config)) {
@@ -253,6 +291,15 @@ JsonValue Service::HandleRequest(const JsonValue& request) const {
                     JsonValue(static_cast<double>(stats.max_batch_size)));
       response.Set("coalescer", std::move(coalescer));
     }
+    // Live flowgraph snapshot — present only while a pipelined Run is
+    // active, so direct HandleLine callers and the monolithic path keep
+    // their original byte layout.
+    std::function<JsonValue()> pipeline_fn;
+    {
+      std::lock_guard<std::mutex> lock(pipeline_stats_mu_);
+      pipeline_fn = pipeline_stats_fn_;
+    }
+    if (pipeline_fn) response.Set("pipeline", pipeline_fn());
     return response;
   }
 
@@ -346,6 +393,11 @@ std::string Service::HandleLine(const std::string& line) const {
 }
 
 Status Service::Run(std::istream& in, std::ostream& out) {
+  if (config_.pipeline.enabled) return RunPipelined(in, out);
+  return RunMonolithic(in, out);
+}
+
+Status Service::RunMonolithic(std::istream& in, std::ostream& out) {
   struct WorkItem {
     uint64_t seq = 0;
     std::string line;
@@ -429,6 +481,344 @@ Status Service::Run(std::istream& in, std::ostream& out) {
   }
   done_cv.notify_all();
   writer.join();
+
+  if (!out.good()) return Status::IOError("Service::Run: output write failed");
+  return Status::OK();
+}
+
+namespace {
+
+/// One request flowing through the staged pipeline. Stages fill it in
+/// progressively; `done` short-circuits the remaining stages once a
+/// final response exists (errors, non-label ops).
+struct PipeItem {
+  uint64_t seq = 0;
+  std::string line;                         ///< raw request line
+  std::shared_ptr<const Session> session;   ///< resolved target (label)
+  data::Image image;                        ///< decoded image (label)
+  Matrix rows;                              ///< 1 x F affinity rows
+  std::vector<double> soft;                 ///< posterior (label)
+  int hard = 0;
+  bool is_label = false;  ///< on the staged label fast path
+  bool done = false;      ///< `response` is final; later stages skip
+  std::string response;
+};
+
+}  // namespace
+
+Status Service::RunPipelined(std::istream& in, std::ostream& out) {
+  const PipelineOptions& popt = config_.pipeline;
+  const uint64_t admission_cap =
+      static_cast<uint64_t>(popt.admission_capacity);
+
+  // Reorder state: responses land here keyed by sequence number; the
+  // writer emits them in input order. Bounded by admission control —
+  // `submitted - written <= admission_cap` always.
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  std::map<uint64_t, std::string> done;
+  uint64_t written = 0;
+  uint64_t submitted = 0;
+  bool intake_closed = false;
+  uint64_t total = 0;
+
+  Pipeline<PipeItem> pipe;
+
+  // Stage 1 — decode: parse JSON, route. `label` requests resolve their
+  // session and image here and continue down the fast path; every other
+  // op (stats, label_batch, registry ops, malformed input) is answered
+  // in place via the shared HandleRequest path, preserving the serial
+  // semantics (and counters) exactly.
+  pipe.AddStage(
+      // max_batch lets one wake drain every queued line (no gather
+      // window) — items are still parsed one by one, the batching only
+      // amortizes doorbell wakeups under load.
+      {"decode", popt.decode_threads, popt.queue_capacity, popt.max_batch},
+      [this](std::vector<PipeItem>& items) {
+        for (PipeItem& item : items) {
+          Result<JsonValue> request = JsonValue::Parse(item.line);
+          item.line.clear();
+          if (!request.ok()) {
+            requests_served_.fetch_add(1);
+            errors_.fetch_add(1);
+            item.response = ErrorResponse(request.status().message()).Dump();
+            item.done = true;
+            continue;
+          }
+          const JsonValue* op =
+              request->is_object() ? request->Find("op") : nullptr;
+          if (op == nullptr || !op->is_string() || op->str() != "label") {
+            item.response = HandleRequest(*request).Dump();
+            item.done = true;
+            continue;
+          }
+          requests_served_.fetch_add(1);
+          Result<std::shared_ptr<const Session>> session =
+              ResolveSession(*request);
+          if (!session.ok()) {
+            errors_.fetch_add(1);
+            item.response = ErrorResponse(session.status().message()).Dump();
+            item.done = true;
+            continue;
+          }
+          const JsonValue* image_json = request->Find("image");
+          if (image_json == nullptr) {
+            errors_.fetch_add(1);
+            item.response =
+                ErrorResponse("label request needs an 'image'").Dump();
+            item.done = true;
+            continue;
+          }
+          Result<data::Image> image = ParseImage(*image_json);
+          if (!image.ok()) {
+            errors_.fetch_add(1);
+            item.response = ErrorResponse(image.status().message()).Dump();
+            item.done = true;
+            continue;
+          }
+          item.session = std::move(*session);
+          item.image = std::move(*image);
+          item.is_label = true;
+        }
+      });
+
+  // Stage 2 — extract: the batching stage. Groups whatever label
+  // requests arrived together by (session, shape), dedups identical
+  // pixels, and runs ONE batched extraction+scoring call per group.
+  // Row i of a grouped extraction is bit-identical to extracting image
+  // i alone (fixed ascending-k GEMM accumulation), so slicing the
+  // group's rows back out changes nothing versus singleton calls.
+  pipe.AddStage(
+      {"extract", popt.extract_threads, popt.queue_capacity,
+       popt.max_batch, popt.batch_wait_micros},
+      [this](std::vector<PipeItem>& items) {
+        std::vector<size_t> pending;
+        for (size_t i = 0; i < items.size(); ++i) {
+          if (items[i].is_label && !items[i].done) pending.push_back(i);
+        }
+        std::vector<bool> grouped(items.size(), false);
+        for (size_t gi = 0; gi < pending.size(); ++gi) {
+          const size_t lead = pending[gi];
+          if (grouped[lead]) continue;
+          // Members that can stack into one extraction tensor.
+          std::vector<size_t> members;
+          for (size_t gj = gi; gj < pending.size(); ++gj) {
+            const size_t idx = pending[gj];
+            if (grouped[idx]) continue;
+            const PipeItem& a = items[lead];
+            const PipeItem& b = items[idx];
+            if (a.session.get() == b.session.get() &&
+                a.image.channels == b.image.channels &&
+                a.image.height == b.image.height &&
+                a.image.width == b.image.width) {
+              members.push_back(idx);
+              grouped[idx] = true;
+            }
+          }
+          // Dedup identical pixels inside the group: score once, share
+          // the (bit-identical) row — same trick as the Coalescer.
+          std::vector<size_t> unique_of(members.size(), 0);
+          std::vector<size_t> unique_members;
+          std::vector<uint64_t> hashes;
+          for (size_t m = 0; m < members.size(); ++m) {
+            const data::Image& img = items[members[m]].image;
+            const uint64_t hash = HashImageContent(img);
+            size_t group = unique_members.size();
+            for (size_t u = 0; u < unique_members.size(); ++u) {
+              if (hashes[u] == hash &&
+                  SamePixels(items[unique_members[u]].image, img)) {
+                group = u;
+                break;
+              }
+            }
+            if (group == unique_members.size()) {
+              unique_members.push_back(members[m]);
+              hashes.push_back(hash);
+            }
+            unique_of[m] = group;
+          }
+          std::vector<data::Image> images;
+          images.reserve(unique_members.size());
+          for (size_t u : unique_members) images.push_back(items[u].image);
+          Result<Matrix> rows =
+              items[lead].session->BuildQueryRows(images);
+          if (!rows.ok()) {
+            for (size_t m : members) {
+              errors_.fetch_add(1);
+              items[m].response =
+                  ErrorResponse(rows.status().message()).Dump();
+              items[m].done = true;
+            }
+            continue;
+          }
+          for (size_t m = 0; m < members.size(); ++m) {
+            PipeItem& item = items[members[m]];
+            item.rows = rows->Block(static_cast<int64_t>(unique_of[m]), 0,
+                                    1, rows->cols());
+            item.image = data::Image();  // pixels no longer needed
+          }
+        }
+      });
+
+  // Stage 3 — infer: posterior evaluation of each request's affinity
+  // row under its session's fitted hierarchical model. Items are
+  // inferred independently; the batch only amortizes wakeups.
+  pipe.AddStage(
+      {"infer", popt.infer_threads, popt.queue_capacity, popt.max_batch},
+      [this](std::vector<PipeItem>& items) {
+        for (PipeItem& item : items) {
+          if (!item.is_label || item.done) continue;
+          Result<LabelingResult> result = item.session->InferRows(item.rows);
+          if (!result.ok()) {
+            errors_.fetch_add(1);
+            item.response = ErrorResponse(result.status().message()).Dump();
+            item.done = true;
+            continue;
+          }
+          item.soft = result->soft_labels.Row(0);
+          item.hard = result->hard_labels[0];
+          item.rows = Matrix();
+          item.session.reset();
+        }
+      });
+
+  // Stage 4 — encode: serialize the label response (same field order as
+  // the monolithic path, byte for byte).
+  pipe.AddStage(
+      {"encode", popt.encode_threads, popt.queue_capacity, popt.max_batch},
+      [](std::vector<PipeItem>& items) {
+        for (PipeItem& item : items) {
+          if (!item.is_label || item.done) continue;
+          JsonValue response = JsonValue::MakeObject();
+          response.Set("ok", JsonValue(true));
+          response.Set("label", JsonValue(item.hard));
+          JsonValue soft = JsonValue::MakeArray();
+          for (double p : item.soft) soft.Append(JsonValue(p));
+          response.Set("soft", std::move(soft));
+          item.response = response.Dump();
+          item.done = true;
+        }
+      });
+
+  pipe.Start([&](PipeItem&& item) {
+    {
+      std::lock_guard<std::mutex> lock(done_mu);
+      done.emplace(item.seq, std::move(item.response));
+    }
+    done_cv.notify_all();
+  });
+
+  // Expose the live flowgraph to the `stats` op for the duration of the
+  // run (the callback outlives every stage thread that can invoke it:
+  // it is cleared only after Drain()).
+  {
+    std::lock_guard<std::mutex> lock(pipeline_stats_mu_);
+    pipeline_stats_fn_ = [this, &pipe, &done_mu, &written, &submitted,
+                          admission_cap, reject = popt.reject_on_full] {
+      JsonValue section = JsonValue::MakeObject();
+      section.Set("mode", JsonValue(std::string("pipelined")));
+      JsonValue admission = JsonValue::MakeObject();
+      admission.Set("capacity",
+                    JsonValue(static_cast<double>(admission_cap)));
+      {
+        std::lock_guard<std::mutex> lock(done_mu);
+        admission.Set("in_flight",
+                      JsonValue(static_cast<double>(submitted - written)));
+      }
+      admission.Set("policy", JsonValue(std::string(
+                                  reject ? "reject" : "block")));
+      admission.Set("rejected", JsonValue(static_cast<double>(
+                                    pipeline_rejected_.load())));
+      section.Set("admission", std::move(admission));
+      JsonValue stages = JsonValue::MakeArray();
+      for (const PipelineStageStats& s : pipe.Stats()) {
+        JsonValue stage = JsonValue::MakeObject();
+        stage.Set("name", JsonValue(s.name));
+        stage.Set("threads", JsonValue(s.num_threads));
+        stage.Set("queue_capacity",
+                  JsonValue(static_cast<double>(s.queue_capacity)));
+        stage.Set("queue_depth",
+                  JsonValue(static_cast<double>(s.queue_depth)));
+        stage.Set("items", JsonValue(static_cast<double>(s.items)));
+        stage.Set("batches", JsonValue(static_cast<double>(s.batches)));
+        stage.Set("backpressured",
+                  JsonValue(static_cast<double>(s.backpressured)));
+        stages.Append(std::move(stage));
+      }
+      section.Set("stages", std::move(stages));
+      return section;
+    };
+  }
+
+  std::thread writer([&] {
+    uint64_t next = 0;
+    std::unique_lock<std::mutex> lock(done_mu);
+    while (true) {
+      done_cv.wait(lock, [&] {
+        return done.count(next) > 0 || (intake_closed && next >= total);
+      });
+      if (done.count(next) == 0) break;  // all input handled
+      std::string response = std::move(done[next]);
+      done.erase(next);
+      ++next;
+      ++written;
+      done_cv.notify_all();  // frees the reader blocked on admission
+      lock.unlock();
+      out << response << "\n" << std::flush;
+      lock.lock();
+    }
+  });
+
+  // Reader + admission control. In-flight (submitted - written) never
+  // exceeds admission_cap: block mode stalls the reader — classic
+  // backpressure on the input stream — while reject mode sheds the
+  // request with an immediate error response that still occupies its
+  // slot in the output order.
+  std::string line;
+  uint64_t seq = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;  // tolerate blank lines between requests
+    {
+      std::unique_lock<std::mutex> lock(done_mu);
+      if (popt.reject_on_full) {
+        if (submitted - written >= admission_cap) {
+          requests_served_.fetch_add(1);
+          errors_.fetch_add(1);
+          pipeline_rejected_.fetch_add(1);
+          done.emplace(
+              seq, ErrorResponse("server overloaded: admission queue full")
+                       .Dump());
+          ++submitted;
+          ++seq;
+          done_cv.notify_all();
+          line.clear();
+          continue;
+        }
+      } else {
+        done_cv.wait(lock,
+                     [&] { return submitted - written < admission_cap; });
+      }
+      ++submitted;
+    }
+    PipeItem item;
+    item.seq = seq++;
+    item.line = std::move(line);
+    pipe.Submit(std::move(item), /*block=*/true);
+    line.clear();
+  }
+
+  pipe.Drain();  // flush every in-flight item into `done`
+  {
+    std::lock_guard<std::mutex> lock(done_mu);
+    intake_closed = true;
+    total = seq;
+  }
+  done_cv.notify_all();
+  writer.join();
+  {
+    std::lock_guard<std::mutex> lock(pipeline_stats_mu_);
+    pipeline_stats_fn_ = nullptr;
+  }
 
   if (!out.good()) return Status::IOError("Service::Run: output write failed");
   return Status::OK();

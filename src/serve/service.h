@@ -4,6 +4,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <istream>
 #include <memory>
 #include <mutex>
@@ -18,9 +19,28 @@
 
 /// \file service.h
 /// \brief The `goggles_serve` request loop: newline-delimited JSON
-/// requests in, one JSON response line per request out (in input order),
-/// dispatched to a worker pool through a bounded queue so a flood of
-/// requests exerts backpressure on the reader instead of growing memory.
+/// requests in, one JSON response line per request out (in input order).
+///
+/// Two execution modes share one protocol:
+///  - **Pipelined** (default): requests flow through a staged flowgraph
+///    (decode → extract → infer → encode, util/pipeline.h) over
+///    lock-free SPSC queues. The extraction stage drains whatever label
+///    requests are queued (up to `pipeline.max_batch`), groups them by
+///    (session, shape), dedups identical pixels, and scores each group
+///    with ONE batched `Session::BuildQueryRows` call — cross-request
+///    micro-batching with zero added window latency; the GEMM-bound
+///    extraction stage overlaps the EM-posterior inference stage across
+///    requests. Admission control bounds in-flight requests at the
+///    reader (block, or reject with a clean error response).
+///  - **Monolithic** (`pipeline.enabled = false`): the original flat
+///    worker pool over a bounded MPMC queue, each worker running
+///    decode→extract→infer→encode end to end (optionally through the
+///    window-based Coalescer).
+/// Responses are bit-identical between the modes at any thread/stage
+/// configuration — the batched GEMM scorer accumulates each output row
+/// in a fixed order independent of batch shape, so grouped extraction
+/// row i equals the singleton extraction of image i, and inference is
+/// row-independent.
 ///
 /// Protocol (one JSON object per line; docs/serve_protocol.md has the
 /// full specification):
@@ -91,18 +111,69 @@ class BoundedQueue {
   bool closed_ = false;
 };
 
+/// \brief Staged-flowgraph tuning for Run() (see util/pipeline.h).
+struct PipelineOptions {
+  /// Master switch: true routes Run() through the staged flowgraph,
+  /// false through the original monolithic worker pool. Results are
+  /// bit-identical either way.
+  bool enabled = true;
+  /// Threads for the parse/validate/route stage (also handles non-label
+  /// ops end to end).
+  int decode_threads = 1;
+  /// Threads for the batched-extraction stage (backbone forward + GEMM
+  /// scoring — the hot stage).
+  int extract_threads = 2;
+  /// Threads for the posterior-inference stage.
+  int infer_threads = 1;
+  /// Threads for the response-encode stage.
+  int encode_threads = 1;
+  /// Capacity of each SPSC crossbar edge between stages.
+  int queue_capacity = 64;
+  /// Max label requests the extraction stage groups into one batched
+  /// scoring call. With `batch_wait_micros` == 0, grouping never waits —
+  /// it takes what is queued.
+  int max_batch = 8;
+  /// Bounded extract-stage batch-gather window in microseconds: a
+  /// worker holding a partial batch parks up to this long for more
+  /// arrivals before extracting (the pipelined analogue of the
+  /// monolithic Coalescer's window — trades latency for dedup/GEMM
+  /// amortization). 0 (default) = extract whatever is queued at once.
+  int64_t batch_wait_micros = 0;
+  /// Admission cap on in-flight requests (submitted minus written);
+  /// <= 0 means "use ServiceConfig::queue_capacity".
+  int admission_capacity = 0;
+  /// true: a request arriving with `admission_capacity` already in
+  /// flight gets an immediate {"ok":false,...} response instead of
+  /// stalling the reader (load-shedding mode).
+  bool reject_on_full = false;
+};
+
+/// \brief Overlays the `GOGGLES_PIPELINE*` environment knobs on
+/// `defaults`: GOGGLES_PIPELINE (0 disables), _DECODE_THREADS,
+/// _EXTRACT_THREADS, _INFER_THREADS, _ENCODE_THREADS, _QUEUE,
+/// _MAX_BATCH, _BATCH_WAIT, _ADMISSION, _REJECT. Values go through the strict env
+/// parser (util/env.h): malformed or trailing-garbage values warn and
+/// fall back to the default; range clamping happens when the Service is
+/// constructed.
+PipelineOptions PipelineOptionsFromEnv(PipelineOptions defaults = {});
+
 /// \brief Service tuning knobs.
 struct ServiceConfig {
-  /// Worker threads handling requests. Each worker's labeling call
-  /// already fans out over ParallelFor internally, so a small pool
-  /// suffices to keep the pipeline busy while hiding per-request latency.
+  /// Worker threads handling requests in monolithic mode. Each worker's
+  /// labeling call already fans out over ParallelFor internally, so a
+  /// small pool suffices to keep the machine busy while hiding
+  /// per-request latency.
   int num_workers = 2;
-  /// Bounded request-queue capacity (backpressure threshold).
+  /// Bounded request-queue capacity (backpressure threshold); also the
+  /// default pipeline admission cap.
   size_t queue_capacity = 64;
   /// Cross-request micro-batching of `label` requests (see coalescer.h).
-  /// Off by default: coalescing trades up to one window of latency for
-  /// batched-scoring throughput, which only pays under concurrent load.
+  /// Off by default, and only used by the monolithic path — the staged
+  /// pipeline batches naturally in its extraction stage without the
+  /// window latency.
   CoalescerConfig coalesce;
+  /// Staged-flowgraph execution of Run() (on by default).
+  PipelineOptions pipeline;
 };
 
 /// \brief Serves labeling requests — either against one fitted Session
@@ -129,16 +200,23 @@ class Service {
   /// \brief Handles one raw request line: parse + dispatch + serialize.
   std::string HandleLine(const std::string& line) const;
 
-  /// \brief Pumps `in` to exhaustion: reads request lines, fans them out
-  /// over the worker pool, writes responses to `out` in input order.
-  /// Returns after every response is flushed.
+  /// \brief Pumps `in` to exhaustion: reads request lines, runs them
+  /// through the staged flowgraph (or the monolithic worker pool when
+  /// `pipeline.enabled` is false), writes responses to `out` in input
+  /// order. Returns after every response is flushed.
   Status Run(std::istream& in, std::ostream& out);
 
   /// \brief Total requests handled so far (including errored ones).
   uint64_t requests_served() const { return requests_served_.load(); }
 
+  /// \brief Requests shed by reject-on-full admission control.
+  uint64_t requests_rejected() const { return pipeline_rejected_.load(); }
+
   /// \brief The micro-batcher (stats inspection; never null).
   const Coalescer& coalescer() const { return *coalescer_; }
+
+  /// \brief The normalized configuration the service runs with.
+  const ServiceConfig& config() const { return config_; }
 
  private:
   /// Resolves the session a request targets: its "task" member through
@@ -150,12 +228,24 @@ class Service {
   JsonValue HandleRegistryOp(const std::string& op,
                              const JsonValue& request) const;
 
+  /// The original flat worker pool over a bounded MPMC queue.
+  Status RunMonolithic(std::istream& in, std::ostream& out);
+
+  /// The staged flowgraph (decode → extract → infer → encode) over SPSC
+  /// crossbars, with reader-side admission control.
+  Status RunPipelined(std::istream& in, std::ostream& out);
+
   std::shared_ptr<SessionRegistry> registry_;   // null in single mode
   std::shared_ptr<const Session> session_;      // may be null in gateway mode
   ServiceConfig config_;
   std::unique_ptr<Coalescer> coalescer_;
   mutable std::atomic<uint64_t> requests_served_{0};
   mutable std::atomic<uint64_t> errors_{0};
+  mutable std::atomic<uint64_t> pipeline_rejected_{0};
+  /// Set for the duration of a pipelined Run: snapshots the live
+  /// flowgraph for the `stats` op's "pipeline" section.
+  mutable std::mutex pipeline_stats_mu_;
+  mutable std::function<JsonValue()> pipeline_stats_fn_;
 };
 
 }  // namespace goggles::serve

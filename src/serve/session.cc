@@ -34,6 +34,12 @@ Result<Session> Session::Fit(
 
 Result<Matrix> Session::BuildQueryRows(
     const std::vector<data::Image>& images) const {
+  if (!fitted()) {
+    return Status::Internal("Session::BuildQueryRows: session is not fitted");
+  }
+  if (images.empty()) {
+    return Status::InvalidArgument("Session::BuildQueryRows: no images");
+  }
   // The backbone forwards run concurrently (const inference path inside
   // the possibly shared extractor); the batched scorer then labels the
   // whole request batch with one GEMM per pool layer against the packed
@@ -44,6 +50,17 @@ Result<Matrix> Session::BuildQueryRows(
       source_->ExtractQueryFeatures(images));
   return source_->ScoreQueryRowsBatched(
       queries, static_cast<int>(model_.num_functions()));
+}
+
+Result<LabelingResult> Session::InferRows(const Matrix& affinity_rows) const {
+  if (!fitted()) {
+    return Status::Internal("Session::InferRows: session is not fitted");
+  }
+  if (affinity_rows.rows() < 1 ||
+      affinity_rows.cols() != model_.num_functions() * model_.pool_size) {
+    return Status::InvalidArgument("Session::InferRows: bad row shape");
+  }
+  return model_.Infer(affinity_rows);
 }
 
 Result<LabelingResult> Session::LabelBatch(

@@ -63,6 +63,22 @@ class Session {
   /// \brief Single-image convenience wrapper over LabelBatch.
   Result<OnlineLabel> LabelOne(const data::Image& image) const;
 
+  /// \brief Extraction half of LabelBatch: builds the M x (alpha *
+  /// pool_size) affinity rows for `images` through the batched
+  /// extractor + GEMM scorer, without running inference. The staged
+  /// serving pipeline calls this from its extraction stage and feeds
+  /// the rows (possibly sliced per image) to InferRows downstream.
+  /// Row i depends only on image i — the GEMM accumulates in a fixed
+  /// ascending-k order independent of batch shape — so slicing rows
+  /// out of a grouped extraction is bit-identical to extracting each
+  /// image alone.
+  Result<Matrix> BuildQueryRows(const std::vector<data::Image>& images) const;
+
+  /// \brief Inference half of LabelBatch: posterior evaluation of
+  /// prebuilt affinity rows under the fitted hierarchical model.
+  /// `LabelBatch(images)` == `InferRows(*BuildQueryRows(images))`.
+  Result<LabelingResult> InferRows(const Matrix& affinity_rows) const;
+
   /// \brief Persists the fitted session as a versioned artifact file.
   Status Save(const std::string& path) const;
 
@@ -100,11 +116,6 @@ class Session {
   const FittedHierarchicalModel& model() const { return model_; }
 
  private:
-  /// Builds the M x (alpha * pool_size) affinity rows for new images, in
-  /// the same layout (and with the same float->double cast) as the
-  /// fitting run's affinity matrix, via the batched GEMM scorer.
-  Result<Matrix> BuildQueryRows(const std::vector<data::Image>& images) const;
-
   std::shared_ptr<features::FeatureExtractor> extractor_;
   std::shared_ptr<PrototypeAffinitySource> source_;
   FittedHierarchicalModel model_;

@@ -30,10 +30,26 @@ namespace {
 // > 0 on threads that must not spawn nested kernel parallelism: inside a
 // ParallelFor* worker, or under a ScopedSerialKernels marker.
 thread_local int t_serial_kernel_depth = 0;
+// > 0 caps how many workers ParallelFor* may spawn from this thread
+// (ScopedKernelThreadBudget); 0 = unlimited. Depth beats budget.
+thread_local int t_kernel_thread_budget = 0;
 }  // namespace
 
 ScopedSerialKernels::ScopedSerialKernels() { ++t_serial_kernel_depth; }
 ScopedSerialKernels::~ScopedSerialKernels() { --t_serial_kernel_depth; }
+
+ScopedKernelThreadBudget::ScopedKernelThreadBudget(int max_threads)
+    : previous_(t_kernel_thread_budget) {
+  if (max_threads < 1) max_threads = 1;
+  t_kernel_thread_budget =
+      previous_ > 0 ? std::min(previous_, max_threads) : max_threads;
+}
+
+ScopedKernelThreadBudget::~ScopedKernelThreadBudget() {
+  t_kernel_thread_budget = previous_;
+}
+
+int ScopedKernelThreadBudget::Current() { return t_kernel_thread_budget; }
 
 void ParallelForChunked(int64_t begin, int64_t end,
                         const std::function<void(int64_t, int64_t)>& fn,
@@ -41,6 +57,9 @@ void ParallelForChunked(int64_t begin, int64_t end,
   if (end <= begin) return;
   if (t_serial_kernel_depth > 0) num_threads = 1;
   if (num_threads <= 0) num_threads = DefaultNumThreads();
+  if (t_kernel_thread_budget > 0) {
+    num_threads = std::min(num_threads, t_kernel_thread_budget);
+  }
   int64_t n = end - begin;
   int64_t workers = std::min<int64_t>(num_threads, n);
   if (workers <= 1) {

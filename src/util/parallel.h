@@ -57,4 +57,31 @@ class ScopedSerialKernels {
   ScopedSerialKernels& operator=(const ScopedSerialKernels&) = delete;
 };
 
+/// \brief RAII executor-aware token: while alive on this thread,
+/// ParallelFor* spawns at most `max_threads` workers (1 = fully serial,
+/// the ScopedSerialKernels behavior). Budgets compose by taking the
+/// minimum, so a stage worker that grants its kernels 4 threads cannot
+/// be widened again by nested code asking for more.
+///
+/// The serving flowgraph (util/pipeline.h) installs one of these on
+/// every stage worker: N stage threads each running kernels capped at
+/// ~cores/N collapse to the machine width instead of oversubscribing
+/// N x cores the way unbudgeted nested ParallelFor would. The binary
+/// ScopedSerialKernels marker still wins when present (depth beats
+/// budget): a worker inside another ParallelFor never re-forks.
+class ScopedKernelThreadBudget {
+ public:
+  explicit ScopedKernelThreadBudget(int max_threads);
+  ~ScopedKernelThreadBudget();
+  ScopedKernelThreadBudget(const ScopedKernelThreadBudget&) = delete;
+  ScopedKernelThreadBudget& operator=(const ScopedKernelThreadBudget&) =
+      delete;
+
+  /// \brief The budget active on this thread (0 = unlimited).
+  static int Current();
+
+ private:
+  int previous_;
+};
+
 }  // namespace goggles

@@ -1,0 +1,27 @@
+#include "util/pipeline.h"
+
+#include <algorithm>
+
+namespace goggles {
+namespace pipeline_internal {
+
+void Doorbell::Ring() {
+  // seq_cst pairs with the consumer's seq_cst advertise-then-recheck:
+  // either the producer sees `sleeping` and notifies, or the consumer's
+  // recheck sees the pushed item. Lock before notify so the wakeup
+  // cannot land between the consumer's flag check and its wait.
+  if (sleeping.load(std::memory_order_seq_cst)) {
+    std::lock_guard<std::mutex> lock(mu);
+    sleeping.store(false, std::memory_order_relaxed);
+    cv.notify_one();
+  }
+}
+
+int AutoKernelBudget(int total_pipeline_threads) {
+  const int width = DefaultNumThreads();
+  const int denom = std::max(1, total_pipeline_threads);
+  return std::max(1, width / denom);
+}
+
+}  // namespace pipeline_internal
+}  // namespace goggles

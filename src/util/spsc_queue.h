@@ -1,0 +1,113 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+/// \file spsc_queue.h
+/// \brief Bounded lock-free single-producer/single-consumer ring queue —
+/// the edge primitive of the serving flowgraph (util/pipeline.h).
+///
+/// One thread pushes, one thread pops; under that contract every
+/// operation is wait-free: a push is one store into the ring plus one
+/// release store of the tail index, a pop is the mirror image on the
+/// head index. The producer and consumer each keep a *cached* copy of
+/// the other side's index so the common case touches only its own cache
+/// line; the shared indices are re-read (acquire) only when the cached
+/// view says the queue looks full/empty.
+///
+/// The queue itself never blocks — TryPush/TryPop return false on
+/// full/empty and the caller decides how to wait (the pipeline executor
+/// parks on a doorbell; see pipeline.h). Close() is a one-way latch:
+/// the producer stops pushing, the consumer drains what is left and
+/// then observes `closed() && Empty()` as end-of-stream.
+
+namespace goggles {
+
+/// \brief Bounded wait-free SPSC ring queue. `T` must be movable and
+/// default-constructible (slots are a pre-sized vector; popped slots
+/// hold moved-from values until overwritten).
+///
+/// Thread contract: exactly one producer thread may call TryPush/Close,
+/// exactly one consumer thread may call TryPop. size()/Empty()/closed()
+/// are safe from any thread (approximate from a racing observer).
+template <typename T>
+class SpscQueue {
+ public:
+  /// \brief Queue holding at most `capacity` items (rounded up to a
+  /// power of two, minimum 2, so index masking replaces modulo).
+  explicit SpscQueue(size_t capacity) {
+    size_t rounded = 2;
+    while (rounded < capacity) rounded <<= 1;
+    slots_.resize(rounded);
+    mask_ = rounded - 1;
+  }
+
+  /// \brief Producer side: moves `item` into the ring. False (item left
+  /// intact) when the queue is full or closed.
+  bool TryPush(T& item) {
+    if (closed_.load(std::memory_order_relaxed)) return false;
+    const uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - cached_head_ > mask_) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (tail - cached_head_ > mask_) return false;  // genuinely full
+    }
+    slots_[static_cast<size_t>(tail) & mask_] = std::move(item);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// \brief Consumer side: moves the oldest item into `*out`. False when
+  /// the queue is currently empty (closed or not — check `closed()` to
+  /// distinguish end-of-stream from a momentary gap).
+  bool TryPop(T* out) {
+    const uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head == cached_tail_) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (head == cached_tail_) return false;  // genuinely empty
+    }
+    *out = std::move(slots_[static_cast<size_t>(head) & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// \brief One-way latch: refuses further pushes. Already-queued items
+  /// still drain through TryPop.
+  void Close() { closed_.store(true, std::memory_order_release); }
+
+  /// \brief True once Close() was called (items may still be queued).
+  bool closed() const { return closed_.load(std::memory_order_acquire); }
+
+  /// \brief True when nothing is queued right now (racy from observers).
+  bool Empty() const {
+    return head_.load(std::memory_order_acquire) ==
+           tail_.load(std::memory_order_acquire);
+  }
+
+  /// \brief Items currently queued (approximate from a racing observer).
+  size_t size() const {
+    const uint64_t tail = tail_.load(std::memory_order_acquire);
+    const uint64_t head = head_.load(std::memory_order_acquire);
+    return tail >= head ? static_cast<size_t>(tail - head) : 0;
+  }
+
+  /// \brief The rounded-up item capacity.
+  size_t capacity() const { return mask_ + 1; }
+
+ private:
+  std::vector<T> slots_;
+  size_t mask_ = 1;
+  /// Consumer-owned index of the next slot to pop.
+  alignas(64) std::atomic<uint64_t> head_{0};
+  /// Consumer-local cache of tail_ (avoids acquiring it when non-empty).
+  alignas(64) uint64_t cached_tail_ = 0;
+  /// Producer-owned index of the next slot to fill.
+  alignas(64) std::atomic<uint64_t> tail_{0};
+  /// Producer-local cache of head_ (avoids acquiring it when non-full).
+  alignas(64) uint64_t cached_head_ = 0;
+  std::atomic<bool> closed_{false};
+};
+
+}  // namespace goggles

@@ -92,8 +92,12 @@ TEST_F(ServeCoalescerTest, CoalescedResultsAreBitIdenticalToSingleton) {
   serve::CoalescerConfig config;
   config.enabled = true;
   config.max_batch = 4;
-  config.window_micros = 200000;  // generous: the 4 threads must meet
-  serve::Coalescer coalescer(config);
+  config.window_micros = 1000;
+  // Fake clock, never advanced: the leader cannot time out, so all four
+  // threads are GUARANTEED to meet in one batch — no wall-clock window
+  // race, deterministic under any scheduler or sanitizer slowdown.
+  FakeClock clock;
+  serve::Coalescer coalescer(config, &clock);
 
   constexpr int kRequests = 4;
   std::vector<data::Image> queries;
@@ -126,9 +130,37 @@ TEST_F(ServeCoalescerTest, CoalescedResultsAreBitIdenticalToSingleton) {
 
   const serve::CoalescerStats stats = coalescer.stats();
   EXPECT_EQ(stats.requests, 4u);
-  EXPECT_LT(stats.batches, 4u) << "nothing coalesced";
-  EXPECT_GE(stats.coalesced, 2u);
-  EXPECT_GE(stats.max_batch_size, 2u);
+  EXPECT_EQ(stats.batches, 1u) << "the frozen window must batch all four";
+  EXPECT_EQ(stats.coalesced, 4u);
+  EXPECT_EQ(stats.max_batch_size, 4u);
+}
+
+TEST_F(ServeCoalescerTest, WindowExpiryFlushesALonelyLeader) {
+  serve::CoalescerConfig config;
+  config.enabled = true;
+  config.max_batch = 4;
+  config.window_micros = 1000;
+  FakeClock clock;
+  serve::Coalescer coalescer(config, &clock);
+
+  // One request can never fill the batch; only the (fake) window expiry
+  // can release it. Advance past the deadline once the leader is parked.
+  Result<serve::OnlineLabel> result(serve::OnlineLabel{});
+  const data::Image query = PatternImage(57);
+  std::thread leader([&] { result = coalescer.Label(*session_, query); });
+  while (coalescer.stats().requests < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  clock.Advance(config.window_micros + 1);
+  leader.join();
+
+  ASSERT_TRUE(result.ok()) << result.status();
+  auto direct = (*session_)->LabelOne(query);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(result->soft, direct->soft);
+  const serve::CoalescerStats stats = coalescer.stats();
+  EXPECT_EQ(stats.batches, 1u);
+  EXPECT_EQ(stats.coalesced, 0u) << "a lonely leader is not a coalesce";
 }
 
 TEST_F(ServeCoalescerTest, DisabledCoalescerIsAPassThrough) {
@@ -189,8 +221,11 @@ TEST_F(ServeCoalescerTest, DuplicateImagesInOneWindowAreDedupedBitIdentically) {
   serve::CoalescerConfig config;
   config.enabled = true;
   config.max_batch = 4;
-  config.window_micros = 200000;
-  serve::Coalescer coalescer(config);
+  config.window_micros = 1000;
+  // Frozen fake clock: the batch can only flush by filling, so all four
+  // requests deterministically share it (see the bit-identity test).
+  FakeClock clock;
+  serve::Coalescer coalescer(config, &clock);
 
   // Two distinct images, each submitted twice concurrently (hot content).
   const data::Image hot = PatternImage(55);

@@ -1,0 +1,550 @@
+#include "util/pipeline.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/raster.h"
+#include "nn/vgg.h"
+#include "serve/service.h"
+#include "util/spsc_queue.h"
+
+/// The staged serving flowgraph: the SPSC queue primitive, the pipeline
+/// executor (flow, batching, drain, backpressure, stats), and the
+/// Service-level guarantees — pipelined responses bit-identical to the
+/// serial path at multiple stage/thread configurations, reject-mode
+/// admission control answering (not hanging), and the `stats` op's
+/// pipeline section.
+
+namespace goggles {
+namespace {
+
+// ---- SpscQueue ------------------------------------------------------------
+
+TEST(SpscQueueTest, FifoWithWraparound) {
+  SpscQueue<int> queue(4);
+  EXPECT_EQ(queue.capacity(), 4u);
+  // Several full fill/drain cycles exercise index wrap past capacity.
+  int next_push = 0;
+  int next_pop = 0;
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    for (int i = 0; i < 4; ++i) {
+      int v = next_push++;
+      EXPECT_TRUE(queue.TryPush(v));
+    }
+    int overflow = 999;
+    EXPECT_FALSE(queue.TryPush(overflow)) << "push into a full queue";
+    EXPECT_EQ(overflow, 999) << "failed push must leave the item intact";
+    for (int i = 0; i < 4; ++i) {
+      int out = -1;
+      ASSERT_TRUE(queue.TryPop(&out));
+      EXPECT_EQ(out, next_pop++);
+    }
+    int empty_out = -1;
+    EXPECT_FALSE(queue.TryPop(&empty_out)) << "pop from an empty queue";
+  }
+}
+
+TEST(SpscQueueTest, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(SpscQueue<int>(1).capacity(), 2u);
+  EXPECT_EQ(SpscQueue<int>(3).capacity(), 4u);
+  EXPECT_EQ(SpscQueue<int>(64).capacity(), 64u);
+  EXPECT_EQ(SpscQueue<int>(65).capacity(), 128u);
+}
+
+TEST(SpscQueueTest, CloseIsALatchThatStillDrains) {
+  SpscQueue<int> queue(4);
+  int v = 7;
+  ASSERT_TRUE(queue.TryPush(v));
+  EXPECT_FALSE(queue.closed());
+  queue.Close();
+  EXPECT_TRUE(queue.closed());
+  int refused = 8;
+  EXPECT_FALSE(queue.TryPush(refused)) << "push after Close";
+  int out = -1;
+  EXPECT_TRUE(queue.TryPop(&out)) << "queued items must drain after Close";
+  EXPECT_EQ(out, 7);
+  EXPECT_FALSE(queue.TryPop(&out));
+  EXPECT_TRUE(queue.Empty());
+}
+
+TEST(SpscQueueTest, ConcurrentProducerConsumerPreservesOrder) {
+  SpscQueue<int> queue(8);
+  constexpr int kItems = 200000;
+  std::thread producer([&] {
+    for (int i = 0; i < kItems; ++i) {
+      int v = i;
+      while (!queue.TryPush(v)) std::this_thread::yield();
+    }
+    queue.Close();
+  });
+  int expected = 0;
+  int out = -1;
+  while (true) {
+    if (queue.TryPop(&out)) {
+      ASSERT_EQ(out, expected) << "SPSC order violated";
+      ++expected;
+    } else if (queue.closed() && queue.Empty()) {
+      break;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  producer.join();
+  EXPECT_EQ(expected, kItems);
+}
+
+// ---- Pipeline executor ----------------------------------------------------
+
+TEST(PipelineTest, EveryItemFlowsThroughEveryStageOnce) {
+  Pipeline<int> pipe;
+  pipe.AddStage({"add", 2, 4, 4},
+                [](std::vector<int>& items) {
+                  for (int& v : items) v += 1000;
+                });
+  pipe.AddStage({"double", 3, 4, 2},
+                [](std::vector<int>& items) {
+                  for (int& v : items) v *= 2;
+                });
+  pipe.AddStage({"sub", 2, 4, 1},
+                [](std::vector<int>& items) {
+                  for (int& v : items) v -= 1;
+                });
+  std::mutex mu;
+  std::vector<int> out;
+  pipe.Start([&](int&& v) {
+    std::lock_guard<std::mutex> lock(mu);
+    out.push_back(v);
+  });
+  constexpr int kItems = 500;
+  for (int i = 0; i < kItems; ++i) {
+    ASSERT_TRUE(pipe.Submit(int(i), /*block=*/true));
+  }
+  pipe.Drain();
+  ASSERT_EQ(out.size(), static_cast<size_t>(kItems));
+  std::sort(out.begin(), out.end());
+  for (int i = 0; i < kItems; ++i) {
+    EXPECT_EQ(out[static_cast<size_t>(i)], (i + 1000) * 2 - 1) << i;
+  }
+}
+
+TEST(PipelineTest, MidStreamDrainFlushesEverything) {
+  Pipeline<int> pipe;
+  std::atomic<int> processed{0};
+  pipe.AddStage({"slow", 2, 2, 3}, [&](std::vector<int>& items) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    processed.fetch_add(static_cast<int>(items.size()));
+  });
+  std::atomic<int> sunk{0};
+  pipe.Start([&](int&&) { sunk.fetch_add(1); });
+  constexpr int kItems = 50;
+  for (int i = 0; i < kItems; ++i) {
+    ASSERT_TRUE(pipe.Submit(int(i), /*block=*/true));
+  }
+  // Drain immediately, mid-stream: every submitted item must still
+  // reach the sink exactly once before Drain returns.
+  pipe.Drain();
+  EXPECT_EQ(processed.load(), kItems);
+  EXPECT_EQ(sunk.load(), kItems);
+}
+
+TEST(PipelineTest, BatchingNeverExceedsMaxBatch) {
+  Pipeline<int> pipe;
+  std::atomic<int> oversized{0};
+  std::atomic<int> batches{0};
+  pipe.AddStage({"batched", 1, 16, 4}, [&](std::vector<int>& items) {
+    batches.fetch_add(1);
+    if (items.size() > 4) oversized.fetch_add(1);
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  });
+  std::atomic<int> sunk{0};
+  pipe.Start([&](int&&) { sunk.fetch_add(1); });
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(pipe.Submit(int(i), /*block=*/true));
+  }
+  pipe.Drain();
+  EXPECT_EQ(sunk.load(), 100);
+  EXPECT_EQ(oversized.load(), 0);
+  EXPECT_GE(batches.load(), 25) << "max_batch=4 needs >= 100/4 calls";
+}
+
+TEST(PipelineTest, BatchWaitWindowReleasesAtEndOfStream) {
+  // A 10-second gather window must NOT make Drain take 10 seconds: the
+  // intake closing releases any parked partial batch immediately.
+  Pipeline<int> pipe;
+  std::atomic<int> batches{0};
+  pipe.AddStage({"patient", 1, 16, 8, /*batch_wait_micros=*/10'000'000},
+                [&](std::vector<int>&) { batches.fetch_add(1); });
+  std::atomic<int> sunk{0};
+  pipe.Start([&](int&&) { sunk.fetch_add(1); });
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(pipe.Submit(int(i), /*block=*/true));
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  pipe.Drain();
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_EQ(sunk.load(), 3);
+  EXPECT_GE(batches.load(), 1);
+  EXPECT_LT(elapsed, std::chrono::seconds(5))
+      << "end-of-stream must break the gather window, not wait it out";
+}
+
+TEST(PipelineTest, NonBlockingSubmitRejectsWhenFullThenRecovers) {
+  Pipeline<int> pipe;
+  std::atomic<bool> release{false};
+  pipe.AddStage({"gate", 1, 2, 1}, [&](std::vector<int>&) {
+    while (!release.load()) {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  });
+  std::atomic<int> sunk{0};
+  pipe.Start([&](int&&) { sunk.fetch_add(1); });
+
+  // With the stage gated shut, non-blocking submits must start failing
+  // once the (tiny) intake queue fills — quickly and cleanly, no hang.
+  int accepted = 0;
+  int attempts = 0;
+  while (attempts < 1000) {
+    ++attempts;
+    if (pipe.Submit(int(attempts), /*block=*/false)) {
+      ++accepted;
+    } else {
+      break;
+    }
+  }
+  EXPECT_LT(attempts, 1000) << "Submit never reported backpressure";
+  EXPECT_GE(accepted, 1);
+  const auto stats = pipe.Stats();
+  EXPECT_GE(stats[0].backpressured, 1u);
+
+  release.store(true);  // reopen the gate; everything accepted must flush
+  pipe.Drain();
+  EXPECT_EQ(sunk.load(), accepted);
+}
+
+TEST(PipelineTest, StatsCountItemsBatchesAndDepth) {
+  Pipeline<int> pipe;
+  pipe.AddStage({"a", 2, 8, 2}, [](std::vector<int>&) {});
+  pipe.AddStage({"b", 1, 8, 1}, [](std::vector<int>&) {});
+  pipe.Start([](int&&) {});
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_TRUE(pipe.Submit(int(i), /*block=*/true));
+  }
+  pipe.Drain();
+  const auto stats = pipe.Stats();
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats[0].name, "a");
+  EXPECT_EQ(stats[1].name, "b");
+  for (const auto& s : stats) {
+    EXPECT_EQ(s.items, 64u);
+    EXPECT_GE(s.batches, 1u);
+    EXPECT_LE(s.batches, s.items);
+    EXPECT_EQ(s.queue_depth, 0u) << "drained pipeline still holds items";
+  }
+  EXPECT_EQ(stats[0].num_threads, 2);
+  EXPECT_EQ(stats[0].queue_capacity, 8u);
+}
+
+TEST(PipelineTest, StageWorkersRunUnderTheKernelBudget) {
+  Pipeline<int> pipe;
+  std::atomic<int> observed{-1};
+  pipe.AddStage({"check", 2, 4, 1}, [&](std::vector<int>&) {
+    observed.store(ScopedKernelThreadBudget::Current());
+  });
+  pipe.Start([](int&&) {});
+  ASSERT_TRUE(pipe.Submit(1, /*block=*/true));
+  pipe.Drain();
+  EXPECT_GE(pipe.KernelBudget(), 1);
+  EXPECT_EQ(observed.load(), pipe.KernelBudget())
+      << "stage worker did not install the executor's kernel budget";
+}
+
+// ---- PipelineOptions env / normalization ----------------------------------
+
+TEST(PipelineOptionsTest, EnvOverlayUsesTheStrictParser) {
+  setenv("GOGGLES_PIPELINE", "0", 1);
+  setenv("GOGGLES_PIPELINE_EXTRACT_THREADS", "7", 1);
+  setenv("GOGGLES_PIPELINE_MAX_BATCH", "junk", 1);   // malformed
+  setenv("GOGGLES_PIPELINE_QUEUE", "128trailing", 1);  // trailing garbage
+  setenv("GOGGLES_PIPELINE_BATCH_WAIT", "2500", 1);
+  setenv("GOGGLES_PIPELINE_ADMISSION", "9", 1);
+  setenv("GOGGLES_PIPELINE_REJECT", "1", 1);
+  serve::PipelineOptions defaults;
+  serve::PipelineOptions opts = serve::PipelineOptionsFromEnv(defaults);
+  EXPECT_FALSE(opts.enabled);
+  EXPECT_EQ(opts.extract_threads, 7);
+  EXPECT_EQ(opts.max_batch, defaults.max_batch)
+      << "malformed env value must fall back, not parse loosely";
+  EXPECT_EQ(opts.queue_capacity, defaults.queue_capacity)
+      << "trailing garbage must be rejected by the strict parser";
+  EXPECT_EQ(opts.batch_wait_micros, 2500);
+  EXPECT_EQ(opts.admission_capacity, 9);
+  EXPECT_TRUE(opts.reject_on_full);
+
+  // Malformed batch-wait falls back to the default like the others.
+  setenv("GOGGLES_PIPELINE_BATCH_WAIT", "2.5ms", 1);
+  serve::PipelineOptions opts2 = serve::PipelineOptionsFromEnv(defaults);
+  EXPECT_EQ(opts2.batch_wait_micros, defaults.batch_wait_micros);
+
+  unsetenv("GOGGLES_PIPELINE");
+  unsetenv("GOGGLES_PIPELINE_EXTRACT_THREADS");
+  unsetenv("GOGGLES_PIPELINE_MAX_BATCH");
+  unsetenv("GOGGLES_PIPELINE_BATCH_WAIT");
+  unsetenv("GOGGLES_PIPELINE_QUEUE");
+  unsetenv("GOGGLES_PIPELINE_ADMISSION");
+  unsetenv("GOGGLES_PIPELINE_REJECT");
+
+  // With nothing set, the defaults pass through untouched.
+  serve::PipelineOptions clean = serve::PipelineOptionsFromEnv(defaults);
+  EXPECT_EQ(clean.enabled, defaults.enabled);
+  EXPECT_EQ(clean.extract_threads, defaults.extract_threads);
+  EXPECT_EQ(clean.max_batch, defaults.max_batch);
+}
+
+TEST(PipelineOptionsTest, ServiceNormalizationClampsAndDefaults) {
+  serve::ServiceConfig config;
+  config.queue_capacity = 32;
+  config.pipeline.decode_threads = 0;
+  config.pipeline.extract_threads = -4;
+  config.pipeline.max_batch = 0;
+  config.pipeline.batch_wait_micros = -500;
+  config.pipeline.queue_capacity = -1;
+  config.pipeline.admission_capacity = 0;  // "use queue_capacity"
+  serve::Service service(std::shared_ptr<const serve::Session>(), config);
+  const serve::PipelineOptions& p = service.config().pipeline;
+  EXPECT_EQ(p.decode_threads, 1);
+  EXPECT_EQ(p.extract_threads, 1);
+  EXPECT_EQ(p.max_batch, 1);
+  EXPECT_EQ(p.batch_wait_micros, 0) << "negative gather window clamps to 0";
+  EXPECT_EQ(p.queue_capacity, 1);
+  EXPECT_EQ(p.admission_capacity, 32);
+}
+
+// ---- Service: pipelined Run vs serial -------------------------------------
+
+data::Image PatternImage(int variant) {
+  data::Image img(3, 32, 32, 0.1f);
+  switch (variant % 3) {
+    case 0:
+      data::DrawFilledCircle(&img, 16, 16, 6 + variant % 5, {1.0f, 0.2f, 0.2f});
+      break;
+    case 1:
+      data::DrawFilledRect(&img, 6, 6, 26, 26, {0.2f, 1.0f, 0.2f});
+      break;
+    default:
+      data::DrawCross(&img, 16, 16, 14, 3, {0.2f, 0.2f, 1.0f});
+      break;
+  }
+  return img;
+}
+
+std::string ImageToJson(const data::Image& img) {
+  serve::JsonValue obj = serve::JsonValue::MakeObject();
+  obj.Set("channels", serve::JsonValue(img.channels));
+  obj.Set("height", serve::JsonValue(img.height));
+  obj.Set("width", serve::JsonValue(img.width));
+  serve::JsonValue pixels = serve::JsonValue::MakeArray();
+  for (float v : img.pixels) {
+    pixels.Append(serve::JsonValue(static_cast<double>(v)));
+  }
+  obj.Set("pixels", std::move(pixels));
+  return obj.Dump();
+}
+
+class ServePipelineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    nn::VggMiniConfig config;
+    config.stage_channels = {4, 8, 8, 8, 8};
+    config.num_classes = 4;
+    Result<nn::VggMini> model = nn::BuildVggMini(config);
+    model.status().Abort("vgg");
+    auto extractor =
+        std::make_shared<features::FeatureExtractor>(std::move(*model));
+    std::vector<data::Image> pool;
+    for (int i = 0; i < 12; ++i) pool.push_back(PatternImage(i));
+    GogglesConfig goggles_config;
+    goggles_config.top_z = 3;
+    auto session = serve::Session::Fit(extractor, pool, {0, 1, 2, 3},
+                                       {0, 1, 0, 1}, 2, goggles_config);
+    session.status().Abort("Session::Fit");
+    session_ = new std::shared_ptr<const serve::Session>(
+        std::make_shared<const serve::Session>(std::move(*session)));
+  }
+
+  static void TearDownTestSuite() { delete session_; }
+
+  /// A request mix that exercises every pipeline path: singleton labels,
+  /// duplicate images (extract-stage dedup), a second shape (separate
+  /// extraction group), label_batch and malformed/unknown requests
+  /// (decode-stage short-circuit). No `stats` op — its counters are
+  /// timing-dependent snapshots, everything else must be byte-stable.
+  static std::string RequestStream() {
+    std::ostringstream input;
+    const data::Image dup = PatternImage(41);
+    data::Image small(3, 16, 16, 0.4f);
+    data::DrawFilledCircle(&small, 8, 8, 5, {1.0f, 0.3f, 0.2f});
+    for (int i = 0; i < 6; ++i) {
+      input << R"({"op":"label","image":)" << ImageToJson(PatternImage(40 + i))
+            << "}\n";
+      if (i == 2) {
+        input << R"({"op":"label","image":)" << ImageToJson(dup) << "}\n"
+              << R"({"op":"label","image":)" << ImageToJson(dup) << "}\n"
+              << R"({"op":"label","image":)" << ImageToJson(small) << "}\n";
+      }
+    }
+    input << R"({"op":"label_batch","images":[)" << ImageToJson(PatternImage(47))
+          << "," << ImageToJson(PatternImage(48)) << "]}\n";
+    input << "this is not json\n";
+    input << R"({"op":"launder"})" << "\n";
+    input << R"({"op":"label"})" << "\n";  // missing image
+    return input.str();
+  }
+
+  static std::string RunWith(const serve::ServiceConfig& config) {
+    serve::Service service(*session_, config);
+    std::istringstream in(RequestStream());
+    std::ostringstream out;
+    Status status = service.Run(in, out);
+    EXPECT_TRUE(status.ok()) << status;
+    return out.str();
+  }
+
+  static std::shared_ptr<const serve::Session>* session_;
+};
+
+std::shared_ptr<const serve::Session>* ServePipelineTest::session_ = nullptr;
+
+TEST_F(ServePipelineTest, PipelinedRunIsByteIdenticalToSerialAtAnyShape) {
+  // Reference: the monolithic path, one worker — strictly serial.
+  serve::ServiceConfig serial;
+  serial.pipeline.enabled = false;
+  serial.num_workers = 1;
+  const std::string expected = RunWith(serial);
+  ASSERT_FALSE(expected.empty());
+
+  // Config 1: default stage shape (1/2/1/1 threads, batch 8).
+  serve::ServiceConfig narrow;
+  ASSERT_TRUE(narrow.pipeline.enabled) << "pipeline must be the default";
+
+  // Config 2: wide stages, small queues + batches — maximal reordering
+  // pressure and intra-stage concurrency.
+  serve::ServiceConfig wide;
+  wide.pipeline.decode_threads = 2;
+  wide.pipeline.extract_threads = 3;
+  wide.pipeline.infer_threads = 2;
+  wide.pipeline.encode_threads = 2;
+  wide.pipeline.queue_capacity = 2;
+  wide.pipeline.max_batch = 3;
+
+  // Config 3: tight admission (blocking backpressure on the reader).
+  serve::ServiceConfig tight;
+  tight.pipeline.admission_capacity = 2;
+
+  EXPECT_EQ(RunWith(narrow), expected)
+      << "default pipeline diverged from the serial path";
+  EXPECT_EQ(RunWith(wide), expected)
+      << "wide pipeline diverged from the serial path";
+  EXPECT_EQ(RunWith(tight), expected)
+      << "admission-throttled pipeline diverged from the serial path";
+}
+
+TEST_F(ServePipelineTest, RejectOnFullAnswersCleanlyInsteadOfHanging) {
+  serve::ServiceConfig config;
+  config.pipeline.admission_capacity = 1;
+  config.pipeline.reject_on_full = true;
+  serve::Service service(*session_, config);
+
+  constexpr int kRequests = 8;
+  std::ostringstream input;
+  for (int i = 0; i < kRequests; ++i) {
+    input << R"({"op":"label","image":)" << ImageToJson(PatternImage(60 + i))
+          << "}\n";
+  }
+  std::istringstream in(input.str());
+  std::ostringstream out;
+  ASSERT_TRUE(service.Run(in, out).ok());
+
+  // Every request gets exactly one response line, in input order; shed
+  // requests answer with a clean error, never a hang or a dropped line.
+  std::istringstream lines(out.str());
+  std::string line;
+  int total = 0;
+  int rejected = 0;
+  while (std::getline(lines, line)) {
+    auto response = serve::JsonValue::Parse(line);
+    ASSERT_TRUE(response.ok()) << line;
+    if (!response->Find("ok")->bool_value()) {
+      EXPECT_NE(response->Find("error")->str().find("overloaded"),
+                std::string::npos)
+          << line;
+      ++rejected;
+    }
+    ++total;
+  }
+  EXPECT_EQ(total, kRequests);
+  // The first request always admits (nothing in flight yet); with a cap
+  // of one and a reader far faster than a labeling call, later arrivals
+  // find the slot taken.
+  EXPECT_GE(rejected, 1) << "admission control never engaged";
+  EXPECT_LT(rejected, kRequests);
+  EXPECT_EQ(service.requests_rejected(), static_cast<uint64_t>(rejected));
+  EXPECT_EQ(service.requests_served(), static_cast<uint64_t>(kRequests));
+}
+
+TEST_F(ServePipelineTest, StatsOpReportsThePipelineSection) {
+  serve::ServiceConfig config;
+  config.pipeline.extract_threads = 2;
+  serve::Service service(*session_, config);
+  std::ostringstream input;
+  input << R"({"op":"label","image":)" << ImageToJson(PatternImage(70))
+        << "}\n"
+        << R"({"op":"stats"})" << "\n";
+  std::istringstream in(input.str());
+  std::ostringstream out;
+  ASSERT_TRUE(service.Run(in, out).ok());
+
+  std::istringstream lines(out.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(lines, line));  // label response
+  ASSERT_TRUE(std::getline(lines, line));  // stats response
+  auto stats = serve::JsonValue::Parse(line);
+  ASSERT_TRUE(stats.ok()) << line;
+  ASSERT_TRUE(stats->Find("ok")->bool_value());
+  const serve::JsonValue* pipeline = stats->Find("pipeline");
+  ASSERT_TRUE(pipeline != nullptr && pipeline->is_object())
+      << "pipelined stats must carry a pipeline section: " << line;
+  EXPECT_EQ(pipeline->Find("mode")->str(), "pipelined");
+  const serve::JsonValue* admission = pipeline->Find("admission");
+  ASSERT_TRUE(admission != nullptr && admission->is_object());
+  EXPECT_DOUBLE_EQ(admission->Find("capacity")->number(), 64.0);
+  EXPECT_EQ(admission->Find("policy")->str(), "block");
+  EXPECT_DOUBLE_EQ(admission->Find("rejected")->number(), 0.0);
+  const serve::JsonValue* stages = pipeline->Find("stages");
+  ASSERT_TRUE(stages != nullptr && stages->is_array());
+  ASSERT_EQ(stages->items().size(), 4u);
+  const char* names[] = {"decode", "extract", "infer", "encode"};
+  for (size_t s = 0; s < 4; ++s) {
+    const serve::JsonValue& stage = stages->items()[s];
+    EXPECT_EQ(stage.Find("name")->str(), names[s]);
+    EXPECT_GE(stage.Find("threads")->number(), 1.0);
+    EXPECT_GE(stage.Find("queue_capacity")->number(), 1.0);
+    EXPECT_GE(stage.Find("items")->number(), 0.0);
+  }
+  // The decode stage has seen at least the label + this stats request.
+  EXPECT_GE(stages->items()[0].Find("items")->number(), 2.0);
+
+  // Outside a pipelined Run (direct dispatch), the section is absent —
+  // the original response layout is preserved byte for byte.
+  auto direct = serve::JsonValue::Parse(service.HandleLine(R"({"op":"stats"})"));
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(direct->Find("pipeline"), nullptr);
+}
+
+}  // namespace
+}  // namespace goggles

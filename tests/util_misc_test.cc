@@ -1,7 +1,9 @@
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <thread>
 
 #include <gtest/gtest.h>
 
@@ -195,6 +197,105 @@ TEST(ParallelTest, SingleThreadFallback) {
   ParallelFor(0, 100, [&](int64_t i) { hits[static_cast<size_t>(i)]++; },
               /*num_threads=*/1);
   for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+// Counts the peak number of concurrent workers inside a ParallelFor by
+// holding each worker briefly at a rendezvous.
+int PeakConcurrency(int num_threads_requested) {
+  std::atomic<int> live{0};
+  std::atomic<int> peak{0};
+  ParallelForChunked(
+      0, 64,
+      [&](int64_t, int64_t) {
+        const int now = live.fetch_add(1) + 1;
+        int seen = peak.load();
+        while (now > seen && !peak.compare_exchange_weak(seen, now)) {
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        live.fetch_sub(1);
+      },
+      num_threads_requested);
+  return peak.load();
+}
+
+TEST(ParallelTest, KernelThreadBudgetCapsWorkerCount) {
+  // The oversubscription regression the pipeline executor depends on: a
+  // stage worker granted a budget of 2 must not let nested kernels fork
+  // 8-wide, no matter what the call site requests.
+  EXPECT_EQ(ScopedKernelThreadBudget::Current(), 0);
+  {
+    ScopedKernelThreadBudget budget(2);
+    EXPECT_EQ(ScopedKernelThreadBudget::Current(), 2);
+    EXPECT_LE(PeakConcurrency(/*num_threads_requested=*/8), 2);
+    {
+      // Nested budgets take the minimum — an inner grant cannot widen.
+      ScopedKernelThreadBudget wider(6);
+      EXPECT_EQ(ScopedKernelThreadBudget::Current(), 2);
+      ScopedKernelThreadBudget narrower(1);
+      EXPECT_EQ(ScopedKernelThreadBudget::Current(), 1);
+      EXPECT_EQ(PeakConcurrency(8), 1);
+    }
+    EXPECT_EQ(ScopedKernelThreadBudget::Current(), 2);
+  }
+  EXPECT_EQ(ScopedKernelThreadBudget::Current(), 0);
+}
+
+TEST(ParallelTest, SerialKernelsMarkerBeatsTheBudget) {
+  ScopedKernelThreadBudget budget(4);
+  ScopedSerialKernels serial;
+  EXPECT_EQ(PeakConcurrency(8), 1) << "depth marker must force serial";
+}
+
+TEST(ClockTest, FakeClockOnlyMovesWhenAdvanced) {
+  FakeClock clock(100);
+  EXPECT_EQ(clock.NowMicros(), 100);
+  clock.Advance(-5);  // ignored
+  EXPECT_EQ(clock.NowMicros(), 100);
+  clock.Advance(900);
+  EXPECT_EQ(clock.NowMicros(), 1000);
+  clock.SetMicros(42);
+  EXPECT_EQ(clock.NowMicros(), 42);
+  EXPECT_EQ(SteadyClockInstance(), SteadyClockInstance());
+}
+
+TEST(ClockTest, FakeClockWaitUntilReleasesOnAdvanceOrPredicate) {
+  FakeClock clock;
+  std::mutex mu;
+  std::condition_variable cv;
+  bool ready = false;
+
+  // Deadline release: the waiter must return (with pred false) once fake
+  // time passes the deadline, regardless of notifications.
+  std::thread deadline_waiter([&] {
+    std::unique_lock<std::mutex> lock(mu);
+    EXPECT_FALSE(clock.WaitUntil(cv, lock, 500, [&] { return ready; }));
+  });
+  clock.Advance(501);
+  deadline_waiter.join();
+
+  // Predicate release: an un-advanced clock holds the waiter until the
+  // predicate flips.
+  std::thread pred_waiter([&] {
+    std::unique_lock<std::mutex> lock(mu);
+    EXPECT_TRUE(
+        clock.WaitUntil(cv, lock, 1 << 30, [&] { return ready; }));
+  });
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    ready = true;
+  }
+  cv.notify_all();
+  pred_waiter.join();
+}
+
+TEST(ParallelTest, BudgetedWorkersStillCoverTheWholeRange) {
+  ScopedKernelThreadBudget budget(2);
+  const int64_t n = 4099;
+  std::vector<std::atomic<int>> hits(n);
+  ParallelFor(0, n, [&](int64_t i) { hits[static_cast<size_t>(i)]++; }, 8);
+  for (int64_t i = 0; i < n; ++i) {
+    ASSERT_EQ(hits[static_cast<size_t>(i)].load(), 1) << i;
+  }
 }
 
 TEST(TableTest, RendersAlignedColumns) {
