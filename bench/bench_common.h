@@ -11,6 +11,7 @@
 
 #include "data/registry.h"
 #include "eval/backbone.h"
+#include "tensor/isa.h"
 #include "eval/metrics.h"
 #include "eval/runners.h"
 #include "eval/tasks.h"
@@ -31,8 +32,10 @@
 /// Every bench that prints the standard Banner() also appends one
 /// machine-readable JSON record (one line per run) to
 /// `$GOGGLES_BENCH_JSON_DIR/BENCH_<name>.json` when the process exits.
-/// The record carries the bench name, scale, build type, wall-clock
-/// seconds, a unix timestamp, and any key/value metrics published via
+/// The record carries the bench name, scale, build type, the kernel ISA
+/// tier the run dispatched to plus the host's cpu flags (perf numbers are
+/// only comparable within one tier), wall-clock seconds, a unix
+/// timestamp, and any key/value metrics published via
 /// RecordBenchMetric(). Set GOGGLES_BENCH_JSON_DIR="" to disable
 /// (default: current directory); set GOGGLES_BENCH_NAME to override the
 /// name derived from the banner.
@@ -211,9 +214,12 @@ class BenchJsonRecorder {
     std::fprintf(f,
                  "{\"bench\":\"%s\",\"scale\":\"%s\","
                  "\"build_type\":\"%s\","
+                 "\"isa\":\"%s\",\"cpu_flags\":\"%s\","
                  "\"wall_seconds\":%.3f,\"timestamp_unix\":%lld",
                  bench_.c_str(), scale_.c_str(),
                  SanitizeBenchName(BenchBuildType()).c_str(),
+                 IsaTierName(ActiveIsaTier()),
+                 HostCpuFlagsString().c_str(),
                  timer_.ElapsedSeconds(),
                  static_cast<long long>(std::time(nullptr)));
     std::fprintf(f, ",\"metrics\":{");

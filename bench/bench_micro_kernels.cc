@@ -18,6 +18,7 @@
 #include "linalg/kernels.h"
 #include "linalg/svd.h"
 #include "tensor/gemm.h"
+#include "tensor/isa.h"
 #include "tensor/ops.h"
 #include "util/rng.h"
 
@@ -230,4 +231,17 @@ BENCHMARK(BM_KMeansFit)->Unit(benchmark::kMillisecond);
 }  // namespace
 }  // namespace goggles
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN() so the JSON context carries the ISA tier the
+// run dispatched to plus the host's cpu flags — kernel numbers are only
+// comparable within one tier, and the trajectory file mixes machines.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::AddCustomContext("goggles_isa",
+                              goggles::IsaTierName(goggles::ActiveIsaTier()));
+  benchmark::AddCustomContext("goggles_cpu_flags",
+                              goggles::HostCpuFlagsString());
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

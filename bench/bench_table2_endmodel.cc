@@ -11,6 +11,7 @@
 
 #include "baselines/end_model.h"
 #include "bench_common.h"
+#include "quant_gate.h"
 #include "util/table.h"
 #include "util/timer.h"
 
@@ -84,6 +85,7 @@ void RunExperiment() {
   Banner("Table 2 — end model accuracy on the held-out test set (percent)",
          scale);
   eval::RunnerContext ctx = MakeBenchContext();
+  GateQuantizedExtraction(&ctx, scale);
 
   std::map<std::string, std::map<std::string, Cell>> rows;
   WallTimer timer;

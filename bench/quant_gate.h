@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "tensor/ops.h"
+
+/// \file quant_gate.h
+/// \brief Labeling-agreement gate for the quantized extraction path.
+///
+/// The bf16/int8 conv paths sit outside the f32 bit-identity contract, so
+/// a bench run that was asked for them (GOGGLES_EXTRACT_PRECISION) first
+/// proves they do not move the labels: GOGGLES labeling runs at f32 and at
+/// the quantized precision on one task per evaluation dataset, and the
+/// hard-label agreement must reach GOGGLES_QUANT_GATE_MIN (default 0.99).
+/// Below the threshold the run is REJECTED back to f32 — the bench then
+/// measures the full-precision path instead of publishing numbers from an
+/// extractor that relabels images. The observed agreement is recorded in
+/// the JSON perf record as `quant_agreement` either way.
+
+namespace goggles::bench {
+
+/// \brief Applies the agreement gate to a freshly built bench context.
+/// No-op when the extractor already runs f32. Mutates the context's
+/// extractor (precision flips), so call before any task runs and never
+/// concurrently with extraction.
+inline void GateQuantizedExtraction(eval::RunnerContext* ctx,
+                                    const BenchScale& scale) {
+  features::FeatureExtractor& extractor = *ctx->extractor;
+  const ConvPrecision precision = extractor.inference_precision();
+  if (precision == ConvPrecision::kF32) return;
+
+  const double threshold = GetEnvDoubleOr("GOGGLES_QUANT_GATE_MIN", 0.99);
+  int64_t agree = 0, total = 0;
+  for (const std::string& dataset : data::EvaluationDatasetNames()) {
+    std::vector<eval::LabelingTask> tasks =
+        MakeDatasetTasks(dataset, scale, /*rep=*/0);
+    if (tasks.empty()) continue;
+    const eval::LabelingTask& task = tasks.front();
+
+    extractor.SetInferencePrecision(ConvPrecision::kF32);
+    LabelingResult f32_result;
+    Result<double> f32_run = eval::RunGogglesLabeling(task, *ctx, &f32_result);
+    f32_run.status().Abort("quant gate f32 labeling");
+
+    extractor.SetInferencePrecision(precision);
+    LabelingResult q_result;
+    Result<double> q_run = eval::RunGogglesLabeling(task, *ctx, &q_result);
+    q_run.status().Abort("quant gate quantized labeling");
+
+    // The labeler may flip the class convention between runs only if the
+    // dev anchors disagree, and they are part of the labels compared here,
+    // so plain element-wise agreement is the right measure.
+    const size_t n = f32_result.hard_labels.size();
+    for (size_t i = 0; i < n && i < q_result.hard_labels.size(); ++i) {
+      agree += f32_result.hard_labels[i] == q_result.hard_labels[i] ? 1 : 0;
+    }
+    total += static_cast<int64_t>(n);
+  }
+
+  const double agreement =
+      total > 0 ? static_cast<double>(agree) / static_cast<double>(total)
+                : 0.0;
+  RecordBenchMetric("quant_agreement", agreement);
+  const bool pass = agreement >= threshold;
+  std::printf("quant gate: precision=%s agreement=%.4f threshold=%.2f -> %s\n",
+              ConvPrecisionName(precision), agreement, threshold,
+              pass ? "PASS (quantized extraction kept)"
+                   : "REJECT (falling back to f32 extraction)");
+  extractor.SetInferencePrecision(pass ? precision : ConvPrecision::kF32);
+}
+
+}  // namespace goggles::bench

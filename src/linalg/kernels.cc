@@ -2,36 +2,28 @@
 
 #include <cmath>
 
+#include "tensor/kernel_table.h"
+
 namespace goggles {
 
+// These entry points dispatch to the per-ISA kernel table (tensor/isa.h):
+// fixed-16-lane std::fma accumulation with a fixed tree reduction, so the
+// results are bit-identical at every tier — the vector width only decides
+// how many of the 16 virtual lanes map onto one register.
+
 float DotF(const float* a, const float* b, int64_t n) {
-  float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
-  int64_t i = 0;
-  for (; i + 4 <= n; i += 4) {
-    acc0 += a[i] * b[i];
-    acc1 += a[i + 1] * b[i + 1];
-    acc2 += a[i + 2] * b[i + 2];
-    acc3 += a[i + 3] * b[i + 3];
-  }
-  for (; i < n; ++i) acc0 += a[i] * b[i];
-  return acc0 + acc1 + acc2 + acc3;
+  return ActiveKernels().dot_f(a, b, n);
 }
 
-float NormF(const float* a, int64_t n) { return std::sqrt(DotF(a, a, n)); }
+float NormF(const float* a, int64_t n) {
+  return std::sqrt(ActiveKernels().dot_f(a, a, n));
+}
 
 float CosineSimilarityF(const float* a, const float* b, int64_t n) {
-  // Single fused pass: dot, |a|^2 and |b|^2 together, instead of the three
-  // full walks (two NormF + one DotF) this kernel used to make. The omp
-  // simd reduction licenses the vectorizer to keep all three sums in
-  // vector accumulators (-fopenmp-simd, no OpenMP runtime involved).
+  // Single fused pass: dot, |a|^2 and |b|^2 together, instead of the
+  // three full walks (two NormF + one DotF) this kernel used to make.
   float dot = 0.0f, na2 = 0.0f, nb2 = 0.0f;
-#pragma omp simd reduction(+ : dot, na2, nb2)
-  for (int64_t i = 0; i < n; ++i) {
-    const float av = a[i], bv = b[i];
-    dot += av * bv;
-    na2 += av * av;
-    nb2 += bv * bv;
-  }
+  ActiveKernels().cosine_terms_f(a, b, n, &dot, &na2, &nb2);
   const float na = std::sqrt(na2);
   const float nb = std::sqrt(nb2);
   if (na < 1e-12f || nb < 1e-12f) return 0.0f;
@@ -39,12 +31,7 @@ float CosineSimilarityF(const float* a, const float* b, int64_t n) {
 }
 
 float SquaredDistanceF(const float* a, const float* b, int64_t n) {
-  float acc = 0.0f;
-  for (int64_t i = 0; i < n; ++i) {
-    float d = a[i] - b[i];
-    acc += d * d;
-  }
-  return acc;
+  return ActiveKernels().squared_distance_f(a, b, n);
 }
 
 void NormalizeF(float* a, int64_t n) {

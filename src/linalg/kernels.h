@@ -7,6 +7,10 @@
 ///
 /// These are the inner loops of affinity computation (Eq. 3 of the paper:
 /// cosine similarity between prototype vectors), kept allocation-free.
+/// They dispatch to the per-ISA kernel tables (tensor/isa.h) and are
+/// bit-identical at every tier: fixed-16-lane std::fma accumulation with
+/// a fixed tree reduction, so the host's vector width never changes the
+/// result.
 
 namespace goggles {
 

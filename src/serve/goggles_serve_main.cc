@@ -77,6 +77,7 @@
 #include "serve/registry.h"
 #include "serve/service.h"
 #include "serve/session.h"
+#include "tensor/isa.h"
 #include "util/env.h"
 #include "util/timer.h"
 
@@ -364,7 +365,8 @@ int main(int argc, char** argv) {
       "\"pipeline_batch_wait_us\":%lld,"
       "\"pipeline_admission\":%d,\"pipeline_reject\":%s,\"coalesce\":%s,"
       "\"coalesce_batch\":%d,\"coalesce_window_us\":%lld,"
-      "\"task_budget_bytes\":%llu,\"startup_seconds\":%.2f}\n",
+      "\"task_budget_bytes\":%llu,\"isa\":\"%s\","
+      "\"startup_seconds\":%.2f}\n",
       artifact_path.c_str(), artifact_dir.c_str(), config.num_workers,
       config.pipeline.enabled ? "true" : "false",
       config.pipeline.decode_threads, config.pipeline.extract_threads,
@@ -376,6 +378,7 @@ int main(int argc, char** argv) {
       config.coalesce.enabled ? "true" : "false", config.coalesce.max_batch,
       static_cast<long long>(config.coalesce.window_micros),
       static_cast<unsigned long long>(registry_config.memory_budget_bytes),
+      goggles::IsaTierName(goggles::ActiveIsaTier()),
       timer.ElapsedSeconds());
 
   goggles::Status status = Status::OK();

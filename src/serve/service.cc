@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "tensor/isa.h"
 #include "util/env.h"
 #include "util/parallel.h"
 #include "util/pipeline.h"
@@ -262,6 +263,10 @@ JsonValue Service::HandleRequest(const JsonValue& request) const {
     response.Set("requests_served",
                  JsonValue(static_cast<double>(requests_served_.load())));
     response.Set("errors", JsonValue(static_cast<double>(errors_.load())));
+    // Which kernel tier this process dispatched to (runtime cpuid probe /
+    // GOGGLES_ISA) — lets a fleet operator confirm a portable binary is
+    // actually running its fast path on this host.
+    response.Set("isa", JsonValue(std::string(IsaTierName(ActiveIsaTier()))));
     if (registry_ != nullptr) {
       const RegistryStats stats = registry_->stats();
       JsonValue registry = JsonValue::MakeObject();

@@ -2,317 +2,23 @@
 
 #include <algorithm>
 #include <cmath>
-#include <vector>
 
-#include "util/parallel.h"
+#include "tensor/kernel_table.h"
+
+// The kernel implementation lives in kernels_impl.inc, compiled once per
+// ISA tier (kernels_<tier>.cc) with tier-specific -m flags; this TU only
+// dispatches through the table selected at startup (see isa.h). Every
+// tier is bit-identical for f32 and f64 — explicit std::fma in the fixed
+// chunked order — so the dispatch is invisible in the output bits.
 
 namespace goggles {
-namespace {
-
-// Micro-kernel register tile, sized so the MR x NR accumulator block fits
-// the vector register file of the target ISA with room for the A
-// broadcasts and B loads (8 x 16 floats would spill to the stack on
-// 16-register AVX2/SSE, costing ~3x). Doubles pack half as many lanes per
-// register, so their NR is half the float NR at every ISA level.
-template <typename T>
-struct Tile;
-
-#if defined(__AVX512F__)
-template <>
-struct Tile<float> {  // 8 zmm accumulators of 16 floats
-  static constexpr int64_t kMR = 8, kNR = 16;
-};
-template <>
-struct Tile<double> {  // 8 zmm accumulators of 8 doubles
-  static constexpr int64_t kMR = 8, kNR = 8;
-};
-#elif defined(__AVX__)
-template <>
-struct Tile<float> {  // 8 ymm accumulators of 8 floats
-  static constexpr int64_t kMR = 4, kNR = 16;
-};
-template <>
-struct Tile<double> {  // 8 ymm accumulators of 4 doubles
-  static constexpr int64_t kMR = 4, kNR = 8;
-};
-#else
-template <>
-struct Tile<float> {  // 8 xmm accumulators of 4 floats
-  static constexpr int64_t kMR = 4, kNR = 8;
-};
-template <>
-struct Tile<double> {  // 8 xmm accumulators of 2 doubles
-  static constexpr int64_t kMR = 4, kNR = 4;
-};
-#endif
-
-// Cache blocking: a KC x NR B micro-panel stays in L1 across one macro
-// column sweep, the MC x KC packed A block stays in L2, and the KC x NC
-// packed B block stays in L3. KC doubles as the accumulation-chunk size
-// of the numerical contract (gemm.h), so it is pinned to kGemmKChunk.
-constexpr int64_t kKC = kGemmKChunk;
-constexpr int64_t kMC = 64;
-constexpr int64_t kNC = 1024;
-
-inline int64_t CeilDiv(int64_t a, int64_t b) { return (a + b - 1) / b; }
-
-// Accumulation policy (see gemm.h). float: plain multiply-add — the
-// compiler contracts it to FMA where the host ISA has one, preserving the
-// historical per-build SGemm semantics. double: explicit std::fma, whose
-// correctly-rounded result is identical whether it lowers to the hardware
-// instruction or the library fallback, making DGemm reproducible by any
-// scalar std::fma loop independent of compile flags.
-inline float MulAdd(float acc, float a, float b) { return acc + a * b; }
-inline double MulAdd(double acc, double a, double b) {
-  return std::fma(a, b, acc);
-}
-
-/// Packs op(A)[ic:ic+mc, pc:pc+kc] into column-major MR-row micro-panels:
-/// panel p holds rows [p*MR, p*MR+MR), laid out k-major (ap[k*MR + i]).
-/// Rows past `mc` are zero-padded so the micro-kernel never reads garbage;
-/// alpha is folded in here, once per element.
-template <typename T>
-void PackA(bool transpose_a, const T* a, int64_t lda, int64_t ic, int64_t pc,
-           int64_t mc, int64_t kc, T alpha, T* ap) {
-  constexpr int64_t kMR = Tile<T>::kMR;
-  const int64_t panels = CeilDiv(mc, kMR);
-  for (int64_t p = 0; p < panels; ++p) {
-    const int64_t i0 = p * kMR;
-    const int64_t rows = std::min(kMR, mc - i0);
-    T* dst = ap + p * kMR * kc;
-    for (int64_t k = 0; k < kc; ++k) {
-      for (int64_t i = 0; i < rows; ++i) {
-        const int64_t row = ic + i0 + i, col = pc + k;
-        const T v = transpose_a ? a[col * lda + row] : a[row * lda + col];
-        dst[k * kMR + i] = alpha * v;
-      }
-      for (int64_t i = rows; i < kMR; ++i) dst[k * kMR + i] = T{0};
-    }
-  }
-}
-
-/// Packs op(B)[pc:pc+kc, jc:jc+nc] into NR-column micro-panels laid out
-/// k-major (bp[k*NR + j]), zero-padding columns past `nc`.
-template <typename T>
-void PackB(bool transpose_b, const T* b, int64_t ldb, int64_t pc, int64_t jc,
-           int64_t kc, int64_t nc, T* bp) {
-  constexpr int64_t kNR = Tile<T>::kNR;
-  const int64_t panels = CeilDiv(nc, kNR);
-  for (int64_t p = 0; p < panels; ++p) {
-    const int64_t j0 = p * kNR;
-    const int64_t cols = std::min(kNR, nc - j0);
-    T* dst = bp + p * kNR * kc;
-    if (!transpose_b && cols == kNR) {
-      // Fast path: contiguous row segments of B.
-      for (int64_t k = 0; k < kc; ++k) {
-        const T* src = b + (pc + k) * ldb + jc + j0;
-        for (int64_t j = 0; j < kNR; ++j) dst[k * kNR + j] = src[j];
-      }
-      continue;
-    }
-    for (int64_t k = 0; k < kc; ++k) {
-      for (int64_t j = 0; j < cols; ++j) {
-        const int64_t row = pc + k, col = jc + j0 + j;
-        dst[k * kNR + j] =
-            transpose_b ? b[col * ldb + row] : b[row * ldb + col];
-      }
-      for (int64_t j = cols; j < kNR; ++j) dst[k * kNR + j] = T{0};
-    }
-  }
-}
-
-/// MR x NR register micro-kernel over packed panels: computes the full
-/// tile Ap * Bp in local accumulators (kept in vector registers — they
-/// are local to this frame, so no aliasing analysis can force them to
-/// memory), then adds the valid rows/cols into C. The k loop is strictly
-/// ascending with one (fused) multiply-add per (i, j, k), which fixes the
-/// accumulation order for every C element independent of tile position,
-/// problem shape and thread count.
-template <typename T>
-void MicroKernel(int64_t kc, const T* __restrict ap, const T* __restrict bp,
-                 T* __restrict c, int64_t ldc, int64_t rows, int64_t cols) {
-  constexpr int64_t kMR = Tile<T>::kMR;
-  constexpr int64_t kNR = Tile<T>::kNR;
-  T acc[kMR][kNR] = {};
-  for (int64_t k = 0; k < kc; ++k) {
-    const T* __restrict brow = bp + k * kNR;
-    const T* __restrict acol = ap + k * kMR;
-    // Fully unroll the row loop so every acc row lives in one or two
-    // vector registers across the whole k loop (without the pragma GCC
-    // leaves the i-indexed accumulators in memory).
-#pragma GCC unroll 8
-    for (int64_t i = 0; i < kMR; ++i) {
-      const T av = acol[i];
-#pragma omp simd
-      for (int64_t j = 0; j < kNR; ++j) {
-        acc[i][j] = MulAdd(acc[i][j], av, brow[j]);
-      }
-    }
-  }
-  if (rows == kMR && cols == kNR) {
-    for (int64_t i = 0; i < kMR; ++i) {
-      T* __restrict crow = c + i * ldc;
-      for (int64_t j = 0; j < kNR; ++j) crow[j] += acc[i][j];
-    }
-    return;
-  }
-  for (int64_t i = 0; i < rows; ++i) {
-    T* crow = c + i * ldc;
-    for (int64_t j = 0; j < cols; ++j) crow[j] += acc[i][j];
-  }
-}
-
-/// Narrow-B variant of the micro-kernel for tiles with few valid columns
-/// (skinny GEMMs: the EM E-steps have n = K components, often just 2, so
-/// the standard kernel would burn (NR - K)/NR of its lanes on padding).
-/// The accumulator is transposed — one MR-lane vector register per valid
-/// column, vectorized over the *rows* of the packed A panel — but each
-/// (i, j) element still receives exactly one (fused) multiply-add per k in
-/// strictly ascending order, so the result is bit-identical to the wide
-/// kernel's.
-template <typename T>
-void MicroKernelNarrow(int64_t kc, const T* __restrict ap,
-                       const T* __restrict bp, T* __restrict c, int64_t ldc,
-                       int64_t rows, int64_t cols) {
-  constexpr int64_t kMR = Tile<T>::kMR;
-  constexpr int64_t kNR = Tile<T>::kNR;
-  T acc[kNR][kMR] = {};
-  for (int64_t k = 0; k < kc; ++k) {
-    const T* __restrict acol = ap + k * kMR;
-    const T* __restrict brow = bp + k * kNR;
-    for (int64_t j = 0; j < cols; ++j) {
-      const T bv = brow[j];
-#pragma omp simd
-      for (int64_t i = 0; i < kMR; ++i) {
-        acc[j][i] = MulAdd(acc[j][i], acol[i], bv);
-      }
-    }
-  }
-  for (int64_t i = 0; i < rows; ++i) {
-    T* crow = c + i * ldc;
-    for (int64_t j = 0; j < cols; ++j) crow[j] += acc[j][i];
-  }
-}
-
-/// Runs one row tile's packed A micro-panels (`ap_tile`) against the
-/// packed B block. `c_tile` points at C(ic, jc).
-template <typename T>
-void RunTilePanels(const T* ap_tile, const T* bp, int64_t mc, int64_t kc,
-                   int64_t nc, T* c_tile, int64_t ldc) {
-  constexpr int64_t kMR = Tile<T>::kMR;
-  constexpr int64_t kNR = Tile<T>::kNR;
-  const int64_t mr_panels = CeilDiv(mc, kMR);
-  const int64_t nr_panels = CeilDiv(nc, kNR);
-  for (int64_t jp = 0; jp < nr_panels; ++jp) {
-    const int64_t j0 = jp * kNR;
-    const int64_t cols = std::min(kNR, nc - j0);
-    const T* bpanel = bp + jp * kNR * kc;
-    // Tiles with at most half the register columns occupied go through
-    // the row-vectorized narrow kernel (bit-identical; see above).
-    const bool narrow = cols <= kNR / 2;
-    for (int64_t ip = 0; ip < mr_panels; ++ip) {
-      const int64_t i0 = ip * kMR;
-      const int64_t rows = std::min(kMR, mc - i0);
-      if (narrow) {
-        MicroKernelNarrow(kc, ap_tile + ip * kMR * kc, bpanel,
-                          c_tile + i0 * ldc + j0, ldc, rows, cols);
-      } else {
-        MicroKernel(kc, ap_tile + ip * kMR * kc, bpanel,
-                    c_tile + i0 * ldc + j0, ldc, rows, cols);
-      }
-    }
-  }
-}
-
-/// Runs every micro-tile of rows [ir_begin, ir_end) x the packed B block.
-/// Each worker packs its own A micro-panels into `ap` (thread-local to the
-/// chunk), so the whole body is lock-free.
-template <typename T>
-void RunRowTiles(bool transpose_a, const T* a, int64_t lda, T alpha,
-                 const T* bp, int64_t ic_base, int64_t m, int64_t pc,
-                 int64_t kc, int64_t jc, int64_t nc, T* c, int64_t ldc,
-                 int64_t ir_begin, int64_t ir_end) {
-  // Reusable per-thread packing scratch: the EM fit cores issue thousands
-  // of small DGemms per fit, and a fresh allocation per call showed up.
-  // Worker threads each get their own buffer, so the body stays lock-free.
-  thread_local std::vector<T> ap;
-  if (ap.size() < static_cast<size_t>(kMC * kc)) {
-    ap.resize(static_cast<size_t>(kMC * kc));
-  }
-  for (int64_t ir = ir_begin; ir < ir_end; ++ir) {
-    const int64_t ic = ic_base + ir * kMC;
-    const int64_t mc = std::min(kMC, m - ic);
-    PackA(transpose_a, a, lda, ic, pc, mc, kc, alpha, ap.data());
-    RunTilePanels(ap.data(), bp, mc, kc, nc, c + ic * ldc + jc, ldc);
-  }
-}
-
-/// Scales C by beta up front (so the block loops can always accumulate).
-/// beta == 0 overwrites without reading C, per BLAS.
-template <typename T>
-void ScaleC(T* c, int64_t ldc, int64_t m, int64_t n, T beta, int num_threads) {
-  if (beta == T{1}) return;
-  ParallelForChunked(
-      0, m,
-      [&](int64_t row_begin, int64_t row_end) {
-        for (int64_t i = row_begin; i < row_end; ++i) {
-          T* crow = c + i * ldc;
-          if (beta == T{0}) {
-            for (int64_t j = 0; j < n; ++j) crow[j] = T{0};
-          } else {
-            for (int64_t j = 0; j < n; ++j) crow[j] *= beta;
-          }
-        }
-      },
-      num_threads);
-}
-
-/// Shared blocked driver behind SGemmWithThreads / DGemmWithThreads.
-template <typename T>
-void GemmWithThreadsImpl(bool transpose_a, bool transpose_b, int64_t m,
-                         int64_t n, int64_t k, T alpha, const T* a,
-                         int64_t lda, const T* b, int64_t ldb, T beta, T* c,
-                         int64_t ldc, int num_threads) {
-  constexpr int64_t kNR = Tile<T>::kNR;
-  if (m <= 0 || n <= 0) return;
-  // Only parallelize when there is enough work to amortize thread startup.
-  if (m * n * k <= (1 << 16)) num_threads = 1;
-  ScaleC(c, ldc, m, n, beta, num_threads);
-  if (alpha == T{0} || k <= 0) return;  // BLAS: A and B are not referenced.
-
-  thread_local std::vector<T> bp;  // reusable B-panel scratch (see ap)
-  for (int64_t jc = 0; jc < n; jc += kNC) {
-    const int64_t nc = std::min(kNC, n - jc);
-    const int64_t nc_padded = CeilDiv(nc, kNR) * kNR;
-    for (int64_t pc = 0; pc < k; pc += kKC) {
-      const int64_t kc = std::min(kKC, k - pc);
-      if (bp.size() < static_cast<size_t>(nc_padded * kc)) {
-        bp.resize(static_cast<size_t>(nc_padded * kc));
-      }
-      PackB(transpose_b, b, ldb, pc, jc, kc, nc, bp.data());
-      // Captured as a pointer: `bp` is thread_local, and naming it inside
-      // the worker lambda would resolve to the worker's own (empty) copy.
-      const T* bp_data = bp.data();
-      const int64_t row_tiles = CeilDiv(m, kMC);
-      ParallelForChunked(
-          0, row_tiles,
-          [&](int64_t ir_begin, int64_t ir_end) {
-            RunRowTiles(transpose_a, a, lda, alpha, bp_data, /*ic_base=*/0,
-                        m, pc, kc, jc, nc, c, ldc, ir_begin, ir_end);
-          },
-          num_threads);
-    }
-  }
-}
-
-}  // namespace
 
 void SGemmWithThreads(bool transpose_a, bool transpose_b, int64_t m, int64_t n,
                       int64_t k, float alpha, const float* a, int64_t lda,
                       const float* b, int64_t ldb, float beta, float* c,
                       int64_t ldc, int num_threads) {
-  GemmWithThreadsImpl(transpose_a, transpose_b, m, n, k, alpha, a, lda, b,
-                      ldb, beta, c, ldc, num_threads);
+  ActiveKernels().sgemm(transpose_a, transpose_b, m, n, k, alpha, a, lda, b,
+                        ldb, beta, c, ldc, num_threads);
 }
 
 void SGemm(bool transpose_a, bool transpose_b, int64_t m, int64_t n, int64_t k,
@@ -326,8 +32,8 @@ void DGemmWithThreads(bool transpose_a, bool transpose_b, int64_t m, int64_t n,
                       int64_t k, double alpha, const double* a, int64_t lda,
                       const double* b, int64_t ldb, double beta, double* c,
                       int64_t ldc, int num_threads) {
-  GemmWithThreadsImpl(transpose_a, transpose_b, m, n, k, alpha, a, lda, b,
-                      ldb, beta, c, ldc, num_threads);
+  ActiveKernels().dgemm(transpose_a, transpose_b, m, n, k, alpha, a, lda, b,
+                        ldb, beta, c, ldc, num_threads);
 }
 
 void DGemm(bool transpose_a, bool transpose_b, int64_t m, int64_t n, int64_t k,
@@ -339,81 +45,34 @@ void DGemm(bool transpose_a, bool transpose_b, int64_t m, int64_t n, int64_t k,
 
 DGemmPackedA DGemmPackOperandA(bool transpose_a, int64_t m, int64_t k,
                                const double* a, int64_t lda) {
-  constexpr int64_t kMR = Tile<double>::kMR;
   DGemmPackedA packed;
-  packed.m = m;
-  packed.k = k;
-  if (m <= 0 || k <= 0) return packed;
-  // Per k-block: every kMC row tile's micro-panels, rows padded to kMR
-  // within each tile. All tiles except the last span exactly kMC packed
-  // rows, so a tile's panels start at block_base + tile_index * kMC * kc.
-  const int64_t row_tiles = CeilDiv(m, kMC);
-  const int64_t last_mc = m - (row_tiles - 1) * kMC;
-  const int64_t rows_padded =
-      (row_tiles - 1) * kMC + CeilDiv(last_mc, kMR) * kMR;
-  packed.data.resize(static_cast<size_t>(rows_padded * k));
-  int64_t base = 0;
-  for (int64_t pc = 0; pc < k; pc += kKC) {
-    const int64_t kc = std::min(kKC, k - pc);
-    packed.block_base.push_back(base);
-    for (int64_t ir = 0; ir < row_tiles; ++ir) {
-      const int64_t ic = ir * kMC;
-      const int64_t mc = std::min(kMC, m - ic);
-      PackA(transpose_a, a, lda, ic, pc, mc, kc, /*alpha=*/1.0,
-            packed.data.data() + base + ir * kMC * kc);
-    }
-    base += rows_padded * kc;
-  }
+  ActiveKernels().dgemm_pack_a(transpose_a, m, k, a, lda, &packed);
   return packed;
 }
 
 void DGemmWithPackedA(const DGemmPackedA& packed_a, bool transpose_b,
                       int64_t n, const double* b, int64_t ldb, double beta,
                       double* c, int64_t ldc, int num_threads) {
-  constexpr int64_t kNR = Tile<double>::kNR;
-  const int64_t m = packed_a.m, k = packed_a.k;
-  if (m <= 0 || n <= 0) return;
-  // Only parallelize when there is enough work to amortize thread startup.
-  if (m * n * k <= (1 << 16)) num_threads = 1;
-  ScaleC(c, ldc, m, n, beta, num_threads);
-  if (k <= 0) return;
-
-  thread_local std::vector<double> bp;  // reusable B-panel scratch
-  for (int64_t jc = 0; jc < n; jc += kNC) {
-    const int64_t nc = std::min(kNC, n - jc);
-    const int64_t nc_padded = CeilDiv(nc, kNR) * kNR;
-    for (int64_t pc = 0; pc < k; pc += kKC) {
-      const int64_t kc = std::min(kKC, k - pc);
-      if (bp.size() < static_cast<size_t>(nc_padded * kc)) {
-        bp.resize(static_cast<size_t>(nc_padded * kc));
-      }
-      PackB(transpose_b, b, ldb, pc, jc, kc, nc, bp.data());
-      // Captured as a pointer: `bp` is thread_local, and naming it inside
-      // the worker lambda would resolve to the worker's own (empty) copy.
-      const double* bp_data = bp.data();
-      const int64_t base =
-          packed_a.block_base[static_cast<size_t>(pc / kKC)];
-      const double* ablock = packed_a.data.data() + base;
-      const int64_t row_tiles = CeilDiv(m, kMC);
-      ParallelForChunked(
-          0, row_tiles,
-          [&](int64_t ir_begin, int64_t ir_end) {
-            for (int64_t ir = ir_begin; ir < ir_end; ++ir) {
-              const int64_t ic = ir * kMC;
-              const int64_t mc = std::min(kMC, m - ic);
-              RunTilePanels(ablock + ir * kMC * kc, bp_data, mc, kc, nc,
-                            c + ic * ldc + jc, ldc);
-            }
-          },
-          num_threads);
-    }
-  }
+  // The micro-panel layout is tier-specific, so a packed operand must be
+  // consumed by the tier that packed it — which also makes the call
+  // robust against a tier switch (tests force tiers mid-process) between
+  // packing and multiplying.
+  const TensorKernels* table =
+      packed_a.isa_tier >= 0
+          ? KernelsForTier(static_cast<IsaTier>(packed_a.isa_tier))
+          : nullptr;
+  if (table == nullptr) table = &ActiveKernels();
+  table->dgemm_with_packed_a(packed_a, transpose_b, n, b, ldb, beta, c, ldc,
+                             num_threads);
 }
 
 void DGemmReference(bool transpose_a, bool transpose_b, int64_t m, int64_t n,
                     int64_t k, double alpha, const double* a, int64_t lda,
                     const double* b, int64_t ldb, double beta, double* c,
                     int64_t ldc) {
+  // Deliberately NOT dispatched: this is the retained scalar reference,
+  // compiled as baseline code in this TU. Its std::fma accumulation in
+  // the same chunked order is what every tier must (and does) reproduce.
   if (m <= 0 || n <= 0) return;
   for (int64_t i = 0; i < m; ++i) {
     for (int64_t j = 0; j < n; ++j) {
@@ -429,7 +88,37 @@ void DGemmReference(bool transpose_a, bool transpose_b, int64_t m, int64_t n,
             const double av =
                 alpha * (transpose_a ? a[p * lda + i] : a[i * lda + p]);
             const double bv = transpose_b ? b[j * ldb + p] : b[p * ldb + j];
-            local = MulAdd(local, av, bv);
+            local = std::fma(av, bv, local);
+          }
+          total += local;
+        }
+      }
+      c[i * ldc + j] = total;
+    }
+  }
+}
+
+void SGemmReference(bool transpose_a, bool transpose_b, int64_t m, int64_t n,
+                    int64_t k, float alpha, const float* a, int64_t lda,
+                    const float* b, int64_t ldb, float beta, float* c,
+                    int64_t ldc) {
+  // Single-precision twin of DGemmReference, added with the ISA dispatch:
+  // now that SGemm accumulates through explicit std::fma too, a scalar
+  // fma loop in the same chunked order reproduces it bit for bit — this
+  // is the reference the forced-tier tests compare every tier against.
+  if (m <= 0 || n <= 0) return;
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      float total = beta == 0.0f ? 0.0f : c[i * ldc + j] * beta;
+      if (alpha != 0.0f) {  // BLAS: alpha == 0 must not reference A or B.
+        for (int64_t pc = 0; pc < k; pc += kGemmKChunk) {
+          const int64_t pc_end = std::min(pc + kGemmKChunk, k);
+          float local = 0.0f;
+          for (int64_t p = pc; p < pc_end; ++p) {
+            const float av =
+                alpha * (transpose_a ? a[p * lda + i] : a[i * lda + p]);
+            const float bv = transpose_b ? b[j * ldb + p] : b[p * ldb + j];
+            local = std::fma(av, bv, local);
           }
           total += local;
         }

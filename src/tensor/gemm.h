@@ -28,17 +28,16 @@
 /// is computed inside a large or a small GEMM. The serving path relies on
 /// this to reproduce fit-time affinity scores exactly.
 ///
-/// Per-precision rounding policy:
-///  - float (SGemm): plain multiply-add, which the compiler contracts to
-///    FMA where the target ISA has it. The guarantee is therefore per
-///    build + host ISA: results are not bit-portable across machines with
-///    different vector ISAs (see GOGGLES_NATIVE_ARCH).
-///  - double (DGemm): every accumulation is an explicit std::fma, which is
-///    correctly rounded whether it lowers to the hardware instruction or
-///    the library fallback. DGemm results are therefore reproducible by
-///    *any* scalar loop that applies std::fma in the same chunked order,
-///    regardless of that loop's compile flags — the contract the EM fit
-///    cores' retained scalar reference (DGemmReference) is built on.
+/// Rounding policy (both precisions): every accumulation is an explicit
+/// std::fma, which is correctly rounded whether it lowers to the hardware
+/// instruction or the library fallback. Results are therefore bit-portable
+/// across machines, compile flags and runtime ISA tiers: the kernels are
+/// compiled once per ISA tier (scalar/SSE2/AVX2/AVX-512/NEON translation
+/// units, see isa.h) and dispatched at startup, and every tier reproduces
+/// the same bits as a scalar loop applying std::fma in the same chunked
+/// order — the contract the retained scalar references (SGemmReference,
+/// DGemmReference) are built on, and what lets one portable binary and
+/// one artifact serve a fleet of heterogeneous hosts.
 
 namespace goggles {
 
@@ -72,11 +71,10 @@ void SGemmWithThreads(bool transpose_a, bool transpose_b, int64_t m, int64_t n,
 
 /// \brief C = alpha * op(A) * op(B) + beta * C (double precision).
 ///
-/// Same packing/blocking machinery and BLAS semantics as SGemm, but every
-/// accumulation is an explicit std::fma (see the file comment), so results
-/// are bit-identical at any thread count AND bit-reproducible by the
-/// serial DGemmReference below. Used by the EM fit cores, whose state must
-/// stay double for likelihood stability.
+/// Same packing/blocking machinery, BLAS semantics and std::fma policy as
+/// SGemm, so results are bit-identical at any thread count AND
+/// bit-reproducible by the serial DGemmReference below. Used by the EM
+/// fit cores, whose state must stay double for likelihood stability.
 void DGemm(bool transpose_a, bool transpose_b, int64_t m, int64_t n, int64_t k,
            double alpha, const double* a, int64_t lda, const double* b,
            int64_t ldb, double beta, double* c, int64_t ldc);
@@ -100,6 +98,10 @@ struct DGemmPackedA {
   std::vector<int64_t> block_base;  ///< offset of each k-block in `data`
   int64_t m = 0;                    ///< rows of op(A)
   int64_t k = 0;                    ///< depth (columns) of op(A)
+  /// ISA tier (isa.h IsaTier value) whose micro-panel geometry `data`
+  /// uses; DGemmWithPackedA dispatches to this tier, so a packed operand
+  /// survives a mid-process tier switch. -1 = unpacked.
+  int isa_tier = -1;
 };
 
 /// \brief Packs op(A) (m x k after the optional transpose) into the
@@ -125,6 +127,15 @@ void DGemmWithPackedA(const DGemmPackedA& packed_a, bool transpose_b,
 void DGemmReference(bool transpose_a, bool transpose_b, int64_t m, int64_t n,
                     int64_t k, double alpha, const double* a, int64_t lda,
                     const double* b, int64_t ldb, double beta, double* c,
+                    int64_t ldc);
+
+/// \brief Single-precision twin of DGemmReference: a serial scalar
+/// std::fma loop with SGemm's exact accumulation semantics, bit-identical
+/// to SGemm at every ISA tier by contract (the forced-tier dispatch tests
+/// enforce the equality).
+void SGemmReference(bool transpose_a, bool transpose_b, int64_t m, int64_t n,
+                    int64_t k, float alpha, const float* a, int64_t lda,
+                    const float* b, int64_t ldb, float beta, float* c,
                     int64_t ldc);
 
 }  // namespace goggles

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/gemm.h"
+#include "tensor/isa.h"
+
+/// \file kernel_table.h
+/// \brief Internal per-ISA kernel dispatch table (see isa.h).
+///
+/// Each ISA tier's translation unit (kernels_<tier>.cc, all compiled
+/// from kernels_impl.inc with tier-specific -m flags) exports one
+/// GetKernels() returning its filled table. The public entry points in
+/// gemm.cc / linalg/kernels.cc / ops.cc dispatch through
+/// ActiveKernels(). Not part of the public API — the stable surface is
+/// gemm.h / ops.h / linalg/kernels.h.
+
+namespace goggles {
+
+/// \brief Function-pointer table of one ISA tier's kernels. All f32/f64
+/// entries are bit-identical across tiers (fixed-order std::fma
+/// accumulation); the int8 entry accumulates exactly in int32, so it is
+/// trivially identical across tiers too.
+struct TensorKernels {
+  void (*sgemm)(bool transpose_a, bool transpose_b, int64_t m, int64_t n,
+                int64_t k, float alpha, const float* a, int64_t lda,
+                const float* b, int64_t ldb, float beta, float* c,
+                int64_t ldc, int num_threads);
+  void (*dgemm)(bool transpose_a, bool transpose_b, int64_t m, int64_t n,
+                int64_t k, double alpha, const double* a, int64_t lda,
+                const double* b, int64_t ldb, double beta, double* c,
+                int64_t ldc, int num_threads);
+  void (*dgemm_pack_a)(bool transpose_a, int64_t m, int64_t k,
+                       const double* a, int64_t lda, DGemmPackedA* out);
+  void (*dgemm_with_packed_a)(const DGemmPackedA& packed_a, bool transpose_b,
+                              int64_t n, const double* b, int64_t ldb,
+                              double beta, double* c, int64_t ldc,
+                              int num_threads);
+  /// C[m,n] (int32, row-major, fully overwritten) = A[m,k] * B[k,n],
+  /// both int8 row-major. Exact integer accumulation; |a|,|b| <= 127 and
+  /// k <= 2^17 stay far from int32 overflow.
+  void (*s8gemm_s32)(int64_t m, int64_t n, int64_t k, const int8_t* a,
+                     int64_t lda, const int8_t* b, int64_t ldb, int32_t* c,
+                     int64_t ldc);
+  float (*dot_f)(const float* a, const float* b, int64_t n);
+  float (*squared_distance_f)(const float* a, const float* b, int64_t n);
+  /// One fused pass computing dot(a,b), |a|^2 and |b|^2.
+  void (*cosine_terms_f)(const float* a, const float* b, int64_t n,
+                         float* dot, float* na2, float* nb2);
+};
+
+/// \brief Table of the active tier (resolving it on first use).
+const TensorKernels& ActiveKernels();
+
+/// \brief Table of a specific compiled-in tier; nullptr when the binary
+/// does not carry it.
+const TensorKernels* KernelsForTier(IsaTier tier);
+
+namespace isa_impl {
+namespace scalar {
+const TensorKernels& GetKernels();
+}
+#if defined(GOGGLES_ISA_HAVE_SSE2)
+namespace sse2 {
+const TensorKernels& GetKernels();
+}
+#endif
+#if defined(GOGGLES_ISA_HAVE_AVX2)
+namespace avx2 {
+const TensorKernels& GetKernels();
+}
+#endif
+#if defined(GOGGLES_ISA_HAVE_AVX512)
+namespace avx512 {
+const TensorKernels& GetKernels();
+}
+#endif
+#if defined(GOGGLES_ISA_HAVE_NEON)
+namespace neon {
+const TensorKernels& GetKernels();
+}
+#endif
+}  // namespace isa_impl
+
+}  // namespace goggles

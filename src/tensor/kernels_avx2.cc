@@ -1,0 +1,5 @@
+// AVX2+FMA tier (256-bit vectors, hardware vfmadd). Compiled with
+// -mavx2 -mfma (see src/tensor/CMakeLists.txt).
+#define GOGGLES_ISA_NS avx2
+#define GOGGLES_ISA_TIER ::goggles::IsaTier::kAvx2
+#include "tensor/kernels_impl.inc"

@@ -1,0 +1,6 @@
+// AVX-512 tier (512-bit vectors, hardware vfmadd, 32 zmm registers).
+// Compiled with -mavx512f/bw/dq/vl -mfma -mprefer-vector-width=512 (see
+// src/tensor/CMakeLists.txt).
+#define GOGGLES_ISA_NS avx512
+#define GOGGLES_ISA_TIER ::goggles::IsaTier::kAvx512
+#include "tensor/kernels_impl.inc"

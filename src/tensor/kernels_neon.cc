@@ -1,0 +1,7 @@
+// NEON tier: the aarch64 128-bit baseline (vfma is part of the base ISA,
+// so std::fma lowers to the hardware instruction). Only compiled on
+// aarch64 builds (see src/tensor/CMakeLists.txt); kept as a named tier so
+// GOGGLES_ISA=neon and the bench ISA tags read the same everywhere.
+#define GOGGLES_ISA_NS neon
+#define GOGGLES_ISA_TIER ::goggles::IsaTier::kNeon
+#include "tensor/kernels_impl.inc"

@@ -1,0 +1,6 @@
+// Scalar baseline tier: compiled with no extra -m flags, so it runs on
+// every CPU of the target architecture. Always linked in; the dispatch
+// fallback and the bit-identity reference for every other tier.
+#define GOGGLES_ISA_NS scalar
+#define GOGGLES_ISA_TIER ::goggles::IsaTier::kScalar
+#include "tensor/kernels_impl.inc"

@@ -1,0 +1,6 @@
+// SSE2 tier (x86 128-bit baseline vectors; no FMA, so std::fma lowers to
+// the correctly-rounded libm fallback — same bits, less speed). Compiled
+// with -msse2 (see src/tensor/CMakeLists.txt).
+#define GOGGLES_ISA_NS sse2
+#define GOGGLES_ISA_TIER ::goggles::IsaTier::kSse2
+#include "tensor/kernels_impl.inc"
