@@ -130,7 +130,20 @@ struct RowResult {
   double img_per_s = 0.0;
   double p50_ms = 0.0;
   double p99_ms = 0.0;
+  double error_rate = 0.0;
 };
+
+/// \brief Fraction of NDJSON response lines carrying `"ok":false`.
+double ErrorRate(const std::string& responses, int requests) {
+  if (requests <= 0) return 0.0;
+  int errors = 0;
+  size_t pos = 0;
+  while ((pos = responses.find("\"ok\":false", pos)) != std::string::npos) {
+    ++errors;
+    ++pos;
+  }
+  return static_cast<double>(errors) / static_cast<double>(requests);
+}
 
 RowResult ReplayStream(const std::shared_ptr<const serve::Session>& session,
                        const serve::ServiceConfig& config,
@@ -165,6 +178,7 @@ RowResult ReplayStream(const std::shared_ptr<const serve::Session>& session,
   row.img_per_s = static_cast<double>(requests) / std::max(row.seconds, 1e-9);
   row.p50_ms = Percentile(latency_ms, 0.50);
   row.p99_ms = Percentile(latency_ms, 0.99);
+  row.error_rate = ErrorRate(sink.str(), requests);
   return row;
 }
 
@@ -292,6 +306,48 @@ void RunExperiment() {
   RecordBenchMetric("pipeline_speedup", speedup);
   RecordBenchMetric("pipeline_speedup_unique", speedup_unique);
 
+  // fault_recovery: the same unique stream with ~1% of requests replaced
+  // by protocol-level faults (a pixels array of the wrong length). Each
+  // bad line still produces exactly one `"ok":false` response carrying a
+  // stable error_code, so the replay accounting is unchanged; the row
+  // measures how much tail latency the error path costs the healthy
+  // requests sharing the flowgraph.
+  int faults = 0;
+  std::string faulty_stream;
+  {
+    const std::string bad_image =
+        R"({"channels":3,"height":2,"width":2,"pixels":[0.25]})";
+    size_t line_start = 0;
+    int i = 0;
+    while (line_start < unique_stream.size()) {
+      size_t line_end = unique_stream.find('\n', line_start);
+      if (line_end == std::string::npos) line_end = unique_stream.size() - 1;
+      if (i % 97 == 0) {
+        faulty_stream +=
+            R"({"op":"label","image":)" + bad_image + "}\n";
+        ++faults;
+      } else {
+        faulty_stream +=
+            unique_stream.substr(line_start, line_end - line_start + 1);
+      }
+      line_start = line_end + 1;
+      ++i;
+    }
+  }
+  ReplayStream(session, pipe8, faulty_stream, requests);  // warm-up
+  const RowResult fault_row =
+      ReplayStream(session, pipe8, faulty_stream, requests);
+  table.AddRow({"unique+faults", "pipelined, batch 8",
+                StrFormat("%.3f", fault_row.seconds),
+                StrFormat("%.1f", fault_row.img_per_s),
+                StrFormat("%.2f", fault_row.p50_ms),
+                StrFormat("%.2f", fault_row.p99_ms)});
+  RecordBenchMetric("fault_recovery_img_per_s", fault_row.img_per_s);
+  RecordBenchMetric("fault_recovery_p50_ms", fault_row.p50_ms);
+  RecordBenchMetric("fault_recovery_p99_ms", fault_row.p99_ms);
+  RecordBenchMetric("fault_recovery_error_rate", fault_row.error_rate);
+  RecordBenchMetric("fault_recovery_faults_injected", faults);
+
   table.Print();
   std::printf(
       "pipeline_speedup (hot stream, pipelined batch 8 vs monolithic "
@@ -301,6 +357,11 @@ void RunExperiment() {
       "and fuses queued extractions into one deduped, batched GEMM;\n"
       "responses remain bit-identical to the serial path in every row.\n",
       speedup, speedup_unique);
+  std::printf(
+      "fault_recovery (unique stream, %d/%d requests malformed): "
+      "%.1f img/s, p99 %.2f ms, error rate %.3f\n",
+      faults, requests, fault_row.img_per_s, fault_row.p99_ms,
+      fault_row.error_rate);
 }
 
 void BM_PipelineSubmitDrain(benchmark::State& state) {

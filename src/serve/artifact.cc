@@ -1,8 +1,15 @@
 #include "serve/artifact.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cstdio>
 #include <fstream>
+#include <sstream>
 
 #include "util/binary_io.h"
+#include "util/failpoint.h"
 #include "util/string_util.h"
 
 namespace goggles::serve {
@@ -324,11 +331,10 @@ void WriteSection(std::ostream& out, uint32_t tag, const std::string& payload) {
   out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
 }
 
-}  // namespace
-
-Status SaveArtifactFile(
-    const std::string& path, int top_z, int num_layers,
-    uint64_t pool_fingerprint, const FittedHierarchicalModel& model,
+/// Serializes a full artifact into one byte string (header + sections).
+Result<std::string> BuildArtifactBytes(
+    int top_z, int num_layers, uint64_t pool_fingerprint,
+    const FittedHierarchicalModel& model,
     const std::vector<PrototypeAffinitySource::LayerData>& source_layers,
     const Matrix& pool_soft_labels,
     const std::vector<int>& pool_hard_labels) {
@@ -339,10 +345,7 @@ Status SaveArtifactFile(
     return Status::InvalidArgument(
         "Artifact::Save: source layer count disagrees with num_layers");
   }
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out.is_open()) {
-    return Status::IOError("Artifact::Save: cannot open " + path);
-  }
+  std::ostringstream out(std::ios::binary);
   out.write(kMagic, sizeof(kMagic));
   io::WritePod(out, Artifact::kFormatVersion);
   const uint32_t section_count = model.use_ensemble ? 5 : 4;
@@ -356,10 +359,100 @@ Status SaveArtifactFile(
   }
   WriteSection(out, kPoolLabelsSection,
                BuildPoolLabelsPayload(pool_soft_labels, pool_hard_labels));
+  return std::move(out).str();
+}
+
+/// Writes `bytes` to `path`. The partial-write failpoint clamps the byte
+/// count to simulate a torn write (crash / full disk mid-save).
+Status WriteArtifactBytes(const std::string& path, const std::string& bytes) {
+  GOGGLES_FAILPOINT_RETURN("artifact.save.open");
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::IOError("Artifact::Save: cannot open " + path);
+  }
+  size_t write_bytes = bytes.size();
+  GOGGLES_FAILPOINT_CLAMP("artifact.save.partial", write_bytes);
+  out.write(bytes.data(), static_cast<std::streamsize>(write_bytes));
+  out.flush();
   if (!out.good()) {
     return Status::IOError("Artifact::Save: write failed for " + path);
   }
   return Status::OK();
+}
+
+/// fsyncs `path`'s data to stable storage (best effort — not all
+/// filesystems support it; errors other than open failures are ignored
+/// the way most databases treat directory fsync).
+void BestEffortFsync(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return;
+  (void)::fsync(fd);
+  (void)::close(fd);
+}
+
+}  // namespace
+
+Status SaveArtifactFile(
+    const std::string& path, int top_z, int num_layers,
+    uint64_t pool_fingerprint, const FittedHierarchicalModel& model,
+    const std::vector<PrototypeAffinitySource::LayerData>& source_layers,
+    const Matrix& pool_soft_labels,
+    const std::vector<int>& pool_hard_labels) {
+  GOGGLES_ASSIGN_OR_RETURN(
+      std::string bytes,
+      BuildArtifactBytes(top_z, num_layers, pool_fingerprint, model,
+                         source_layers, pool_soft_labels, pool_hard_labels));
+  return WriteArtifactBytes(path, bytes);
+}
+
+Status SaveArtifactFileAtomic(
+    const std::string& path, int top_z, int num_layers,
+    uint64_t pool_fingerprint, const FittedHierarchicalModel& model,
+    const std::vector<PrototypeAffinitySource::LayerData>& source_layers,
+    const Matrix& pool_soft_labels,
+    const std::vector<int>& pool_hard_labels) {
+  GOGGLES_ASSIGN_OR_RETURN(
+      std::string bytes,
+      BuildArtifactBytes(top_z, num_layers, pool_fingerprint, model,
+                         source_layers, pool_soft_labels, pool_hard_labels));
+  const std::string tmp = ArtifactTempPath(path);
+  Status write_status = WriteArtifactBytes(tmp, bytes);
+  if (!write_status.ok()) {
+    (void)std::remove(tmp.c_str());
+    return write_status;
+  }
+  // The temp file's bytes must be durable before the rename makes them
+  // reachable — otherwise a power loss could publish a name pointing at
+  // unwritten data.
+  BestEffortFsync(tmp);
+  // Crash-safety probe: a crash here (after the temp write, before the
+  // rename) must leave `path` untouched and only the temp to reap.
+  GOGGLES_FAILPOINT("artifact.publish.rename");
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    (void)std::remove(tmp.c_str());
+    return Status::IOError("Artifact::SaveAtomic: rename to " + path +
+                           " failed");
+  }
+  // Make the rename itself durable (directory entry update).
+  size_t slash = path.find_last_of('/');
+  BestEffortFsync(slash == std::string::npos ? "." : path.substr(0, slash));
+  return Status::OK();
+}
+
+std::string ArtifactTempPath(const std::string& path) {
+  return path + ".tmp-" + std::to_string(static_cast<long>(::getpid()));
+}
+
+bool IsArtifactTempFilename(const std::string& filename) {
+  const std::string infix = ".tmp-";
+  size_t pos = filename.rfind(infix);
+  if (pos == std::string::npos) return false;
+  size_t digits = pos + infix.size();
+  if (digits == filename.size()) return false;
+  for (size_t i = digits; i < filename.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(filename[i]))) return false;
+  }
+  return true;
 }
 
 Status Artifact::Save(const std::string& path) const {
@@ -367,7 +460,16 @@ Status Artifact::Save(const std::string& path) const {
                           source_layers, pool_soft_labels, pool_hard_labels);
 }
 
+Status Artifact::SaveAtomic(const std::string& path) const {
+  return SaveArtifactFileAtomic(path, top_z, num_layers, pool_fingerprint,
+                                model, source_layers, pool_soft_labels,
+                                pool_hard_labels);
+}
+
 Result<Artifact> Artifact::Load(const std::string& path) {
+  // Chaos sites: slow-disk stall, then transient open/read failure.
+  GOGGLES_FAILPOINT("artifact.load.slow");
+  GOGGLES_FAILPOINT_RETURN("artifact.load.open");
   std::ifstream in(path, std::ios::binary);
   if (!in.is_open()) {
     return Status::NotFound("Artifact::Load: cannot open " + path);
@@ -423,6 +525,8 @@ Result<Artifact> Artifact::Load(const std::string& path) {
       return Status::IOError(
           StrFormat("Artifact::Load: truncated section %u payload", tag));
     }
+    // Simulates a checksum failure / bit rot on the read path.
+    GOGGLES_FAILPOINT_RETURN("artifact.load.crc");
     const uint32_t actual = io::Crc32(payload.data(), payload.size());
     if (actual != crc) {
       return Status::IOError(StrFormat(

@@ -61,9 +61,15 @@ struct Artifact {
   /// The pool's hard labels (argmax rows of pool_soft_labels).
   std::vector<int> pool_hard_labels;
 
-  /// \brief Writes the artifact to `path` (atomic at the filesystem's
-  /// rename granularity is NOT attempted; callers own tmp-file dances).
+  /// \brief Writes the artifact to `path` directly (no tmp-file dance —
+  /// a crash mid-write leaves a torn file; prefer SaveAtomic for
+  /// artifacts a live registry may be watching).
   Status Save(const std::string& path) const;
+
+  /// \brief Crash-safe publish: writes to `ArtifactTempPath(path)`,
+  /// fsyncs, then renames over `path`. A reader never observes a torn
+  /// artifact — it sees the old bytes or the new bytes.
+  Status SaveAtomic(const std::string& path) const;
 
   /// \brief Loads and validates an artifact. Corrupt input (bad magic,
   /// unsupported version, bad CRC, truncated sections) returns an error
@@ -80,5 +86,27 @@ Status SaveArtifactFile(
     const std::vector<PrototypeAffinitySource::LayerData>& source_layers,
     const Matrix& pool_soft_labels,
     const std::vector<int>& pool_hard_labels);
+
+/// \brief Crash-safe variant of SaveArtifactFile: serializes to
+/// `ArtifactTempPath(path)`, fsyncs the temp file, then renames it over
+/// `path` (atomic on POSIX filesystems). A crash before the rename
+/// leaves `path` untouched and at most one orphan temp file, which
+/// SessionRegistry's recovery sweep reaps (see registry.h).
+Status SaveArtifactFileAtomic(
+    const std::string& path, int top_z, int num_layers,
+    uint64_t pool_fingerprint, const FittedHierarchicalModel& model,
+    const std::vector<PrototypeAffinitySource::LayerData>& source_layers,
+    const Matrix& pool_soft_labels,
+    const std::vector<int>& pool_hard_labels);
+
+/// \brief The temp-file path SaveArtifactFileAtomic stages into:
+/// `<path>.tmp-<pid>` (pid-suffixed so concurrent publishers from
+/// different processes never collide).
+std::string ArtifactTempPath(const std::string& path);
+
+/// \brief True iff `filename` (no directory) matches the atomic-publish
+/// staging pattern `*.tmp-<digits>` — i.e. it is reapable by the
+/// registry's orphan sweep once it is old enough.
+bool IsArtifactTempFilename(const std::string& filename);
 
 }  // namespace goggles::serve

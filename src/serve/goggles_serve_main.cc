@@ -53,6 +53,17 @@
 ///                           unlimited; also GOGGLES_TASK_BUDGET_MB)
 ///   --max-tasks N           resident-task cap (default 0 = unlimited;
 ///                           also GOGGLES_MAX_TASKS)
+///   --request-deadline-ms N per-request deadline measured from
+///                           admission; overruns answer with
+///                           error_code "deadline_exceeded" (default 0 =
+///                           none; also GOGGLES_REQUEST_DEADLINE_MS)
+///   --pipeline-watchdog-ms N stall watchdog budget: stage calls running
+///                           longer than N ms are flagged (WARNING log +
+///                           per-stage "stalls" in the stats op; default
+///                           0 = off; also GOGGLES_PIPELINE_WATCHDOG_MS)
+///
+/// SIGTERM/SIGINT drain gracefully: admission stops, every in-flight
+/// request still gets its response, then the process exits 0.
 ///
 /// The artifact directory may also come from GOGGLES_ARTIFACT_DIR. In
 /// gateway mode, tasks are `<dir>/<task>.ggsa` artifacts loaded on the
@@ -77,8 +88,10 @@
 #include "serve/registry.h"
 #include "serve/service.h"
 #include "serve/session.h"
+#include "serve/shutdown.h"
 #include "tensor/isa.h"
 #include "util/env.h"
+#include "util/failpoint.h"
 #include "util/timer.h"
 
 namespace {
@@ -132,13 +145,16 @@ void PrintUsage(const char* argv0) {
       "       [--pipeline-admission N]\n"
       "       [--pipeline-reject] [--coalesce] [--coalesce-window-us N]\n"
       "       [--coalesce-batch N] [--task-budget-mb N] [--max-tasks N]\n"
+      "       [--request-deadline-ms N] [--pipeline-watchdog-ms N]\n"
       "Serves newline-delimited JSON labeling requests on stdin/stdout.\n"
       "Ops: {\"op\":\"stats\"} | {\"op\":\"label\",\"image\":{...}} |\n"
       "     {\"op\":\"label_batch\",\"images\":[...]} |\n"
       "     {\"op\":\"list_tasks\"} | {\"op\":\"load\",\"task\":T} |\n"
-      "     {\"op\":\"unload\",\"task\":T}\n"
+      "     {\"op\":\"unload\",\"task\":T} | {\"op\":\"failpoint\",...}\n"
       "Multi-task requests carry \"task\":\"name\" "
-      "(-> DIR/name.ggsa; see docs/serve_protocol.md).\n",
+      "(-> DIR/name.ggsa; see docs/serve_protocol.md).\n"
+      "Fault injection: build with -DGOGGLES_FAILPOINTS=ON, arm via the\n"
+      "failpoint op or GOGGLES_FAILPOINTS=name=action[:prob][:count].\n",
       argv0);
 }
 
@@ -160,6 +176,10 @@ int main(int argc, char** argv) {
   // service tests cover exactly the parsing the binary uses; out-of-
   // range values are clamped by the Service constructor.
   config.pipeline = serve::PipelineOptionsFromEnv(config.pipeline);
+  config.request_deadline_micros =
+      EnvRangedInt("GOGGLES_REQUEST_DEADLINE_MS",
+                   config.request_deadline_micros / 1000, 0, 3'600'000) *
+      1000;
   serve::RegistryConfig registry_config;
   registry_config.memory_budget_bytes =
       static_cast<uint64_t>(
@@ -297,6 +317,24 @@ int main(int argc, char** argv) {
         return 2;
       }
       registry_config.max_resident_tasks = static_cast<size_t>(value);
+    } else if (arg == "--request-deadline-ms" && has_value) {
+      if (!ParsePositiveInt(argv[++i], 3'600'000, &value)) {
+        std::fprintf(stderr,
+                     "error: --request-deadline-ms expects 1..3600000, "
+                     "got '%s'\n",
+                     argv[i]);
+        return 2;
+      }
+      config.request_deadline_micros = value * 1000;
+    } else if (arg == "--pipeline-watchdog-ms" && has_value) {
+      if (!ParsePositiveInt(argv[++i], 3'600'000, &value)) {
+        std::fprintf(stderr,
+                     "error: --pipeline-watchdog-ms expects 1..3600000, "
+                     "got '%s'\n",
+                     argv[i]);
+        return 2;
+      }
+      config.pipeline.watchdog_budget_micros = value * 1000;
     } else if (arg == "--help" || arg == "-h") {
       PrintUsage(argv[0]);
       return 0;
@@ -366,7 +404,8 @@ int main(int argc, char** argv) {
       "\"pipeline_admission\":%d,\"pipeline_reject\":%s,\"coalesce\":%s,"
       "\"coalesce_batch\":%d,\"coalesce_window_us\":%lld,"
       "\"task_budget_bytes\":%llu,\"isa\":\"%s\","
-      "\"startup_seconds\":%.2f}\n",
+      "\"request_deadline_ms\":%lld,\"watchdog_ms\":%lld,"
+      "\"failpoints\":%s,\"startup_seconds\":%.2f}\n",
       artifact_path.c_str(), artifact_dir.c_str(), config.num_workers,
       config.pipeline.enabled ? "true" : "false",
       config.pipeline.decode_threads, config.pipeline.extract_threads,
@@ -379,15 +418,30 @@ int main(int argc, char** argv) {
       static_cast<long long>(config.coalesce.window_micros),
       static_cast<unsigned long long>(registry_config.memory_budget_bytes),
       goggles::IsaTierName(goggles::ActiveIsaTier()),
-      timer.ElapsedSeconds());
+      static_cast<long long>(config.request_deadline_micros / 1000),
+      static_cast<long long>(config.pipeline.watchdog_budget_micros / 1000),
+      failpoint::CompiledIn() ? "true" : "false", timer.ElapsedSeconds());
 
+  // SIGTERM/SIGINT drain the service instead of killing the process:
+  // the watcher trips RequestStop() and interrupts the blocked stdin
+  // read; Run flushes every in-flight response before returning.
   goggles::Status status = Status::OK();
+  int drain_signal = 0;
   if (registry != nullptr) {
     serve::Service service(registry, default_session, config);
+    serve::GracefulShutdown drain([&service] { service.RequestStop(); });
     status = service.Run(std::cin, std::cout);
+    drain_signal = drain.signal_number();
   } else {
     serve::Service service(default_session, config);
+    serve::GracefulShutdown drain([&service] { service.RequestStop(); });
     status = service.Run(std::cin, std::cout);
+    drain_signal = drain.signal_number();
+  }
+  if (drain_signal != 0) {
+    std::fprintf(stderr,
+                 "{\"ok\":true,\"drained\":true,\"signal\":%d}\n",
+                 drain_signal);
   }
   if (!status.ok()) {
     std::fprintf(stderr, "error: %s\n", status.ToString().c_str());

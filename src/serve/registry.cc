@@ -1,19 +1,48 @@
 #include "serve/registry.h"
 
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
+#include <functional>
 #include <utility>
+
+#include "serve/artifact.h"
+#include "util/clock.h"
+#include "util/failpoint.h"
+#include "util/logging.h"
 
 namespace goggles::serve {
 
 namespace fs = std::filesystem;
+
+namespace {
+
+/// True for error codes worth retrying with backoff: transient I/O
+/// trouble and load/publish races. Missing artifacts (NotFound) and
+/// structurally invalid requests are permanent.
+bool IsTransientLoadError(StatusCode code) {
+  return code == StatusCode::kIOError || code == StatusCode::kUnavailable;
+}
+
+/// Failpoint shim: lets chaos tests inject a transient load failure that
+/// the retry loop must absorb (arm "registry.load.transient" with a
+/// count to fail the first N attempts).
+Status InjectedLoadFailure() {
+  GOGGLES_FAILPOINT_RETURN("registry.load.transient");
+  return Status::OK();
+}
+
+}  // namespace
 
 SessionRegistry::SessionRegistry(
     std::shared_ptr<features::FeatureExtractor> extractor,
     RegistryConfig config)
     : extractor_(std::move(extractor)),
       config_(std::move(config)),
-      cache_(config_.memory_budget_bytes, config_.max_resident_tasks) {}
+      cache_(config_.memory_budget_bytes, config_.max_resident_tasks) {
+  // Crash recovery: reap debris of publishers that died mid-publish.
+  ReapOrphanTemps();
+}
 
 bool SessionRegistry::IsValidTaskName(const std::string& task) {
   if (task.empty() || task.size() > 255) return false;
@@ -65,13 +94,47 @@ std::shared_ptr<const Session> SessionRegistry::BeginLoadOrWait(
 Result<std::shared_ptr<const Session>> SessionRegistry::LoadAndInstall(
     const std::string& task) {
   const std::string path = ArtifactPath(task);
-  // Signature before the load: if the file is overwritten mid-load, the
-  // stale signature makes the next Acquire() reload rather than serve a
-  // torn view forever.
+  // Load with retry: transient I/O failures and loads that raced a
+  // concurrent publish back off (jittered, capped) and try again. The
+  // caller holds the `loading_` slot throughout, so concurrent Acquires
+  // of the task coalesce onto this retry loop instead of stacking their
+  // own. Seeded per-task for reproducible jitter sequences.
+  Backoff backoff(config_.load_retry,
+                  static_cast<uint64_t>(std::hash<std::string>{}(task)));
   FileSignature signature;
-  const bool have_signature = StatArtifact(path, &signature);
+  bool have_signature = false;
+  Result<Session> loaded = Status::Internal("unreachable");
+  while (true) {
+    // Signature before the load: the post-load re-check below compares
+    // against it, and if the load is installed it becomes the entry's
+    // signature so the next Acquire() re-stats against the loaded bytes.
+    have_signature = StatArtifact(path, &signature);
 
-  Result<Session> loaded = Session::Load(path, extractor_);
+    Status injected = InjectedLoadFailure();
+    loaded = injected.ok() ? Session::Load(path, extractor_)
+                           : Result<Session>(injected);
+
+    if (loaded.ok()) {
+      // Re-stat after the load: if the file changed underneath us the
+      // loaded bytes may be a torn mix of old and new artifact that
+      // happened to pass section CRCs (each section is checked
+      // individually). Reject the swap and retry against the new file.
+      FileSignature after;
+      const bool have_after = StatArtifact(path, &after);
+      if (have_signature && (!have_after || !(after == signature))) {
+        torn_loads_rejected_.fetch_add(1);
+        loaded = Status::Unavailable("artifact '" + path +
+                                     "' changed mid-load (publish race)");
+      }
+    }
+    if (loaded.ok() || !IsTransientLoadError(loaded.status().code())) break;
+    const int64_t delay = backoff.NextDelayMicros();
+    if (delay < 0) break;  // attempts exhausted; report the last error
+    load_retries_.fetch_add(1);
+    GOGGLES_LOG(INFO) << "registry: retrying load of '" << task << "' in "
+                      << delay << "us: " << loaded.status().ToString();
+    SleepForMicros(delay);
+  }
 
   std::vector<LruCache<std::string, Entry>::Evicted> evicted;
   Result<std::shared_ptr<const Session>> result =
@@ -188,7 +251,36 @@ Status SessionRegistry::Unload(const std::string& task) {
   return Status::OK();
 }
 
+size_t SessionRegistry::ReapOrphanTemps() const {
+  // A publish temp younger than the reap age may belong to a publisher
+  // that is alive and about to rename; leave it alone.
+  const auto now = fs::file_time_type::clock::now();
+  size_t reaped = 0;
+  std::error_code ec;
+  for (fs::directory_iterator it(config_.artifact_dir, ec), end;
+       !ec && it != end; it.increment(ec)) {
+    const fs::path& path = it->path();
+    if (!IsArtifactTempFilename(path.filename().string())) continue;
+    std::error_code file_ec;
+    const fs::file_time_type mtime = fs::last_write_time(path, file_ec);
+    if (file_ec) continue;
+    const int64_t age_micros =
+        std::chrono::duration_cast<std::chrono::microseconds>(now - mtime)
+            .count();
+    if (age_micros < config_.temp_reap_age_micros) continue;
+    if (fs::remove(path, file_ec) && !file_ec) {
+      ++reaped;
+      GOGGLES_LOG(WARNING) << "registry: reaped orphan publish temp "
+                           << path.string();
+    }
+  }
+  temps_reaped_.fetch_add(reaped);
+  return reaped;
+}
+
 std::vector<TaskInfo> SessionRegistry::ListTasks() const {
+  // The periodic registry scan doubles as the crash-recovery sweep.
+  ReapOrphanTemps();
   std::vector<TaskInfo> tasks;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -235,6 +327,9 @@ RegistryStats SessionRegistry::stats() const {
   stats.reloads = reloads_.load();
   stats.evictions = evictions_.load();
   stats.load_failures = load_failures_.load();
+  stats.load_retries = load_retries_.load();
+  stats.torn_loads_rejected = torn_loads_rejected_.load();
+  stats.temps_reaped = temps_reaped_.load();
   std::lock_guard<std::mutex> lock(mu_);
   stats.resident_tasks = cache_.size();
   stats.resident_bytes = cache_.total_cost();

@@ -11,6 +11,7 @@
 
 #include "features/extractor.h"
 #include "serve/session.h"
+#include "util/backoff.h"
 #include "util/lru.h"
 #include "util/status.h"
 
@@ -48,6 +49,14 @@ struct RegistryConfig {
   /// Re-stat the artifact file on every Acquire() and reload the session
   /// when the file's (mtime, size) signature changed since it was loaded.
   bool hot_reload = true;
+  /// Retry policy for transient artifact-load failures (I/O errors and
+  /// loads that raced a concurrent publish). NotFound / corrupt-format
+  /// errors are not retried. `max_attempts <= 1` disables retries.
+  BackoffPolicy load_retry;
+  /// Minimum age before an orphaned atomic-publish temp file
+  /// (`*.ggsa.tmp-<pid>`, see artifact.h) is reaped by
+  /// ReapOrphanTemps(); younger temps may belong to a live publish.
+  int64_t temp_reap_age_micros = 60 * 1000 * 1000;
 };
 
 /// \brief One row of SessionRegistry::ListTasks().
@@ -68,6 +77,10 @@ struct RegistryStats {
   uint64_t reloads = 0;     ///< hot reloads triggered by a changed file
   uint64_t evictions = 0;   ///< sessions evicted by the LRU budget
   uint64_t load_failures = 0;  ///< artifact loads that returned an error
+  uint64_t load_retries = 0;   ///< backoff retries of transient failures
+  uint64_t torn_loads_rejected = 0;  ///< loads discarded because the file
+                                     ///< changed mid-load (publish race)
+  uint64_t temps_reaped = 0;   ///< orphan publish temps removed by sweeps
   size_t resident_tasks = 0;   ///< currently resident sessions
   uint64_t resident_bytes = 0;  ///< sum of resident ApproxMemoryBytes()
 };
@@ -123,6 +136,15 @@ class SessionRegistry {
   /// (`<artifact_dir>/<task>.ggsa`).
   std::string ArtifactPath(const std::string& task) const;
 
+  /// \brief Crash-recovery sweep: deletes orphaned atomic-publish temp
+  /// files (`*.ggsa.tmp-<pid>`) in the artifact directory older than
+  /// `config.temp_reap_age_micros` — debris of publishers that crashed
+  /// between the temp write and the rename. Runs automatically at
+  /// construction and from ListTasks(); callable directly for tests and
+  /// maintenance. Returns the number of files removed. (const: touches
+  /// the directory, not registry state beyond a counter.)
+  size_t ReapOrphanTemps() const;
+
   /// \brief The configured artifact directory.
   const std::string& artifact_dir() const { return config_.artifact_dir; }
 
@@ -169,6 +191,9 @@ class SessionRegistry {
   mutable std::atomic<uint64_t> reloads_{0};
   mutable std::atomic<uint64_t> evictions_{0};
   mutable std::atomic<uint64_t> load_failures_{0};
+  mutable std::atomic<uint64_t> load_retries_{0};
+  mutable std::atomic<uint64_t> torn_loads_rejected_{0};
+  mutable std::atomic<uint64_t> temps_reaped_{0};
 };
 
 }  // namespace goggles::serve

@@ -8,18 +8,30 @@
 #include <vector>
 
 #include "tensor/isa.h"
+#include "util/clock.h"
 #include "util/env.h"
+#include "util/failpoint.h"
 #include "util/parallel.h"
 #include "util/pipeline.h"
 
 namespace goggles::serve {
 namespace {
 
-JsonValue ErrorResponse(const std::string& message) {
+/// Every error response carries the human message AND the stable
+/// machine-readable `error_code` string (docs/serve_protocol.md —
+/// clients branch on the code, never the message).
+JsonValue ErrorResponse(const std::string& message,
+                        StatusCode code = StatusCode::kInvalidArgument) {
   JsonValue response = JsonValue::MakeObject();
   response.Set("ok", JsonValue(false));
   response.Set("error", JsonValue(message));
+  response.Set("error_code",
+               JsonValue(std::string(StatusCodeToErrorCode(code))));
   return response;
+}
+
+JsonValue ErrorResponse(const Status& status) {
+  return ErrorResponse(status.message(), status.code());
 }
 
 /// Decodes {"channels":C,"height":H,"width":W,"pixels":[...]}.
@@ -108,6 +120,8 @@ ServiceConfig NormalizeConfig(ServiceConfig config) {
   if (p.admission_capacity < 1) {
     p.admission_capacity = static_cast<int>(config.queue_capacity);
   }
+  if (p.watchdog_budget_micros < 0) p.watchdog_budget_micros = 0;
+  if (config.request_deadline_micros < 0) config.request_deadline_micros = 0;
   return config;
 }
 
@@ -134,6 +148,10 @@ PipelineOptions PipelineOptionsFromEnv(PipelineOptions defaults) {
       GetEnvIntOr("GOGGLES_PIPELINE_ADMISSION", p.admission_capacity));
   p.reject_on_full =
       GetEnvIntOr("GOGGLES_PIPELINE_REJECT", p.reject_on_full ? 1 : 0) != 0;
+  p.watchdog_budget_micros =
+      GetEnvIntOr("GOGGLES_PIPELINE_WATCHDOG_MS",
+                  p.watchdog_budget_micros / 1000) *
+      1000;
   return p;
 }
 
@@ -210,7 +228,7 @@ JsonValue Service::HandleRegistryOp(const std::string& op,
         registry_->Load(task->str());
     if (!session.ok()) {
       errors_.fetch_add(1);
-      return ErrorResponse(session.status().message());
+      return ErrorResponse(session.status());
     }
     JsonValue response = JsonValue::MakeObject();
     response.Set("ok", JsonValue(true));
@@ -225,7 +243,7 @@ JsonValue Service::HandleRegistryOp(const std::string& op,
   Status status = registry_->Unload(task->str());
   if (!status.ok()) {
     errors_.fetch_add(1);
-    return ErrorResponse(status.message());
+    return ErrorResponse(status);
   }
   JsonValue response = JsonValue::MakeObject();
   response.Set("ok", JsonValue(true));
@@ -258,7 +276,7 @@ JsonValue Service::HandleRequest(const JsonValue& request) const {
       // An explicitly named task that cannot be resolved is an error; a
       // merely absent default session still yields gateway-level stats.
       errors_.fetch_add(1);
-      return ErrorResponse(session.status().message());
+      return ErrorResponse(session.status());
     }
     response.Set("requests_served",
                  JsonValue(static_cast<double>(requests_served_.load())));
@@ -281,6 +299,12 @@ JsonValue Service::HandleRequest(const JsonValue& request) const {
                    JsonValue(static_cast<double>(stats.evictions)));
       registry.Set("load_failures",
                    JsonValue(static_cast<double>(stats.load_failures)));
+      registry.Set("load_retries",
+                   JsonValue(static_cast<double>(stats.load_retries)));
+      registry.Set("torn_loads_rejected",
+                   JsonValue(static_cast<double>(stats.torn_loads_rejected)));
+      registry.Set("temps_reaped",
+                   JsonValue(static_cast<double>(stats.temps_reaped)));
       response.Set("registry", std::move(registry));
     }
     if (config_.coalesce.enabled) {
@@ -312,7 +336,7 @@ JsonValue Service::HandleRequest(const JsonValue& request) const {
     Result<std::shared_ptr<const Session>> session = ResolveSession(request);
     if (!session.ok()) {
       errors_.fetch_add(1);
-      return ErrorResponse(session.status().message());
+      return ErrorResponse(session.status());
     }
     const JsonValue* image_json = request.Find("image");
     if (image_json == nullptr) {
@@ -322,12 +346,12 @@ JsonValue Service::HandleRequest(const JsonValue& request) const {
     Result<data::Image> image = ParseImage(*image_json);
     if (!image.ok()) {
       errors_.fetch_add(1);
-      return ErrorResponse(image.status().message());
+      return ErrorResponse(image.status());
     }
     Result<OnlineLabel> label = coalescer_->Label(*session, *image);
     if (!label.ok()) {
       errors_.fetch_add(1);
-      return ErrorResponse(label.status().message());
+      return ErrorResponse(label.status());
     }
     JsonValue response = JsonValue::MakeObject();
     response.Set("ok", JsonValue(true));
@@ -342,7 +366,7 @@ JsonValue Service::HandleRequest(const JsonValue& request) const {
     Result<std::shared_ptr<const Session>> session = ResolveSession(request);
     if (!session.ok()) {
       errors_.fetch_add(1);
-      return ErrorResponse(session.status().message());
+      return ErrorResponse(session.status());
     }
     const JsonValue* images_json = request.Find("images");
     if (images_json == nullptr || !images_json->is_array() ||
@@ -356,14 +380,14 @@ JsonValue Service::HandleRequest(const JsonValue& request) const {
       Result<data::Image> image = ParseImage(item);
       if (!image.ok()) {
         errors_.fetch_add(1);
-        return ErrorResponse(image.status().message());
+        return ErrorResponse(image.status());
       }
       images.push_back(std::move(*image));
     }
     Result<LabelingResult> result = (*session)->LabelBatch(images);
     if (!result.ok()) {
       errors_.fetch_add(1);
-      return ErrorResponse(result.status().message());
+      return ErrorResponse(result.status());
     }
     JsonValue response = JsonValue::MakeObject();
     response.Set("ok", JsonValue(true));
@@ -383,8 +407,89 @@ JsonValue Service::HandleRequest(const JsonValue& request) const {
     return HandleRegistryOp(op->str(), request);
   }
 
+  if (op->str() == "failpoint") {
+    return HandleFailpointOp(request);
+  }
+
   errors_.fetch_add(1);
   return ErrorResponse("unknown op '" + op->str() + "'");
+}
+
+JsonValue Service::HandleFailpointOp(const JsonValue& request) const {
+  const JsonValue* action = request.Find("action");
+  if (action == nullptr || !action->is_string()) {
+    errors_.fetch_add(1);
+    return ErrorResponse(
+        "'failpoint' needs a string 'action' (arm|disarm|disarm_all|list)");
+  }
+  const std::string& act = action->str();
+
+  if (act == "list") {
+    JsonValue response = JsonValue::MakeObject();
+    response.Set("ok", JsonValue(true));
+    response.Set("compiled_in", JsonValue(failpoint::CompiledIn()));
+    JsonValue points = JsonValue::MakeArray();
+    for (const failpoint::Info& info : failpoint::List()) {
+      JsonValue entry = JsonValue::MakeObject();
+      entry.Set("name", JsonValue(info.name));
+      entry.Set("action",
+                JsonValue(std::string(failpoint::ActionName(info.spec.action))));
+      entry.Set("arg", JsonValue(static_cast<double>(info.spec.arg)));
+      entry.Set("probability", JsonValue(info.spec.probability));
+      entry.Set("count", JsonValue(static_cast<double>(info.spec.count)));
+      entry.Set("hits", JsonValue(static_cast<double>(info.hits)));
+      entry.Set("triggers", JsonValue(static_cast<double>(info.triggers)));
+      points.Append(std::move(entry));
+    }
+    response.Set("failpoints", std::move(points));
+    return response;
+  }
+
+  if (!failpoint::CompiledIn()) {
+    errors_.fetch_add(1);
+    return ErrorResponse(
+        "failpoints are not compiled into this binary "
+        "(configure with -DGOGGLES_FAILPOINTS=ON)",
+        StatusCode::kNotImplemented);
+  }
+
+  if (act == "disarm_all") {
+    failpoint::DisarmAll();
+    JsonValue response = JsonValue::MakeObject();
+    response.Set("ok", JsonValue(true));
+    return response;
+  }
+
+  const JsonValue* name = request.Find("name");
+  if (name == nullptr || !name->is_string()) {
+    errors_.fetch_add(1);
+    return ErrorResponse("'failpoint' " + act + " needs a string 'name'");
+  }
+
+  Status status = Status::OK();
+  if (act == "arm") {
+    const JsonValue* spec = request.Find("spec");
+    if (spec == nullptr || !spec->is_string()) {
+      errors_.fetch_add(1);
+      return ErrorResponse(
+          "'failpoint' arm needs a string 'spec' "
+          "(action[(arg)][:prob][:count])");
+    }
+    status = failpoint::ArmFromString(name->str(), spec->str());
+  } else if (act == "disarm") {
+    status = failpoint::Disarm(name->str());
+  } else {
+    errors_.fetch_add(1);
+    return ErrorResponse("unknown failpoint action '" + act + "'");
+  }
+  if (!status.ok()) {
+    errors_.fetch_add(1);
+    return ErrorResponse(status);
+  }
+  JsonValue response = JsonValue::MakeObject();
+  response.Set("ok", JsonValue(true));
+  response.Set("name", JsonValue(name->str()));
+  return response;
 }
 
 std::string Service::HandleLine(const std::string& line) const {
@@ -392,12 +497,22 @@ std::string Service::HandleLine(const std::string& line) const {
   if (!request.ok()) {
     requests_served_.fetch_add(1);
     errors_.fetch_add(1);
-    return ErrorResponse(request.status().message()).Dump();
+    return ErrorResponse(request.status()).Dump();
   }
   return HandleRequest(*request).Dump();
 }
 
+void Service::RequestStop() {
+  stop_requested_.store(true);
+  // Rouse a pipelined reader parked on admission control; a reader
+  // blocked inside std::getline is the caller's job to interrupt (the
+  // serve binary does it with a signal that EINTRs the read).
+  std::lock_guard<std::mutex> lock(run_wake_mu_);
+  if (run_wake_cv_ != nullptr) run_wake_cv_->notify_all();
+}
+
 Status Service::Run(std::istream& in, std::ostream& out) {
+  if (stop_requested_.load()) return Status::OK();
   if (config_.pipeline.enabled) return RunPipelined(in, out);
   return RunMonolithic(in, out);
 }
@@ -406,7 +521,9 @@ Status Service::RunMonolithic(std::istream& in, std::ostream& out) {
   struct WorkItem {
     uint64_t seq = 0;
     std::string line;
+    int64_t admit_micros = 0;  ///< deadline epoch (reader accept time)
   };
+  const int64_t deadline_micros = config_.request_deadline_micros;
   BoundedQueue<WorkItem> queue(config_.queue_capacity);
 
   // Completed responses, reassembled into input order by the writer.
@@ -426,7 +543,7 @@ Status Service::RunMonolithic(std::istream& in, std::ostream& out) {
   workers.reserve(static_cast<size_t>(config_.num_workers));
   for (int w = 0; w < config_.num_workers; ++w) {
     workers.emplace_back([this, &queue, &done_mu, &done_cv, &done,
-                          max_done] {
+                          max_done, deadline_micros] {
       // Once the worker pool alone covers the cores, the per-request
       // kernels (backbone GEMMs, batched scoring) would only
       // oversubscribe — pin them to this thread. With fewer workers than
@@ -441,7 +558,19 @@ Status Service::RunMonolithic(std::istream& in, std::ostream& out) {
         }
         std::optional<WorkItem> item = queue.Pop();
         if (!item.has_value()) break;
-        std::string response = HandleLine(item->line);
+        std::string response;
+        if (deadline_micros > 0 &&
+            MonotonicMicros() - item->admit_micros > deadline_micros) {
+          // The request aged out while queued — shed it instead of
+          // spending extraction work on an answer nobody is waiting for.
+          requests_served_.fetch_add(1);
+          errors_.fetch_add(1);
+          response = ErrorResponse("request deadline exceeded",
+                                   StatusCode::kDeadlineExceeded)
+                         .Dump();
+        } else {
+          response = HandleLine(item->line);
+        }
         {
           std::lock_guard<std::mutex> lock(done_mu);
           done.emplace(item->seq, std::move(response));
@@ -472,9 +601,9 @@ Status Service::RunMonolithic(std::istream& in, std::ostream& out) {
 
   std::string line;
   uint64_t seq = 0;
-  while (std::getline(in, line)) {
+  while (!stop_requested_.load() && std::getline(in, line)) {
     if (line.empty()) continue;  // tolerate blank lines between requests
-    queue.Push(WorkItem{seq++, std::move(line)});
+    queue.Push(WorkItem{seq++, std::move(line), MonotonicMicros()});
     line.clear();
   }
   queue.Close();
@@ -498,6 +627,7 @@ namespace {
 /// final response exists (errors, non-label ops).
 struct PipeItem {
   uint64_t seq = 0;
+  int64_t admit_micros = 0;                 ///< deadline epoch (admission)
   std::string line;                         ///< raw request line
   std::shared_ptr<const Session> session;   ///< resolved target (label)
   data::Image image;                        ///< decoded image (label)
@@ -515,6 +645,19 @@ Status Service::RunPipelined(std::istream& in, std::ostream& out) {
   const PipelineOptions& popt = config_.pipeline;
   const uint64_t admission_cap =
       static_cast<uint64_t>(popt.admission_capacity);
+  const int64_t deadline_micros = config_.request_deadline_micros;
+  // True once the request aged past its deadline; stages call this
+  // before starting expensive work so a stalled stage sheds its queue
+  // instead of grinding through stale requests.
+  auto expired = [deadline_micros](const PipeItem& item) {
+    return deadline_micros > 0 &&
+           MonotonicMicros() - item.admit_micros > deadline_micros;
+  };
+  auto deadline_response = [this]() {
+    return ErrorResponse("request deadline exceeded",
+                         StatusCode::kDeadlineExceeded)
+        .Dump();
+  };
 
   // Reorder state: responses land here keyed by sequence number; the
   // writer emits them in input order. Bounded by admission control —
@@ -539,14 +682,23 @@ Status Service::RunPipelined(std::istream& in, std::ostream& out) {
       // window) — items are still parsed one by one, the batching only
       // amortizes doorbell wakeups under load.
       {"decode", popt.decode_threads, popt.queue_capacity, popt.max_batch},
-      [this](std::vector<PipeItem>& items) {
+      [this, &expired, &deadline_response](std::vector<PipeItem>& items) {
+        GOGGLES_FAILPOINT("serve.stage.decode");
         for (PipeItem& item : items) {
+          if (expired(item)) {
+            requests_served_.fetch_add(1);
+            errors_.fetch_add(1);
+            item.line.clear();
+            item.response = deadline_response();
+            item.done = true;
+            continue;
+          }
           Result<JsonValue> request = JsonValue::Parse(item.line);
           item.line.clear();
           if (!request.ok()) {
             requests_served_.fetch_add(1);
             errors_.fetch_add(1);
-            item.response = ErrorResponse(request.status().message()).Dump();
+            item.response = ErrorResponse(request.status()).Dump();
             item.done = true;
             continue;
           }
@@ -562,7 +714,7 @@ Status Service::RunPipelined(std::istream& in, std::ostream& out) {
               ResolveSession(*request);
           if (!session.ok()) {
             errors_.fetch_add(1);
-            item.response = ErrorResponse(session.status().message()).Dump();
+            item.response = ErrorResponse(session.status()).Dump();
             item.done = true;
             continue;
           }
@@ -577,7 +729,7 @@ Status Service::RunPipelined(std::istream& in, std::ostream& out) {
           Result<data::Image> image = ParseImage(*image_json);
           if (!image.ok()) {
             errors_.fetch_add(1);
-            item.response = ErrorResponse(image.status().message()).Dump();
+            item.response = ErrorResponse(image.status()).Dump();
             item.done = true;
             continue;
           }
@@ -596,10 +748,21 @@ Status Service::RunPipelined(std::istream& in, std::ostream& out) {
   pipe.AddStage(
       {"extract", popt.extract_threads, popt.queue_capacity,
        popt.max_batch, popt.batch_wait_micros},
-      [this](std::vector<PipeItem>& items) {
+      [this, &expired, &deadline_response](std::vector<PipeItem>& items) {
+        GOGGLES_FAILPOINT("serve.stage.extract");
         std::vector<size_t> pending;
         for (size_t i = 0; i < items.size(); ++i) {
-          if (items[i].is_label && !items[i].done) pending.push_back(i);
+          PipeItem& item = items[i];
+          if (!item.is_label || item.done) continue;
+          if (expired(item)) {
+            errors_.fetch_add(1);
+            item.response = deadline_response();
+            item.done = true;
+            item.session.reset();
+            item.image = data::Image();
+            continue;
+          }
+          pending.push_back(i);
         }
         std::vector<bool> grouped(items.size(), false);
         for (size_t gi = 0; gi < pending.size(); ++gi) {
@@ -651,7 +814,7 @@ Status Service::RunPipelined(std::istream& in, std::ostream& out) {
             for (size_t m : members) {
               errors_.fetch_add(1);
               items[m].response =
-                  ErrorResponse(rows.status().message()).Dump();
+                  ErrorResponse(rows.status()).Dump();
               items[m].done = true;
             }
             continue;
@@ -670,13 +833,22 @@ Status Service::RunPipelined(std::istream& in, std::ostream& out) {
   // inferred independently; the batch only amortizes wakeups.
   pipe.AddStage(
       {"infer", popt.infer_threads, popt.queue_capacity, popt.max_batch},
-      [this](std::vector<PipeItem>& items) {
+      [this, &expired, &deadline_response](std::vector<PipeItem>& items) {
+        GOGGLES_FAILPOINT("serve.stage.infer");
         for (PipeItem& item : items) {
           if (!item.is_label || item.done) continue;
+          if (expired(item)) {
+            errors_.fetch_add(1);
+            item.response = deadline_response();
+            item.done = true;
+            item.rows = Matrix();
+            item.session.reset();
+            continue;
+          }
           Result<LabelingResult> result = item.session->InferRows(item.rows);
           if (!result.ok()) {
             errors_.fetch_add(1);
-            item.response = ErrorResponse(result.status().message()).Dump();
+            item.response = ErrorResponse(result.status()).Dump();
             item.done = true;
             continue;
           }
@@ -692,6 +864,7 @@ Status Service::RunPipelined(std::istream& in, std::ostream& out) {
   pipe.AddStage(
       {"encode", popt.encode_threads, popt.queue_capacity, popt.max_batch},
       [](std::vector<PipeItem>& items) {
+        GOGGLES_FAILPOINT("serve.stage.encode");
         for (PipeItem& item : items) {
           if (!item.is_label || item.done) continue;
           JsonValue response = JsonValue::MakeObject();
@@ -705,6 +878,7 @@ Status Service::RunPipelined(std::istream& in, std::ostream& out) {
         }
       });
 
+  pipe.SetWatchdogBudgetMicros(popt.watchdog_budget_micros);
   pipe.Start([&](PipeItem&& item) {
     {
       std::lock_guard<std::mutex> lock(done_mu);
@@ -748,11 +922,19 @@ Status Service::RunPipelined(std::istream& in, std::ostream& out) {
         stage.Set("batches", JsonValue(static_cast<double>(s.batches)));
         stage.Set("backpressured",
                   JsonValue(static_cast<double>(s.backpressured)));
+        stage.Set("stalls", JsonValue(static_cast<double>(s.stalls)));
         stages.Append(std::move(stage));
       }
       section.Set("stages", std::move(stages));
       return section;
     };
+  }
+
+  // Let RequestStop() rouse the reader should it be parked on the
+  // admission-control wait below.
+  {
+    std::lock_guard<std::mutex> lock(run_wake_mu_);
+    run_wake_cv_ = &done_cv;
   }
 
   std::thread writer([&] {
@@ -781,7 +963,7 @@ Status Service::RunPipelined(std::istream& in, std::ostream& out) {
   // slot in the output order.
   std::string line;
   uint64_t seq = 0;
-  while (std::getline(in, line)) {
+  while (!stop_requested_.load() && std::getline(in, line)) {
     if (line.empty()) continue;  // tolerate blank lines between requests
     {
       std::unique_lock<std::mutex> lock(done_mu);
@@ -790,9 +972,11 @@ Status Service::RunPipelined(std::istream& in, std::ostream& out) {
           requests_served_.fetch_add(1);
           errors_.fetch_add(1);
           pipeline_rejected_.fetch_add(1);
-          done.emplace(
-              seq, ErrorResponse("server overloaded: admission queue full")
-                       .Dump());
+          done.emplace(seq,
+                       ErrorResponse(Status::Unavailable(
+                                         "server overloaded: admission "
+                                         "queue full"))
+                           .Dump());
           ++submitted;
           ++seq;
           done_cv.notify_all();
@@ -800,13 +984,19 @@ Status Service::RunPipelined(std::istream& in, std::ostream& out) {
           continue;
         }
       } else {
-        done_cv.wait(lock,
-                     [&] { return submitted - written < admission_cap; });
+        done_cv.wait(lock, [&] {
+          return submitted - written < admission_cap ||
+                 stop_requested_.load();
+        });
+        // Drain trigger while parked: drop the in-hand (unadmitted)
+        // line — everything already submitted still flushes below.
+        if (stop_requested_.load()) break;
       }
       ++submitted;
     }
     PipeItem item;
     item.seq = seq++;
+    item.admit_micros = MonotonicMicros();
     item.line = std::move(line);
     pipe.Submit(std::move(item), /*block=*/true);
     line.clear();
@@ -820,6 +1010,10 @@ Status Service::RunPipelined(std::istream& in, std::ostream& out) {
   }
   done_cv.notify_all();
   writer.join();
+  {
+    std::lock_guard<std::mutex> lock(run_wake_mu_);
+    run_wake_cv_ = nullptr;
+  }
   {
     std::lock_guard<std::mutex> lock(pipeline_stats_mu_);
     pipeline_stats_fn_ = nullptr;

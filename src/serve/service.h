@@ -146,6 +146,11 @@ struct PipelineOptions {
   /// flight gets an immediate {"ok":false,...} response instead of
   /// stalling the reader (load-shedding mode).
   bool reject_on_full = false;
+  /// Stall watchdog budget for the staged flowgraph: a monitor thread
+  /// flags any stage-function call running longer than this (see
+  /// Pipeline::SetWatchdogBudgetMicros; surfaced as per-stage "stalls"
+  /// in the stats op). 0 (default) = watchdog off, zero overhead.
+  int64_t watchdog_budget_micros = 0;
 };
 
 /// \brief Overlays the `GOGGLES_PIPELINE*` environment knobs on
@@ -174,6 +179,14 @@ struct ServiceConfig {
   CoalescerConfig coalesce;
   /// Staged-flowgraph execution of Run() (on by default).
   PipelineOptions pipeline;
+  /// Per-request deadline measured from admission (the reader accepting
+  /// the request line) to response encode. A request that overruns it is
+  /// answered with {"ok":false,"error":...,"error_code":
+  /// "deadline_exceeded"} instead of its result — stages check the
+  /// deadline before starting expensive work, so a stalled stage sheds
+  /// queued work instead of processing stale requests. 0 (default) =
+  /// no deadline. Applies to both execution modes.
+  int64_t request_deadline_micros = 0;
 };
 
 /// \brief Serves labeling requests — either against one fitted Session
@@ -206,6 +219,16 @@ class Service {
   /// order. Returns after every response is flushed.
   Status Run(std::istream& in, std::ostream& out);
 
+  /// \brief Graceful-drain trigger (thread-safe, callable from a signal
+  /// watcher thread): a running Run() stops admitting new requests,
+  /// flushes every in-flight response, and returns OK. Requests read
+  /// but not yet admitted are dropped. Idempotent; a Run() started
+  /// after a stop returns immediately.
+  void RequestStop();
+
+  /// \brief True once RequestStop() has been called.
+  bool stop_requested() const { return stop_requested_.load(); }
+
   /// \brief Total requests handled so far (including errored ones).
   uint64_t requests_served() const { return requests_served_.load(); }
 
@@ -228,6 +251,11 @@ class Service {
   JsonValue HandleRegistryOp(const std::string& op,
                              const JsonValue& request) const;
 
+  /// The `failpoint` chaos op (arm/disarm/disarm_all/list). Arming
+  /// requires a binary built with -DGOGGLES_FAILPOINTS=ON; otherwise
+  /// answers error_code "unimplemented". `list` always works.
+  JsonValue HandleFailpointOp(const JsonValue& request) const;
+
   /// The original flat worker pool over a bounded MPMC queue.
   Status RunMonolithic(std::istream& in, std::ostream& out);
 
@@ -246,6 +274,11 @@ class Service {
   /// flowgraph for the `stats` op's "pipeline" section.
   mutable std::mutex pipeline_stats_mu_;
   mutable std::function<JsonValue()> pipeline_stats_fn_;
+  /// Graceful-drain flag + a pointer to the active Run's wake condvar
+  /// so RequestStop() can rouse a reader blocked on admission control.
+  std::atomic<bool> stop_requested_{false};
+  std::mutex run_wake_mu_;
+  std::condition_variable* run_wake_cv_ = nullptr;
 };
 
 }  // namespace goggles::serve

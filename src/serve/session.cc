@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "serve/artifact.h"
+#include "util/failpoint.h"
 #include "util/parallel.h"
 
 namespace goggles::serve {
@@ -85,6 +86,17 @@ Result<OnlineLabel> Session::LabelOne(const data::Image& image) const {
 
 uint64_t Session::ApproxMemoryBytes() const {
   if (!fitted()) return sizeof(*this);
+#if defined(GOGGLES_FAILPOINTS)
+  // Alloc-pressure chaos site: inflating the reported footprint makes
+  // the registry's LRU budget evict aggressively, exercising
+  // eviction-under-pressure with in-flight requests still draining.
+  {
+    auto hit = failpoint::internal::Evaluate("session.memory.pressure");
+    if (hit.action == failpoint::Action::kReturnError && hit.arg > 0) {
+      return static_cast<uint64_t>(hit.arg);
+    }
+  }
+#endif
   uint64_t bytes = sizeof(*this);
   if (source_ != nullptr) bytes += source_->ApproxMemoryBytes();
   bytes += model_.ApproxMemoryBytes();
@@ -104,6 +116,15 @@ Status Session::Save(const std::string& path) const {
   return SaveArtifactFile(path, top_z_, source_->num_layers(),
                           source_->fingerprint(), model_, source_->layers(),
                           pool_result_.soft_labels, pool_result_.hard_labels);
+}
+
+Status Session::SaveAtomic(const std::string& path) const {
+  if (!fitted()) {
+    return Status::InvalidArgument("Session::Save: session is not fitted");
+  }
+  return SaveArtifactFileAtomic(
+      path, top_z_, source_->num_layers(), source_->fingerprint(), model_,
+      source_->layers(), pool_result_.soft_labels, pool_result_.hard_labels);
 }
 
 Result<Session> Session::Load(

@@ -82,6 +82,11 @@ class Session {
   /// \brief Persists the fitted session as a versioned artifact file.
   Status Save(const std::string& path) const;
 
+  /// \brief Crash-safe Save: stages into a pid-suffixed temp file,
+  /// fsyncs, then renames over `path` (see SaveArtifactFileAtomic). Use
+  /// when publishing into a directory a live registry is watching.
+  Status SaveAtomic(const std::string& path) const;
+
   /// \brief Restores a session from an artifact. The extractor must be
   /// the same backbone the artifact was fitted with (same pool-layer
   /// count and channel widths; checked on load / first query).

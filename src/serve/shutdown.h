@@ -1,0 +1,71 @@
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <thread>
+
+#include <pthread.h>
+#include <signal.h>
+
+/// \file shutdown.h
+/// \brief Signal-driven graceful drain for the serve binary.
+///
+/// `goggles_serve` reads requests in a blocking std::getline loop, so a
+/// bare SIGTERM would either kill the process mid-response (default
+/// disposition) or never be seen (handler runs but the loop stays parked
+/// in read(2) if the libc restarts it). GracefulShutdown turns SIGTERM /
+/// SIGINT into a clean drain instead:
+///
+///  1. The constructor BLOCKS both signals in the calling thread before
+///     Service::Run spawns its workers — every later thread inherits the
+///     mask, so no thread takes the default (terminating) disposition.
+///  2. A watcher thread collects them with sigtimedwait in short slices.
+///     On delivery it runs the caller's callback (typically
+///     Service::RequestStop) and pokes the constructing thread with
+///     SIGUSR1, whose no-op handler is installed WITHOUT SA_RESTART so a
+///     read(2) parked under std::getline returns EINTR and the reader
+///     loop observes the stop flag.
+///  3. The destructor stops the watcher and restores the original mask
+///     and SIGUSR1 disposition.
+///
+/// Construct it on the thread that will call Service::Run, after the
+/// Service exists and before Run is entered.
+
+namespace goggles::serve {
+
+/// \brief RAII SIGTERM/SIGINT watcher: runs a drain callback on the
+/// first signal and interrupts the constructing thread's blocking read.
+class GracefulShutdown {
+ public:
+  /// \brief Installs the mask/handler and starts the watcher.
+  /// `on_signal` runs once, on the watcher thread, at the first SIGTERM
+  /// or SIGINT; it must be async-thread-safe (not signal-handler-safe —
+  /// it runs on a normal thread) and is typically
+  /// `[&service] { service.RequestStop(); }`.
+  explicit GracefulShutdown(std::function<void()> on_signal);
+
+  /// \brief Stops the watcher and restores the previous signal state.
+  ~GracefulShutdown();
+
+  GracefulShutdown(const GracefulShutdown&) = delete;
+  GracefulShutdown& operator=(const GracefulShutdown&) = delete;
+
+  /// \brief True once a SIGTERM/SIGINT triggered the drain callback.
+  bool signalled() const { return signal_number_.load() != 0; }
+
+  /// \brief The signal that triggered the drain (0 if none yet).
+  int signal_number() const { return signal_number_.load(); }
+
+ private:
+  void WatchLoop();
+
+  std::function<void()> on_signal_;
+  std::atomic<int> signal_number_{0};
+  std::atomic<bool> stop_{false};
+  pthread_t main_thread_{};
+  sigset_t old_mask_{};
+  struct sigaction old_usr1_ {};
+  std::thread watcher_;
+};
+
+}  // namespace goggles::serve

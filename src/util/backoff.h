@@ -1,0 +1,72 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+
+/// \file backoff.h
+/// \brief Capped exponential backoff with decorrelated jitter, for
+/// retrying transient failures (e.g. an artifact load racing a publish).
+///
+/// Usage:
+///     BackoffPolicy policy;                 // or tune the fields
+///     Backoff backoff(policy, /*seed=*/42);
+///     while (true) {
+///       if (TryTheThing().ok()) break;
+///       int64_t delay = backoff.NextDelayMicros();
+///       if (delay < 0) return error;        // attempts exhausted
+///       SleepForMicros(delay);
+///     }
+///
+/// The delay for attempt k is drawn uniformly from
+/// [initial/2 * m^k, initial * m^k] (full-jitter on the upper half),
+/// clamped to `max_delay_micros` — jitter prevents retry convoys when
+/// many sessions chase the same recovering file.
+
+namespace goggles {
+
+/// \brief Tuning for a retry loop.
+struct BackoffPolicy {
+  /// Total tries including the first; NextDelayMicros() returns a
+  /// negative value once they are exhausted. <= 1 disables retries.
+  int max_attempts = 4;
+  /// Upper bound of the first retry delay.
+  int64_t initial_delay_micros = 2000;
+  /// Growth factor per retry.
+  double multiplier = 4.0;
+  /// Cap on any single delay.
+  int64_t max_delay_micros = 200000;
+  /// false = deterministic (always the upper bound); true = jittered.
+  bool jitter = true;
+};
+
+/// \brief Iterator over the delays of one retry loop. Not thread-safe;
+/// make one per loop.
+class Backoff {
+ public:
+  explicit Backoff(BackoffPolicy policy, uint64_t seed = 0)
+      : policy_(policy), rng_(seed) {}
+
+  /// \brief Micros to sleep before the next retry, or a negative value
+  /// when the attempt budget is exhausted.
+  int64_t NextDelayMicros() {
+    ++attempt_;
+    if (attempt_ >= policy_.max_attempts) return -1;
+    double upper = static_cast<double>(policy_.initial_delay_micros);
+    for (int i = 1; i < attempt_; ++i) upper *= policy_.multiplier;
+    upper = std::min(upper, static_cast<double>(policy_.max_delay_micros));
+    if (!policy_.jitter) return static_cast<int64_t>(upper);
+    std::uniform_real_distribution<double> dist(upper * 0.5, upper);
+    return static_cast<int64_t>(dist(rng_));
+  }
+
+  /// \brief Completed attempts so far.
+  int attempts() const { return attempt_; }
+
+ private:
+  BackoffPolicy policy_;
+  std::mt19937_64 rng_;
+  int attempt_ = 0;
+};
+
+}  // namespace goggles

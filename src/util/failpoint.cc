@@ -1,0 +1,290 @@
+#include "util/failpoint.h"
+
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <random>
+
+#include "util/clock.h"
+#include "util/env.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace goggles::failpoint {
+namespace {
+
+/// Registry state for one failpoint: the armed spec plus lifetime
+/// counters (kept after disarm so tests can assert trigger counts).
+struct Entry {
+  Spec spec;
+  uint64_t hits = 0;
+  uint64_t triggers = 0;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, Entry> points;
+  /// Fixed seed: trigger sequences are reproducible given the arm order
+  /// and hit order.
+  std::mt19937_64 rng{0x676f67676c6573ULL};  // "goggles"
+  bool env_parsed = false;
+};
+
+Registry& GlobalRegistry() {
+  static Registry* r = new Registry();  // leaked: usable during shutdown
+  return *r;
+}
+
+int ArmedCountLocked(Registry& r) {
+  int armed = 0;
+  for (const auto& [name, entry] : r.points) {
+    (void)name;
+    if (entry.spec.action != Action::kOff) ++armed;
+  }
+  return armed;
+}
+
+void RefreshArmedCountLocked(Registry& r) {
+  internal::g_armed_count.store(ArmedCountLocked(r),
+                                std::memory_order_relaxed);
+}
+
+Result<Action> ParseAction(const std::string& token) {
+  if (token == "return-error") return Action::kReturnError;
+  if (token == "delay-ms") return Action::kDelayMs;
+  if (token == "partial-write") return Action::kPartialWrite;
+  if (token == "crash-here") return Action::kCrashHere;
+  if (token == "off") return Action::kOff;
+  return Status::InvalidArgument("unknown failpoint action '" + token + "'");
+}
+
+/// Parses `action[(arg)][:prob][:count]` into a Spec.
+Result<Spec> ParseSpec(const std::string& text) {
+  Spec spec;
+  std::vector<std::string> fields = Split(text, ':');
+  if (fields.empty() || fields[0].empty()) {
+    return Status::InvalidArgument("empty failpoint spec");
+  }
+  std::string action_token = fields[0];
+  size_t open = action_token.find('(');
+  if (open != std::string::npos) {
+    if (action_token.back() != ')') {
+      return Status::InvalidArgument("unterminated failpoint arg in '" +
+                                     text + "'");
+    }
+    std::string arg_text =
+        action_token.substr(open + 1, action_token.size() - open - 2);
+    action_token = action_token.substr(0, open);
+    try {
+      size_t used = 0;
+      spec.arg = std::stoll(arg_text, &used);
+      if (used != arg_text.size()) throw std::invalid_argument(arg_text);
+    } catch (const std::exception&) {
+      return Status::InvalidArgument("bad failpoint arg '" + arg_text + "'");
+    }
+  }
+  GOGGLES_ASSIGN_OR_RETURN(spec.action, ParseAction(action_token));
+  if (fields.size() > 3) {
+    return Status::InvalidArgument("too many ':' fields in failpoint spec '" +
+                                   text + "'");
+  }
+  if (fields.size() >= 2 && !fields[1].empty()) {
+    try {
+      size_t used = 0;
+      spec.probability = std::stod(fields[1], &used);
+      if (used != fields[1].size()) throw std::invalid_argument(fields[1]);
+    } catch (const std::exception&) {
+      return Status::InvalidArgument("bad failpoint probability '" +
+                                     fields[1] + "'");
+    }
+    if (spec.probability < 0.0 || spec.probability > 1.0) {
+      return Status::OutOfRange("failpoint probability must be in [0,1], got " +
+                                fields[1]);
+    }
+  }
+  if (fields.size() >= 3 && !fields[2].empty()) {
+    try {
+      size_t used = 0;
+      spec.count = std::stoll(fields[2], &used);
+      if (used != fields[2].size()) throw std::invalid_argument(fields[2]);
+    } catch (const std::exception&) {
+      return Status::InvalidArgument("bad failpoint count '" + fields[2] +
+                                     "'");
+    }
+  }
+  return spec;
+}
+
+Status ArmFromEnvSpecLocked(Registry& r, const std::string& env_spec) {
+  for (const std::string& item : Split(env_spec, ';')) {
+    std::string trimmed = Trim(item);
+    if (trimmed.empty()) continue;
+    size_t eq = trimmed.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::InvalidArgument("failpoint env entry '" + trimmed +
+                                     "' is not name=spec");
+    }
+    std::string name = Trim(trimmed.substr(0, eq));
+    GOGGLES_ASSIGN_OR_RETURN(Spec spec,
+                             ParseSpec(Trim(trimmed.substr(eq + 1))));
+    r.points[name].spec = spec;
+  }
+  RefreshArmedCountLocked(r);
+  return Status::OK();
+}
+
+/// Parses GOGGLES_FAILPOINTS once; malformed entries warn and are
+/// skipped as a whole (matching the strict env-knob policy: never
+/// half-apply a malformed value).
+void MaybeParseEnvLocked(Registry& r) {
+  if (r.env_parsed) return;
+  r.env_parsed = true;
+  std::string env_spec = GetEnvOr("GOGGLES_FAILPOINTS", "");
+  // CMake truthiness ("ON"/"1") leaks into child environments in some CI
+  // setups; only strings containing '=' are arm specs.
+  if (env_spec.empty() || env_spec.find('=') == std::string::npos) return;
+  Status st = ArmFromEnvSpecLocked(r, env_spec);
+  if (!st.ok()) {
+    GOGGLES_LOG(WARNING) << "ignoring GOGGLES_FAILPOINTS: " << st.ToString();
+  }
+}
+
+}  // namespace
+
+bool CompiledIn() {
+#if defined(GOGGLES_FAILPOINTS)
+  return true;
+#else
+  return false;
+#endif
+}
+
+const char* ActionName(Action action) {
+  switch (action) {
+    case Action::kOff:
+      return "off";
+    case Action::kReturnError:
+      return "return-error";
+    case Action::kDelayMs:
+      return "delay-ms";
+    case Action::kPartialWrite:
+      return "partial-write";
+    case Action::kCrashHere:
+      return "crash-here";
+  }
+  return "off";
+}
+
+Status Arm(const std::string& name, const Spec& spec) {
+  if (name.empty()) {
+    return Status::InvalidArgument("failpoint name must be non-empty");
+  }
+  if (spec.probability < 0.0 || spec.probability > 1.0) {
+    return Status::OutOfRange("failpoint probability must be in [0,1]");
+  }
+  Registry& r = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  MaybeParseEnvLocked(r);
+  r.points[name].spec = spec;
+  RefreshArmedCountLocked(r);
+  return Status::OK();
+}
+
+Status ArmFromString(const std::string& name, const std::string& spec_text) {
+  GOGGLES_ASSIGN_OR_RETURN(Spec spec, ParseSpec(spec_text));
+  return Arm(name, spec);
+}
+
+Status ArmFromEnvSpec(const std::string& env_spec) {
+  Registry& r = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  MaybeParseEnvLocked(r);
+  return ArmFromEnvSpecLocked(r, env_spec);
+}
+
+Status Disarm(const std::string& name) {
+  Registry& r = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.points.find(name);
+  if (it != r.points.end()) it->second.spec = Spec{};
+  RefreshArmedCountLocked(r);
+  return Status::OK();
+}
+
+void DisarmAll() {
+  Registry& r = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (auto& [name, entry] : r.points) {
+    (void)name;
+    entry.spec = Spec{};
+  }
+  RefreshArmedCountLocked(r);
+}
+
+std::vector<Info> List() {
+  Registry& r = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  MaybeParseEnvLocked(r);
+  std::vector<Info> out;
+  out.reserve(r.points.size());
+  for (const auto& [name, entry] : r.points) {
+    out.push_back(Info{name, entry.spec, entry.hits, entry.triggers});
+  }
+  return out;
+}
+
+uint64_t TriggerCount(const std::string& name) {
+  Registry& r = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.points.find(name);
+  return it == r.points.end() ? 0 : it->second.triggers;
+}
+
+namespace internal {
+
+std::atomic<int> g_armed_count{0};
+
+Hit Evaluate(const char* name) {
+  int64_t delay_ms = -1;
+  bool crash = false;
+  Hit hit;
+  {
+    Registry& r = GlobalRegistry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    MaybeParseEnvLocked(r);
+    auto it = r.points.find(name);
+    if (it == r.points.end() || it->second.spec.action == Action::kOff) {
+      return hit;
+    }
+    Entry& entry = it->second;
+    entry.hits++;
+    if (entry.spec.probability < 1.0) {
+      std::uniform_real_distribution<double> dist(0.0, 1.0);
+      if (dist(r.rng) >= entry.spec.probability) return hit;
+    }
+    entry.triggers++;
+    hit.action = entry.spec.action;
+    hit.arg = entry.spec.arg;
+    if (entry.spec.count > 0 && --entry.spec.count == 0) {
+      entry.spec.action = Action::kOff;
+      RefreshArmedCountLocked(r);
+    }
+    if (hit.action == Action::kDelayMs) delay_ms = hit.arg;
+    if (hit.action == Action::kCrashHere) crash = true;
+  }
+  // Side effects happen outside the registry lock.
+  if (crash) {
+    GOGGLES_LOG(ERROR) << "failpoint '" << name << "': crash-here";
+    std::abort();
+  }
+  if (delay_ms >= 0) SleepForMicros(delay_ms * 1000);
+  return hit;
+}
+
+Status InjectedError(const char* name) {
+  return Status::IOError(std::string("injected failure at failpoint '") +
+                         name + "'");
+}
+
+}  // namespace internal
+}  // namespace goggles::failpoint

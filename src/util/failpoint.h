@@ -1,0 +1,194 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+/// \file failpoint.h
+/// \brief Named fault-injection points for chaos testing the serve stack.
+///
+/// A failpoint is a named hook compiled into production code paths:
+///
+///     GOGGLES_FAILPOINT_RETURN("artifact.load.read");   // inject an error
+///     GOGGLES_FAILPOINT("registry.load.slow");           // inject a delay
+///
+/// In a default build the macros expand to nothing — zero instructions,
+/// zero branches, zero data. Configuring with `-DGOGGLES_FAILPOINTS=ON`
+/// compiles the hooks in; even then a disarmed failpoint costs one
+/// relaxed atomic load of a global counter (the fast path short-circuits
+/// before any name lookup while no failpoint is armed).
+///
+/// Armed behavior is a `Spec`:
+///   - action: what to do when the point is hit
+///       * kReturnError  — evaluate to an error Status (the macro returns it)
+///       * kDelayMs      — sleep `arg` milliseconds, then continue
+///       * kPartialWrite — truncate an I/O operation to `arg` bytes
+///                         (sites that support it use
+///                         GOGGLES_FAILPOINT_CLAMP to read the clamp)
+///       * kCrashHere    — std::abort() at the point (crash-safety tests)
+///   - probability: chance in [0,1] each hit triggers (default 1.0)
+///   - count: trigger at most this many times, then auto-disarm
+///            (<=0 = unlimited)
+///
+/// Arm programmatically (`failpoint::Arm`), through the environment
+/// (`GOGGLES_FAILPOINTS="name=action[(arg)][:prob][:count];..."`, parsed
+/// once at first use), or over the serve gateway via the `failpoint` op.
+/// Spec grammar examples:
+///     artifact.load.read=return-error
+///     registry.load.slow=delay-ms(50):0.5
+///     artifact.save.partial=partial-write(12)
+///     artifact.publish.rename=crash-here:1:1
+///
+/// Triggering is deterministic given the arm order and hit sequence: the
+/// probability draw uses a fixed-seed generator owned by the registry.
+
+namespace goggles::failpoint {
+
+/// \brief What an armed failpoint does when it triggers.
+enum class Action : int {
+  kOff = 0,
+  kReturnError = 1,
+  kDelayMs = 2,
+  kPartialWrite = 3,
+  kCrashHere = 4,
+};
+
+/// \brief Armed configuration for one named failpoint.
+struct Spec {
+  Action action = Action::kOff;
+  /// Action argument: milliseconds for kDelayMs, byte clamp for
+  /// kPartialWrite; ignored otherwise.
+  int64_t arg = 0;
+  /// Chance each hit triggers, in [0, 1].
+  double probability = 1.0;
+  /// Remaining triggers before auto-disarm; <= 0 means unlimited.
+  int64_t count = 0;
+};
+
+/// \brief One row of List(): a named failpoint and its live state.
+struct Info {
+  std::string name;
+  Spec spec;
+  uint64_t hits = 0;      ///< Times the site was evaluated while armed.
+  uint64_t triggers = 0;  ///< Times the action actually fired.
+};
+
+/// \brief True iff fault-injection hooks were compiled into this binary
+/// (build configured with -DGOGGLES_FAILPOINTS=ON).
+bool CompiledIn();
+
+/// \brief Spec-grammar token for an Action ("return-error", "delay-ms",
+/// "partial-write", "crash-here", "off").
+const char* ActionName(Action action);
+
+/// \brief Arms `name` with `spec`. Replaces any existing arm.
+Status Arm(const std::string& name, const Spec& spec);
+
+/// \brief Arms from a single spec string `action[(arg)][:prob][:count]`.
+Status ArmFromString(const std::string& name, const std::string& spec);
+
+/// \brief Parses `name=spec[;name=spec...]` (the GOGGLES_FAILPOINTS
+/// environment grammar) and arms each entry.
+Status ArmFromEnvSpec(const std::string& env_spec);
+
+/// \brief Disarms `name`. OK even if it was not armed.
+Status Disarm(const std::string& name);
+
+/// \brief Disarms everything (test teardown).
+void DisarmAll();
+
+/// \brief Snapshot of every failpoint armed or hit since process start.
+std::vector<Info> List();
+
+/// \brief Times `name` has triggered (0 if never armed).
+uint64_t TriggerCount(const std::string& name);
+
+namespace internal {
+
+/// Nonzero while at least one failpoint is armed; the macro fast path.
+extern std::atomic<int> g_armed_count;
+
+/// \brief Outcome of evaluating a failpoint site.
+struct Hit {
+  Action action = Action::kOff;
+  int64_t arg = 0;
+};
+
+/// \brief Slow path: looks `name` up, rolls probability, decrements
+/// count, applies kDelayMs / kCrashHere inline and reports kReturnError /
+/// kPartialWrite back to the macro. Also lazily parses the
+/// GOGGLES_FAILPOINTS environment variable on first call.
+Hit Evaluate(const char* name);
+
+/// \brief Error Status for a triggered kReturnError site.
+Status InjectedError(const char* name);
+
+}  // namespace internal
+}  // namespace goggles::failpoint
+
+#if defined(GOGGLES_FAILPOINTS)
+
+/// Evaluates the failpoint; kDelayMs sleeps and kCrashHere aborts inside
+/// Evaluate(). Use at sites with nothing to return or clamp.
+#define GOGGLES_FAILPOINT(name)                                            \
+  do {                                                                     \
+    if (::goggles::failpoint::internal::g_armed_count.load(               \
+            std::memory_order_relaxed) > 0) {                              \
+      (void)::goggles::failpoint::internal::Evaluate(name);                \
+    }                                                                      \
+  } while (false)
+
+/// Like GOGGLES_FAILPOINT, but a triggered return-error action makes the
+/// enclosing function return an injected error Status.
+#define GOGGLES_FAILPOINT_RETURN(name)                                     \
+  do {                                                                     \
+    if (::goggles::failpoint::internal::g_armed_count.load(               \
+            std::memory_order_relaxed) > 0) {                              \
+      auto _goggles_fp_hit =                                               \
+          ::goggles::failpoint::internal::Evaluate(name);                  \
+      if (_goggles_fp_hit.action ==                                        \
+          ::goggles::failpoint::Action::kReturnError) {                    \
+        return ::goggles::failpoint::internal::InjectedError(name);        \
+      }                                                                    \
+    }                                                                      \
+  } while (false)
+
+/// Clamps `size_lvalue` (any integral lvalue) to the armed partial-write
+/// byte count when the point triggers; also honors return-error.
+#define GOGGLES_FAILPOINT_CLAMP(name, size_lvalue)                         \
+  do {                                                                     \
+    if (::goggles::failpoint::internal::g_armed_count.load(               \
+            std::memory_order_relaxed) > 0) {                              \
+      auto _goggles_fp_hit =                                               \
+          ::goggles::failpoint::internal::Evaluate(name);                  \
+      if (_goggles_fp_hit.action ==                                        \
+          ::goggles::failpoint::Action::kReturnError) {                    \
+        return ::goggles::failpoint::internal::InjectedError(name);        \
+      }                                                                    \
+      if (_goggles_fp_hit.action ==                                        \
+              ::goggles::failpoint::Action::kPartialWrite &&               \
+          _goggles_fp_hit.arg >= 0 &&                                      \
+          static_cast<int64_t>(size_lvalue) > _goggles_fp_hit.arg) {       \
+        size_lvalue = static_cast<decltype(size_lvalue)>(                  \
+            _goggles_fp_hit.arg);                                          \
+      }                                                                    \
+    }                                                                      \
+  } while (false)
+
+#else  // !defined(GOGGLES_FAILPOINTS)
+
+#define GOGGLES_FAILPOINT(name) \
+  do {                          \
+  } while (false)
+#define GOGGLES_FAILPOINT_RETURN(name) \
+  do {                                 \
+  } while (false)
+#define GOGGLES_FAILPOINT_CLAMP(name, size_lvalue) \
+  do {                                             \
+  } while (false)
+
+#endif  // GOGGLES_FAILPOINTS

@@ -12,7 +12,10 @@
 #include <utility>
 #include <vector>
 
+#include <algorithm>
+
 #include "util/clock.h"
+#include "util/logging.h"
 #include "util/parallel.h"
 #include "util/spsc_queue.h"
 
@@ -95,6 +98,10 @@ struct PipelineStageStats {
   /// Times a producer found every input edge of this stage full and had
   /// to wait (or, for stage 0 in reject mode, gave up).
   uint64_t backpressured = 0;
+  /// Times the watchdog caught a worker inside one stage-function call
+  /// for longer than the stall budget (0 when the watchdog is off). One
+  /// stuck call counts once, not once per watchdog sweep.
+  uint64_t stalls = 0;
 };
 
 namespace pipeline_internal {
@@ -147,6 +154,17 @@ class Pipeline {
   Pipeline(const Pipeline&) = delete;
   Pipeline& operator=(const Pipeline&) = delete;
 
+  /// \brief Arms the stall watchdog: a monitor thread started by
+  /// Start() that flags any worker spending longer than `budget_micros`
+  /// inside a single stage-function call (surfaced as
+  /// PipelineStageStats::stalls and a warning log). 0 (default)
+  /// disables the watchdog entirely — no monitor thread, and workers
+  /// skip the per-batch timestamp stores, so the off state costs
+  /// nothing. Must be called before Start().
+  void SetWatchdogBudgetMicros(int64_t budget_micros) {
+    if (!started_) watchdog_budget_micros_ = budget_micros > 0 ? budget_micros : 0;
+  }
+
   /// \brief Appends a stage. Must be called before Start().
   void AddStage(PipelineStageConfig config, BatchFn fn) {
     if (started_) return;
@@ -185,12 +203,22 @@ class Pipeline {
       for (auto& db : st.doorbells) {
         db = std::make_unique<pipeline_internal::Doorbell>();
       }
+      if (watchdog_budget_micros_ > 0) {
+        st.batch_start.reserve(static_cast<size_t>(consumers));
+        for (int c = 0; c < consumers; ++c) {
+          st.batch_start.push_back(
+              std::make_unique<std::atomic<int64_t>>(0));
+        }
+      }
     }
     for (size_t s = 0; s < stages_.size(); ++s) {
       Stage& st = *stages_[s];
       for (int c = 0; c < st.config.num_threads; ++c) {
         st.threads.emplace_back([this, s, c] { WorkerLoop(s, c); });
       }
+    }
+    if (watchdog_budget_micros_ > 0) {
+      watchdog_thread_ = std::thread([this] { WatchdogLoop(); });
     }
   }
 
@@ -241,6 +269,14 @@ class Pipeline {
       for (auto& t : stage->threads) t.join();
       stage->threads.clear();
     }
+    if (watchdog_thread_.joinable()) {
+      {
+        std::lock_guard<std::mutex> lock(watchdog_mu_);
+        watchdog_stop_ = true;
+      }
+      watchdog_cv_.notify_all();
+      watchdog_thread_.join();
+    }
   }
 
   /// \brief Per-stage counters + live queue depths (approximate while
@@ -262,6 +298,7 @@ class Pipeline {
       s.batches = stage->batches.load(std::memory_order_relaxed);
       s.backpressured =
           stage->backpressured.load(std::memory_order_relaxed);
+      s.stalls = stage->stalls.load(std::memory_order_relaxed);
       out.push_back(std::move(s));
     }
     return out;
@@ -290,6 +327,11 @@ class Pipeline {
     std::atomic<uint64_t> items{0};
     std::atomic<uint64_t> batches{0};
     std::atomic<uint64_t> backpressured{0};
+    std::atomic<uint64_t> stalls{0};
+    /// MonotonicMicros() when consumer c entered its current
+    /// stage-function call, 0 while not inside one. Allocated (and
+    /// written by workers) only when the watchdog is armed.
+    std::vector<std::unique_ptr<std::atomic<int64_t>>> batch_start;
   };
 
   /// \brief Blocking push used between internal stages (items must
@@ -408,7 +450,14 @@ class Pipeline {
       }
       st.items.fetch_add(batch.size(), std::memory_order_relaxed);
       st.batches.fetch_add(1, std::memory_order_relaxed);
-      st.fn(batch);
+      if (watchdog_budget_micros_ > 0) {
+        auto& start = *st.batch_start[static_cast<size_t>(consumer_idx)];
+        start.store(MonotonicMicros(), std::memory_order_relaxed);
+        st.fn(batch);
+        start.store(0, std::memory_order_relaxed);
+      } else {
+        st.fn(batch);
+      }
       if (stage_idx + 1 < stages_.size()) {
         for (auto& item : batch) {
           PushToStage(stage_idx + 1, consumer_idx, downstream_rr, item);
@@ -430,12 +479,52 @@ class Pipeline {
     }
   }
 
+  /// Samples every armed stage's per-consumer batch timestamps and
+  /// counts each stage-function call that overruns the budget exactly
+  /// once (keyed by its start timestamp, so a long-stuck call is not
+  /// re-counted every sweep).
+  void WatchdogLoop() {
+    const int64_t budget = watchdog_budget_micros_;
+    const int64_t sweep_micros = std::max<int64_t>(budget / 4, 1000);
+    // Last start timestamp already flagged, per [stage][consumer].
+    std::vector<std::vector<int64_t>> flagged(stages_.size());
+    for (size_t s = 0; s < stages_.size(); ++s) {
+      flagged[s].resize(stages_[s]->batch_start.size(), 0);
+    }
+    std::unique_lock<std::mutex> lock(watchdog_mu_);
+    while (!watchdog_stop_) {
+      watchdog_cv_.wait_for(lock, std::chrono::microseconds(sweep_micros));
+      if (watchdog_stop_) break;
+      const int64_t now = MonotonicMicros();
+      for (size_t s = 0; s < stages_.size(); ++s) {
+        Stage& st = *stages_[s];
+        for (size_t c = 0; c < st.batch_start.size(); ++c) {
+          const int64_t start =
+              st.batch_start[c]->load(std::memory_order_relaxed);
+          if (start == 0 || now - start < budget) continue;
+          if (flagged[s][c] == start) continue;  // same stuck call
+          flagged[s][c] = start;
+          st.stalls.fetch_add(1, std::memory_order_relaxed);
+          GOGGLES_LOG(WARNING)
+              << "pipeline watchdog: stage '" << st.config.name
+              << "' worker " << c << " stuck in one batch for "
+              << (now - start) << "us (budget " << budget << "us)";
+        }
+      }
+    }
+  }
+
   std::vector<std::unique_ptr<Stage>> stages_;
   SinkFn sink_;
   bool started_ = false;
   bool drained_ = false;
   uint64_t submit_rr_ = 0;
   int kernel_budget_ = 0;
+  int64_t watchdog_budget_micros_ = 0;
+  std::thread watchdog_thread_;
+  std::mutex watchdog_mu_;
+  std::condition_variable watchdog_cv_;
+  bool watchdog_stop_ = false;
 };
 
 }  // namespace goggles

@@ -20,8 +20,38 @@ const char* StatusCodeToString(StatusCode code) {
       return "IOError";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
+}
+
+const char* StatusCodeToErrorCode(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid_argument";
+    case StatusCode::kOutOfRange:
+      return "out_of_range";
+    case StatusCode::kNotFound:
+      return "not_found";
+    case StatusCode::kAlreadyExists:
+      return "already_exists";
+    case StatusCode::kNotImplemented:
+      return "unimplemented";
+    case StatusCode::kIOError:
+      return "io_error";
+    case StatusCode::kInternal:
+      return "internal";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case StatusCode::kUnavailable:
+      return "unavailable";
+  }
+  return "internal";
 }
 
 std::string Status::ToString() const {

@@ -23,10 +23,18 @@ enum class StatusCode : int {
   kNotImplemented = 5,
   kIOError = 6,
   kInternal = 7,
+  kDeadlineExceeded = 8,
+  kUnavailable = 9,
 };
 
 /// \brief Returns a human-readable name for a StatusCode.
 const char* StatusCodeToString(StatusCode code);
+
+/// \brief Returns the stable machine-readable error identifier for a
+/// StatusCode (snake_case, e.g. "invalid_argument"). These strings are
+/// part of the serve protocol (the `error_code` response field,
+/// docs/serve_protocol.md) and must never change once published.
+const char* StatusCodeToErrorCode(StatusCode code);
 
 /// \brief Outcome of an operation: OK, or an error code plus message.
 ///
@@ -64,6 +72,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   /// \brief True iff the operation succeeded.

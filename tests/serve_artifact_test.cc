@@ -1,8 +1,12 @@
 #include "serve/artifact.h"
 
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -55,6 +59,50 @@ std::string ReadFile(const std::string& path) {
 void WriteFile(const std::string& path, const std::string& bytes) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// One section of a serialized artifact, located by walking the headers:
+/// `header` is the section-header offset, `crc` the offset of the u32
+/// CRC field, `payload` the payload start, `end` one past the payload.
+struct SectionSpan {
+  size_t header = 0;
+  size_t crc = 0;
+  size_t payload = 0;
+  size_t end = 0;
+};
+
+/// Walks the GGSA layout (12-byte file header, then per section
+/// u32 tag | u64 payload_bytes | u32 crc | payload) and returns every
+/// section's span — the corruption matrix derives its cut/flip points
+/// from these instead of hard-coding offsets.
+std::vector<SectionSpan> ParseSectionSpans(const std::string& bytes) {
+  auto read_u32 = [&](size_t off) {
+    uint32_t v = 0;
+    std::memcpy(&v, bytes.data() + off, sizeof(v));
+    return v;
+  };
+  auto read_u64 = [&](size_t off) {
+    uint64_t v = 0;
+    std::memcpy(&v, bytes.data() + off, sizeof(v));
+    return v;
+  };
+  EXPECT_GE(bytes.size(), 12u);
+  const uint32_t section_count = read_u32(8);
+  std::vector<SectionSpan> spans;
+  size_t off = 12;
+  for (uint32_t s = 0; s < section_count; ++s) {
+    SectionSpan span;
+    span.header = off;
+    const uint64_t payload_bytes = read_u64(off + 4);
+    span.crc = off + 12;
+    span.payload = off + 16;
+    span.end = span.payload + static_cast<size_t>(payload_bytes);
+    EXPECT_LE(span.end, bytes.size());
+    spans.push_back(span);
+    off = span.end;
+  }
+  EXPECT_EQ(off, bytes.size()) << "section walk must consume the file";
+  return spans;
 }
 
 class ServeArtifactTest : public ::testing::Test {
@@ -246,6 +294,121 @@ TEST_F(ServeArtifactTest, UnsupportedVersionIsRejected) {
   ASSERT_FALSE(loaded.ok());
   EXPECT_NE(loaded.status().message().find("version"), std::string::npos);
   std::remove(path.c_str());
+}
+
+TEST_F(ServeArtifactTest, CorruptionMatrixTruncationAtEverySectionBoundary) {
+  const std::string path = TempPath("matrix_trunc.ggsa");
+  ASSERT_TRUE(session_->Save(path).ok());
+  const std::string bytes = ReadFile(path);
+  const std::vector<SectionSpan> spans = ParseSectionSpans(bytes);
+  ASSERT_GE(spans.size(), 4u);
+  // Every structurally meaningful boundary: each section's header
+  // start, its CRC field, its payload start, mid-payload, and one byte
+  // short of its end. A cut at any of them must load as a clean error.
+  for (size_t s = 0; s < spans.size(); ++s) {
+    const SectionSpan& span = spans[s];
+    for (size_t cut : {span.header, span.crc, span.payload,
+                       span.payload + (span.end - span.payload) / 2,
+                       span.end - 1}) {
+      WriteFile(path, bytes.substr(0, cut));
+      auto loaded = serve::Artifact::Load(path);
+      ASSERT_FALSE(loaded.ok())
+          << "truncation at byte " << cut << " (section " << s
+          << ") not detected";
+      EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+      EXPECT_STREQ(StatusCodeToErrorCode(loaded.status().code()), "io_error");
+    }
+  }
+  // Cutting exactly at a section end leaves a well-formed prefix but a
+  // wrong section count — still an error, never a partial artifact.
+  for (size_t s = 0; s + 1 < spans.size(); ++s) {
+    WriteFile(path, bytes.substr(0, spans[s].end));
+    EXPECT_FALSE(serve::Artifact::Load(path).ok())
+        << "missing sections after " << s << " not detected";
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(ServeArtifactTest, CorruptionMatrixFlippedCrcByte) {
+  const std::string path = TempPath("matrix_crc.ggsa");
+  ASSERT_TRUE(session_->Save(path).ok());
+  const std::string bytes = ReadFile(path);
+  // Flip one byte of every section's stored CRC: the payload is intact,
+  // so only the checksum compare can catch it.
+  for (size_t s = 0; s < ParseSectionSpans(bytes).size(); ++s) {
+    const SectionSpan span = ParseSectionSpans(bytes)[s];
+    std::string corrupted = bytes;
+    corrupted[span.crc] = static_cast<char>(corrupted[span.crc] ^ 0x01);
+    WriteFile(path, corrupted);
+    auto loaded = serve::Artifact::Load(path);
+    ASSERT_FALSE(loaded.ok()) << "flipped CRC of section " << s;
+    EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+    EXPECT_NE(loaded.status().message().find("CRC mismatch"),
+              std::string::npos)
+        << loaded.status();
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(ServeArtifactTest, CorruptionMatrixTrailingBytesAreRejected) {
+  const std::string path = TempPath("matrix_trailing.ggsa");
+  ASSERT_TRUE(session_->Save(path).ok());
+  const std::string bytes = ReadFile(path);
+  for (size_t extra : {size_t{1}, size_t{16}, size_t{4096}}) {
+    WriteFile(path, bytes + std::string(extra, '\x7f'));
+    auto loaded = serve::Artifact::Load(path);
+    ASSERT_FALSE(loaded.ok()) << extra << " trailing bytes not detected";
+    EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(ServeArtifactTest, CorruptionMatrixZeroByteFile) {
+  const std::string path = TempPath("matrix_empty.ggsa");
+  WriteFile(path, "");
+  auto loaded = serve::Artifact::Load(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+  std::remove(path.c_str());
+}
+
+TEST_F(ServeArtifactTest, SaveAtomicRoundTripsAndLeavesNoTemp) {
+  const std::string dir = TempPath("atomic_dir");
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/atomic.ggsa";
+  ASSERT_TRUE(session_->SaveAtomic(path).ok());
+
+  // Byte-identical to a plain Save, and no staging temp left behind.
+  const std::string direct = TempPath("atomic_direct.ggsa");
+  ASSERT_TRUE(session_->Save(direct).ok());
+  EXPECT_EQ(ReadFile(path), ReadFile(direct));
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    EXPECT_FALSE(
+        serve::IsArtifactTempFilename(entry.path().filename().string()))
+        << "stray temp: " << entry.path();
+  }
+
+  auto loaded = serve::Session::Load(path, *extractor_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->pool_fingerprint(), session_->pool_fingerprint());
+
+  // SaveAtomic over an existing artifact replaces it whole.
+  ASSERT_TRUE(session_->SaveAtomic(path).ok());
+  EXPECT_TRUE(serve::Session::Load(path, *extractor_).ok());
+
+  std::remove(direct.c_str());
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(ServeArtifactTest, TempFilenameGrammar) {
+  const std::string temp = serve::ArtifactTempPath("/x/task.ggsa");
+  EXPECT_TRUE(serve::IsArtifactTempFilename(
+      std::filesystem::path(temp).filename().string()));
+  EXPECT_TRUE(serve::IsArtifactTempFilename("task.ggsa.tmp-1234"));
+  EXPECT_FALSE(serve::IsArtifactTempFilename("task.ggsa"));
+  EXPECT_FALSE(serve::IsArtifactTempFilename("task.ggsa.tmp-"));
+  EXPECT_FALSE(serve::IsArtifactTempFilename("task.ggsa.tmp-12x4"));
+  EXPECT_FALSE(serve::IsArtifactTempFilename("tmp-1234"));
 }
 
 TEST_F(ServeArtifactTest, SavingAnUnfittedSessionIsRejected) {

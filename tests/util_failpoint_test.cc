@@ -1,0 +1,146 @@
+#include "util/failpoint.h"
+
+#include <gtest/gtest.h>
+
+#include "util/backoff.h"
+#include "util/clock.h"
+
+/// Failpoint registry semantics (spec grammar, probability, counted
+/// auto-disarm, trigger accounting) and the retry Backoff schedule. The
+/// registry API is live in every build — only the GOGGLES_FAILPOINT
+/// macro *sites* compile away — so these tests run in the default build
+/// by driving failpoint::internal::Evaluate directly.
+
+namespace goggles {
+namespace {
+
+using failpoint::Action;
+using failpoint::Spec;
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { failpoint::DisarmAll(); }
+  void TearDown() override { failpoint::DisarmAll(); }
+};
+
+TEST_F(FailpointTest, DisarmedSiteDoesNothing) {
+  auto hit = failpoint::internal::Evaluate("never.armed");
+  EXPECT_EQ(hit.action, Action::kOff);
+}
+
+TEST_F(FailpointTest, ArmedReturnErrorTriggersAndCounts) {
+  ASSERT_TRUE(failpoint::ArmFromString("t.err", "return-error").ok());
+  auto hit = failpoint::internal::Evaluate("t.err");
+  EXPECT_EQ(hit.action, Action::kReturnError);
+  EXPECT_EQ(failpoint::TriggerCount("t.err"), 1u);
+
+  const Status injected = failpoint::internal::InjectedError("t.err");
+  EXPECT_EQ(injected.code(), StatusCode::kIOError);
+  EXPECT_NE(injected.message().find("t.err"), std::string::npos);
+
+  ASSERT_TRUE(failpoint::Disarm("t.err").ok());
+  EXPECT_EQ(failpoint::internal::Evaluate("t.err").action, Action::kOff);
+}
+
+TEST_F(FailpointTest, SpecGrammarParsesArgProbabilityAndCount) {
+  ASSERT_TRUE(
+      failpoint::ArmFromString("t.partial", "partial-write(12)").ok());
+  auto hit = failpoint::internal::Evaluate("t.partial");
+  EXPECT_EQ(hit.action, Action::kPartialWrite);
+  EXPECT_EQ(hit.arg, 12);
+
+  ASSERT_TRUE(failpoint::ArmFromString("t.full", "delay-ms(1):0.5:3").ok());
+  bool found = false;
+  for (const auto& info : failpoint::List()) {
+    if (info.name != "t.full") continue;
+    found = true;
+    EXPECT_EQ(info.spec.action, Action::kDelayMs);
+    EXPECT_EQ(info.spec.arg, 1);
+    EXPECT_DOUBLE_EQ(info.spec.probability, 0.5);
+    EXPECT_EQ(info.spec.count, 3);
+  }
+  EXPECT_TRUE(found);
+
+  EXPECT_FALSE(failpoint::ArmFromString("t.bad", "explode").ok());
+  EXPECT_FALSE(failpoint::ArmFromString("t.bad", "return-error:2.0").ok());
+  EXPECT_FALSE(failpoint::ArmFromString("t.bad", "delay-ms(oops)").ok());
+  EXPECT_FALSE(failpoint::ArmFromString("", "return-error").ok());
+}
+
+TEST_F(FailpointTest, EnvGrammarArmsMultiplePoints) {
+  ASSERT_TRUE(failpoint::ArmFromEnvSpec(
+                  "t.a=return-error; t.b=partial-write(7):1:2")
+                  .ok());
+  EXPECT_EQ(failpoint::internal::Evaluate("t.a").action,
+            Action::kReturnError);
+  EXPECT_EQ(failpoint::internal::Evaluate("t.b").arg, 7);
+  EXPECT_FALSE(failpoint::ArmFromEnvSpec("just-a-word").ok());
+}
+
+TEST_F(FailpointTest, CountedArmAutoDisarms) {
+  ASSERT_TRUE(failpoint::ArmFromString("t.count", "return-error:1:2").ok());
+  EXPECT_EQ(failpoint::internal::Evaluate("t.count").action,
+            Action::kReturnError);
+  EXPECT_EQ(failpoint::internal::Evaluate("t.count").action,
+            Action::kReturnError);
+  // Third hit: the two allowed triggers are spent, the point is off.
+  EXPECT_EQ(failpoint::internal::Evaluate("t.count").action, Action::kOff);
+  EXPECT_EQ(failpoint::TriggerCount("t.count"), 2u);
+}
+
+TEST_F(FailpointTest, ZeroProbabilityNeverTriggers) {
+  ASSERT_TRUE(failpoint::ArmFromString("t.never", "return-error:0").ok());
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(failpoint::internal::Evaluate("t.never").action, Action::kOff);
+  }
+  EXPECT_EQ(failpoint::TriggerCount("t.never"), 0u);
+}
+
+TEST_F(FailpointTest, DelayActionSleeps) {
+  ASSERT_TRUE(failpoint::ArmFromString("t.slow", "delay-ms(20)").ok());
+  const int64_t start = MonotonicMicros();
+  (void)failpoint::internal::Evaluate("t.slow");
+  EXPECT_GE(MonotonicMicros() - start, 15'000);
+}
+
+TEST(BackoffTest, DelaysGrowGeometricallyAndExhaust) {
+  BackoffPolicy policy;
+  policy.max_attempts = 4;
+  policy.initial_delay_micros = 1000;
+  policy.multiplier = 4.0;
+  policy.max_delay_micros = 10'000;
+  policy.jitter = false;
+  Backoff backoff(policy, /*seed=*/1);
+  EXPECT_EQ(backoff.NextDelayMicros(), 1000);   // attempt 1
+  EXPECT_EQ(backoff.NextDelayMicros(), 4000);   // attempt 2
+  EXPECT_EQ(backoff.NextDelayMicros(), 10'000); // attempt 3, capped
+  EXPECT_LT(backoff.NextDelayMicros(), 0);      // retries exhausted
+  EXPECT_LT(backoff.NextDelayMicros(), 0);      // stays exhausted
+  EXPECT_EQ(backoff.attempts(), 5);
+}
+
+TEST(BackoffTest, JitterStaysInHalfToFullWindow) {
+  BackoffPolicy policy;
+  policy.max_attempts = 100;
+  policy.initial_delay_micros = 8000;
+  policy.multiplier = 1.0;  // constant upper bound isolates the jitter
+  policy.jitter = true;
+  Backoff backoff(policy, /*seed=*/7);
+  for (int i = 0; i < 99; ++i) {
+    const int64_t delay = backoff.NextDelayMicros();
+    EXPECT_GE(delay, 4000);
+    EXPECT_LE(delay, 8000);
+  }
+}
+
+TEST(BackoffTest, SameSeedSameSchedule) {
+  BackoffPolicy policy;
+  policy.max_attempts = 8;
+  Backoff a(policy, 42), b(policy, 42);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(a.NextDelayMicros(), b.NextDelayMicros());
+  }
+}
+
+}  // namespace
+}  // namespace goggles

@@ -106,5 +106,35 @@ TEST(StatusMacroTest, AssignOrReturnPropagatesError) {
   EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
 }
 
+TEST(StatusTest, RetryableFailureCodes) {
+  EXPECT_EQ(Status::DeadlineExceeded("late").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::Unavailable("busy").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::DeadlineExceeded("late").ToString(),
+            "DeadlineExceeded: late");
+  EXPECT_EQ(Status::Unavailable("busy").ToString(), "Unavailable: busy");
+}
+
+TEST(StatusTest, ErrorCodesAreStableProtocolStrings) {
+  // These strings are the wire-visible `error_code` values of the serve
+  // protocol (docs/serve_protocol.md) — renaming one is a protocol break.
+  EXPECT_STREQ(StatusCodeToErrorCode(StatusCode::kOk), "ok");
+  EXPECT_STREQ(StatusCodeToErrorCode(StatusCode::kInvalidArgument),
+               "invalid_argument");
+  EXPECT_STREQ(StatusCodeToErrorCode(StatusCode::kOutOfRange),
+               "out_of_range");
+  EXPECT_STREQ(StatusCodeToErrorCode(StatusCode::kNotFound), "not_found");
+  EXPECT_STREQ(StatusCodeToErrorCode(StatusCode::kAlreadyExists),
+               "already_exists");
+  EXPECT_STREQ(StatusCodeToErrorCode(StatusCode::kNotImplemented),
+               "unimplemented");
+  EXPECT_STREQ(StatusCodeToErrorCode(StatusCode::kIOError), "io_error");
+  EXPECT_STREQ(StatusCodeToErrorCode(StatusCode::kInternal), "internal");
+  EXPECT_STREQ(StatusCodeToErrorCode(StatusCode::kDeadlineExceeded),
+               "deadline_exceeded");
+  EXPECT_STREQ(StatusCodeToErrorCode(StatusCode::kUnavailable),
+               "unavailable");
+}
+
 }  // namespace
 }  // namespace goggles
